@@ -1,0 +1,47 @@
+# Development entry points. Everything is stdlib-only Go; no external
+# tools are required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments experiments-quick examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/netsim/ ./internal/async/
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B target per paper experiment, plus ablations and
+# substrate micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment table at full size (minutes) or quick size
+# (seconds). Exit status is non-zero if any paper claim fails.
+experiments:
+	$(GO) run ./cmd/synran-bench
+
+experiments-quick:
+	$(GO) run ./cmd/synran-bench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/commitvote
+	$(GO) run ./examples/coingame
+	$(GO) run ./examples/livecluster
+	$(GO) run ./examples/adaptivitygap
+	$(GO) run ./examples/flploop
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,186 @@
+package synran
+
+import (
+	"io"
+	"testing"
+
+	"synran/internal/adversary"
+	"synran/internal/core"
+	"synran/internal/experiments"
+	"synran/internal/sim"
+	"synran/internal/valency"
+	"synran/internal/workload"
+)
+
+// benchExperiment wraps one experiment (one paper table) as a bench
+// target. Each iteration regenerates the full quick-mode table; run
+// cmd/synran-bench for the full-size tables recorded in EXPERIMENTS.md.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var ex experiments.Experiment
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			ex = e
+		}
+	}
+	if ex.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// The canonical seed: benches measure cost, and the claims are
+		// deterministic (and verified by the test suite) at this seed.
+		res, err := ex.Run(experiments.Config{Quick: true, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Table.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if failed := res.Failed(); len(failed) > 0 {
+			b.Fatalf("%s claims failed: %+v", id, failed)
+		}
+	}
+}
+
+// One bench per experiment table (the paper's quantitative claims).
+
+func BenchmarkE1CoinGameControl(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2OneSidedBias(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3SynRanScaleN(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4SynRanScaleT(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Baselines(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6LowerBound(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7Deviation(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8AdversaryCost(b *testing.B)   { benchExperiment(b, "E8") }
+func BenchmarkE9Safety(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10Schechtman(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11AdaptivityGap(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12IteratedGames(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13SharedCoin(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14Byzantine(b *testing.B)      { benchExperiment(b, "E14") }
+func BenchmarkE15Asynchrony(b *testing.B)     { benchExperiment(b, "E15") }
+
+// meanRounds runs SynRan b.N times and reports the mean halt rounds as a
+// custom metric — the unit the ablation benches compare.
+func meanRounds(b *testing.B, n, t int, opts core.Options, mkAdv func() sim.Adversary) {
+	b.Helper()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.RunSpec{
+			N: n, T: t,
+			Inputs:    workload.HalfHalf(n),
+			Opts:      opts,
+			Seed:      uint64(i)*2654435761 + 1,
+			Adversary: mkAdv(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.HaltRounds
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "rounds/op")
+}
+
+// Ablation: the one-side-bias rule. The symmetric variant is measured
+// under a mild adversary only (it is not safe under strong ones — that
+// is E5's point).
+func BenchmarkAblationOneSideBias(b *testing.B) {
+	const n = 128
+	b.Run("paper", func(b *testing.B) {
+		meanRounds(b, n, n/8, core.Options{}, func() sim.Adversary {
+			return &adversary.Random{PerRound: 0.5}
+		})
+	})
+	b.Run("symmetric", func(b *testing.B) {
+		meanRounds(b, n, n/8, core.Options{SymmetricCoin: true}, func() sim.Adversary {
+			return &adversary.Random{PerRound: 0.5}
+		})
+	})
+}
+
+// Ablation: the split-vote adversary's levers. Disabling the rescue or
+// split levers weakens the attack (fewer forced rounds).
+func BenchmarkAblationSplitVoteLevers(b *testing.B) {
+	const n = 256
+	cases := []struct {
+		name string
+		mk   func() sim.Adversary
+	}{
+		{"full", func() sim.Adversary { return &adversary.SplitVote{} }},
+		{"no-split", func() sim.Adversary { return &adversary.SplitVote{DisableSplit: true} }},
+		{"no-rescue", func() sim.Adversary { return &adversary.SplitVote{DisableRescue: true} }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			meanRounds(b, n, n-1, core.Options{}, c.mk)
+		})
+	}
+}
+
+// Ablation: Monte-Carlo rollout count vs valency classification cost.
+func BenchmarkAblationValencyRollouts(b *testing.B) {
+	const n = 12
+	inputs := workload.HalfHalf(n)
+	for _, rolls := range []int{8, 16, 32} {
+		b.Run(map[int]string{8: "rollouts-8", 16: "rollouts-16", 32: "rollouts-32"}[rolls],
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					procs, err := core.NewProcs(n, inputs, uint64(i)+1, core.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					exec, err := sim.NewExecution(sim.Config{N: n, T: n - 1}, procs, inputs, uint64(i)+1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					est := valency.NewEstimator(n, uint64(i))
+					est.RolloutsPerAdversary = rolls
+					if _, err := est.Classify(exec, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+	}
+}
+
+// Micro-benchmarks of the substrate.
+
+func BenchmarkEngineFullRun(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(map[int]string{64: "n64", 256: "n256", 1024: "n1024"}[n], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.RunSpec{
+					N: n, T: n / 2,
+					Inputs:    workload.HalfHalf(n),
+					Seed:      uint64(i) + 1,
+					Adversary: &adversary.SplitVote{},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Agreement {
+					b.Fatal("agreement violated")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExecutionClone(b *testing.B) {
+	const n = 64
+	inputs := workload.HalfHalf(n)
+	procs, err := core.NewProcs(n, inputs, 1, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: n / 2}, procs, inputs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = exec.Clone()
+	}
+}

@@ -1,0 +1,38 @@
+// Command consensus-sim runs consensus executions and prints outcomes:
+// a single run (optionally traced and digested) or a multi-trial summary.
+//
+// Usage:
+//
+//	consensus-sim -n 101 -t 100 -protocol synran -adversary splitvote \
+//	    -workload half -seed 42 -trace
+//	consensus-sim -n 256 -adversary splitvote -trials 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"synran/internal/cli"
+)
+
+func main() {
+	var opts cli.SimOptions
+	flag.IntVar(&opts.N, "n", 64, "number of processes")
+	flag.IntVar(&opts.T, "t", -1, "crash budget (default n-1)")
+	flag.StringVar(&opts.Protocol, "protocol", "synran", "protocol: synran|benor|floodset|leadercoin|earlystop|phaseking")
+	flag.StringVar(&opts.Adversary, "adversary", "splitvote", "adversary: none|random|splitvote|masscrash|push0|push1|waves|leaderkiller|equivocator|lowerbound|stepwise")
+	flag.StringVar(&opts.Workload, "workload", "half", "inputs: zeros|ones|half|random")
+	flag.Uint64Var(&opts.Seed, "seed", 1, "random seed (reproducible)")
+	flag.IntVar(&opts.Trials, "trials", 1, "number of runs (seed, seed+1, ...)")
+	flag.BoolVar(&opts.Trace, "trace", false, "print a per-round trace (single trial only)")
+	flag.BoolVar(&opts.Digest, "digest", false, "print the execution digest (single trial only)")
+	flag.StringVar(&opts.TraceFile, "tracefile", "", "write a JSON event trace to this file (single trial only)")
+	flag.BoolVar(&opts.Live, "live", false, "use the goroutine-per-process runner")
+	flag.Parse()
+
+	if err := cli.ConsensusSim(opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+		os.Exit(1)
+	}
+}

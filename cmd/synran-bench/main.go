@@ -1,0 +1,33 @@
+// Command synran-bench regenerates every experiment table (E1–E15 in
+// DESIGN.md) that reproduces the paper's quantitative claims.
+//
+// Usage:
+//
+//	synran-bench              # full configuration (minutes)
+//	synran-bench -quick       # reduced sizes (seconds)
+//	synran-bench -only E3,E4  # a subset
+//	synran-bench -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"synran/internal/cli"
+)
+
+func main() {
+	var opts cli.BenchOptions
+	flag.BoolVar(&opts.Quick, "quick", false, "reduced sizes and trial counts")
+	flag.Uint64Var(&opts.Seed, "seed", 42, "random seed (tables are reproducible)")
+	flag.StringVar(&opts.Only, "only", "", "comma-separated experiment ids (e.g. E3,E7)")
+	flag.BoolVar(&opts.CSV, "csv", false, "emit CSV instead of aligned tables")
+	flag.BoolVar(&opts.Markdown, "markdown", false, "emit GitHub-flavored markdown tables")
+	flag.Parse()
+
+	if err := cli.Bench(opts, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "synran-bench:", err)
+		os.Exit(1)
+	}
+}

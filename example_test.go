@@ -1,0 +1,53 @@
+package synran_test
+
+import (
+	"fmt"
+
+	"synran"
+)
+
+// Running SynRan on a cluster with an adaptive adversary: the decision
+// and its safety properties are deterministic given the seed.
+func ExampleRun() {
+	res, err := synran.Run(synran.Spec{
+		N: 32, T: 31,
+		Inputs:    synran.HalfHalfInputs(32),
+		Protocol:  synran.ProtocolSynRan,
+		Adversary: synran.AdversarySplitVote,
+		Seed:      7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("agreement:", res.Agreement)
+	fmt.Println("validity:", res.Validity)
+	// Output:
+	// agreement: true
+	// validity: true
+}
+
+// The paper's closed-form bounds are exposed directly.
+func ExampleUpperBoundRounds() {
+	fmt.Printf("%.1f\n", synran.UpperBoundRounds(1024, 1023))
+	// Output:
+	// 17.0
+}
+
+// Unanimous inputs always decide the common value (validity), under any
+// adversary in the library.
+func ExampleRun_validity() {
+	res, err := synran.Run(synran.Spec{
+		N: 16, T: 15,
+		Inputs:    synran.UniformInputs(16, 1),
+		Adversary: synran.AdversaryRandom,
+		Seed:      3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("decided:", res.DecidedValue())
+	// Output:
+	// decided: 1
+}

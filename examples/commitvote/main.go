@@ -1,0 +1,65 @@
+// Commitvote: the scenario that motivates fail-stop consensus — a
+// replicated cluster deciding commit (1) or abort (0) for a transaction
+// while an adaptive adversary crashes replicas mid-vote.
+//
+// The demo runs the same commit vote under increasingly hostile
+// adversaries and shows that the decision stays consistent across the
+// surviving replicas every time, and how the round cost grows toward the
+// paper's bound as the adversary strengthens.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"synran"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "commitvote:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const replicas = 101
+	// 60 replicas vote commit, 41 vote abort (e.g. 41 saw a conflict).
+	votes := make([]int, replicas)
+	for i := 0; i < 60; i++ {
+		votes[i] = 1
+	}
+
+	fmt.Printf("cluster of %d replicas voting on a transaction (60 commit / 41 abort)\n", replicas)
+	fmt.Printf("theory: worst-case expected rounds for t=%d is Θ-shape %.1f\n\n",
+		replicas-1, synran.UpperBoundRounds(replicas, replicas-1))
+
+	for _, adv := range []string{
+		synran.AdversaryNone,
+		synran.AdversaryRandom,
+		synran.AdversarySplitVote,
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			res, err := synran.Run(synran.Spec{
+				N: replicas, T: replicas - 1,
+				Inputs:    votes,
+				Adversary: adv,
+				Seed:      seed,
+			})
+			if err != nil {
+				return err
+			}
+			outcome := "ABORT"
+			if res.DecidedValue() == 1 {
+				outcome = "COMMIT"
+			}
+			fmt.Printf("adversary=%-10s seed=%d → %-6s in %2d rounds, %2d replicas crashed, agreement=%v\n",
+				adv, seed, outcome, res.HaltRounds, res.Crashes, res.Agreement)
+			if !res.Agreement {
+				return fmt.Errorf("surviving replicas disagree — this must never happen")
+			}
+		}
+	}
+	fmt.Println("\nevery run: all surviving replicas applied the same outcome.")
+	return nil
+}

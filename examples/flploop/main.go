@@ -1,0 +1,72 @@
+// Flploop: FLP impossibility, live. Asynchronous Ben-Or derandomized
+// (the "coin" is the process id's parity) is a deterministic
+// asynchronous consensus protocol; the adaptive splitter scheduler keeps
+// its report quorums balanced so it loops forever — while the genuinely
+// randomized variant escapes the very same scheduler. This is the
+// asynchronous backdrop (Section 1.2) against which the paper proves
+// that even WITH randomness, the synchronous adaptive adversary forces
+// Ω(t/√(n log n)) rounds.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"synran/internal/async"
+	"synran/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flploop:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n   = 4
+		t   = 1
+		cap = 6000
+	)
+	inputs := workload.HalfHalf(n)
+
+	fmt.Printf("asynchronous Ben-Or, n=%d t=%d, split inputs, adaptive splitter scheduler\n\n", n, t)
+
+	for _, mode := range []struct {
+		name string
+		m    async.CoinMode
+	}{
+		{"deterministic (parity coin)", async.CoinParity},
+		{"randomized (private fair coin)", async.CoinRandom},
+	} {
+		procs, err := async.NewBenOrProcs(n, t, inputs, mode.m, 7)
+		if err != nil {
+			return err
+		}
+		exec, err := async.NewExecution(async.Config{N: n, T: t, MaxSteps: cap}, procs, inputs, 7)
+		if err != nil {
+			return err
+		}
+		res, err := exec.Run(async.NewSplitter())
+		switch {
+		case errors.Is(err, async.ErrMaxSteps):
+			maxPhase := 0
+			for _, p := range procs {
+				if b := p.(*async.BenOr); b.Phase() > maxPhase {
+					maxPhase = b.Phase()
+				}
+			}
+			fmt.Printf("%-32s STILL UNDECIDED after %d deliveries (%d phases) — the FLP loop\n",
+				mode.name, cap, maxPhase)
+		case err != nil:
+			return err
+		default:
+			fmt.Printf("%-32s decided %d after %d deliveries (agreement=%v)\n",
+				mode.name, res.DecidedValue(), res.Steps, res.Agreement)
+		}
+	}
+	fmt.Println("\nrandomness breaks the bivalence loop; determinism cannot (FLP 1985).")
+	return nil
+}

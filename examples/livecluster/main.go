@@ -1,0 +1,31 @@
+// Livecluster: runs SynRan over the goroutine-per-process runner (one
+// goroutine per replica, channels as links, a coordinator as the round
+// synchronizer) with a live event trace — the same protocol code as the
+// lock-step simulator, deployed concurrently.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"synran"
+)
+
+func main() {
+	const n = 24
+	fmt.Printf("starting %d replica goroutines (adaptive split-vote adversary, t=%d)\n\n", n, n-1)
+	res, err := synran.Run(synran.Spec{
+		N: n, T: n - 1,
+		Inputs:    synran.HalfHalfInputs(n),
+		Adversary: synran.AdversarySplitVote,
+		Seed:      7,
+		Live:      true,
+		Observer:  &synran.TraceObserver{W: os.Stdout},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livecluster:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndecided %d after %d rounds; crashes=%d survivors=%d agreement=%v validity=%v\n",
+		res.DecidedValue(), res.HaltRounds, res.Crashes, res.Survivors, res.Agreement, res.Validity)
+}

@@ -1,0 +1,31 @@
+// Quickstart: run the SynRan protocol on 64 processes with a random
+// crash adversary and print the outcome.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"synran"
+)
+
+func main() {
+	const n = 64
+	res, err := synran.Run(synran.Spec{
+		N:         n,
+		T:         n / 2,
+		Inputs:    synran.HalfHalfInputs(n),
+		Protocol:  synran.ProtocolSynRan,
+		Adversary: synran.AdversaryRandom,
+		Seed:      2024,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("consensus reached on %d after %d rounds (%d of %d processes crashed)\n",
+		res.DecidedValue(), res.HaltRounds, res.Crashes, n)
+	fmt.Printf("agreement=%v validity=%v\n", res.Agreement, res.Validity)
+	fmt.Printf("paper's expected-rounds shape for this (n, t): %.2f\n",
+		synran.UpperBoundRounds(n, n/2))
+}

@@ -1,0 +1,81 @@
+// Replay: the reproducibility contract, demonstrated. An execution is
+// recorded as a structured JSON event trace, serialized, reloaded, and
+// re-run from the same seed — the replay must match the recording event
+// for event (trace.Diff == ""). This is how a result in EXPERIMENTS.md
+// can be handed to someone else: the seed IS the experiment.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"synran"
+	"synran/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func record(seed uint64) (*trace.Log, *synran.Result, error) {
+	const n = 32
+	rec := trace.NewRecorder(n, n-1, seed)
+	res, err := synran.Run(synran.Spec{
+		N: n, T: n - 1,
+		Inputs:    synran.HalfHalfInputs(n),
+		Adversary: synran.AdversarySplitVote,
+		Seed:      seed,
+		Observer:  rec,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec.Log(), res, nil
+}
+
+func run() error {
+	const seed = 2026
+
+	original, res, err := record(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded execution: %d events, decided %d in %d rounds\n",
+		len(original.Events), res.DecidedValue(), res.HaltRounds)
+
+	// Serialize and reload — the shareable artifact.
+	var buf bytes.Buffer
+	if err := original.WriteJSON(&buf); err != nil {
+		return err
+	}
+	fmt.Printf("serialized trace: %d bytes of JSON\n", buf.Len())
+	loaded, err := trace.ReadJSON(&buf)
+	if err != nil {
+		return err
+	}
+
+	// Re-run from the same seed and compare event for event.
+	replayed, _, err := record(seed)
+	if err != nil {
+		return err
+	}
+	if d := trace.Diff(loaded, replayed); d != "" {
+		return fmt.Errorf("replay diverged: %s", d)
+	}
+	fmt.Println("replay matches the recording event for event ✓")
+
+	// A different seed is a different execution — Diff catches it.
+	other, _, err := record(seed + 1)
+	if err != nil {
+		return err
+	}
+	if d := trace.Diff(loaded, other); d == "" {
+		return fmt.Errorf("different seeds produced identical traces")
+	}
+	fmt.Println("a different seed diverges, and Diff pinpoints where ✓")
+	return nil
+}

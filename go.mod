@@ -1,0 +1,3 @@
+module synran
+
+go 1.22

@@ -1,0 +1,48 @@
+package adversary
+
+import "synran/internal/sim"
+
+// Combo concatenates the plans of several adversaries each round (in
+// order; the engine deduplicates victims and enforces the budget). Use
+// it to compose orthogonal levers — e.g. SplitVote's band control with
+// LeaderKiller's coordinator attack against the leader-coin protocol.
+type Combo struct {
+	Parts []sim.Adversary
+}
+
+var _ sim.Adversary = (*Combo)(nil)
+
+// NewCombo builds a composite adversary.
+func NewCombo(parts ...sim.Adversary) *Combo {
+	return &Combo{Parts: parts}
+}
+
+// Name implements sim.Adversary.
+func (c *Combo) Name() string {
+	name := "combo("
+	for i, p := range c.Parts {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return name + ")"
+}
+
+// Plan implements sim.Adversary.
+func (c *Combo) Plan(v *sim.View) []sim.CrashPlan {
+	var plans []sim.CrashPlan
+	for _, p := range c.Parts {
+		plans = append(plans, p.Plan(v)...)
+	}
+	return plans
+}
+
+// Clone implements sim.Adversary.
+func (c *Combo) Clone() sim.Adversary {
+	parts := make([]sim.Adversary, len(c.Parts))
+	for i, p := range c.Parts {
+		parts[i] = p.Clone()
+	}
+	return &Combo{Parts: parts}
+}

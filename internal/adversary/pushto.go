@@ -1,0 +1,62 @@
+package adversary
+
+import (
+	"synran/internal/sim"
+	"synran/internal/wire"
+)
+
+// PushTo steers a threshold-voting protocol toward the given value by
+// crashing, every round, up to PerRound senders of the opposite value
+// (messages fully hidden). Against SynRan, pushing toward 1 exploits the
+// one-side-bias rule (once no zeros are visible, everyone proposes 1);
+// pushing toward 0 starves the one-count below the decide-0 threshold.
+//
+// The valency estimator uses PushTo{0} and PushTo{1} as the extreme
+// members of its adversary pool: the empirical min and max probability
+// of deciding 1 over the pool approximate the paper's min r(α) and
+// max r(α).
+type PushTo struct {
+	// Value is the decision value to push toward (0 or 1).
+	Value int
+	// PerRound caps crashes per round (0 means the paper's class-B cap is
+	// applied by the caller through the execution's total budget only).
+	PerRound int
+}
+
+var _ sim.Adversary = (*PushTo)(nil)
+
+// Name implements sim.Adversary.
+func (a *PushTo) Name() string {
+	if a.Value == 0 {
+		return "push0"
+	}
+	return "push1"
+}
+
+// Clone implements sim.Adversary.
+func (a *PushTo) Clone() sim.Adversary {
+	c := *a
+	return &c
+}
+
+// Plan implements sim.Adversary.
+func (a *PushTo) Plan(v *sim.View) []sim.CrashPlan {
+	limit := v.Budget
+	if a.PerRound > 0 && a.PerRound < limit {
+		limit = a.PerRound
+	}
+	if limit == 0 {
+		return nil
+	}
+	opposite := 1 - a.Value
+	var plans []sim.CrashPlan
+	for i := 0; i < v.N && len(plans) < limit; i++ {
+		if !v.Sending[i] || wire.IsFlood(v.Payloads[i]) {
+			continue
+		}
+		if wire.Bit(v.Payloads[i]) == opposite {
+			plans = append(plans, sim.CrashPlan{Victim: i})
+		}
+	}
+	return plans
+}

@@ -1,0 +1,248 @@
+package adversary
+
+import (
+	"synran/internal/sim"
+	"synran/internal/wire"
+)
+
+// SplitVote is the adaptive full-information attack on SynRan-style
+// threshold voting protocols whose cost Theorem 2 of the paper analyzes.
+// Its goal each round is to keep every receiver's observed one-count
+// inside the coin-flip band [5/10·N', 6/10·N'] — so no process crosses a
+// propose or decide threshold — using three levers, all paid for with
+// crashes:
+//
+//  1. Trim: when the ones overshoot the band, crash the excess 1-senders
+//     with their message hidden from everyone.
+//  2. Split: spend one extra 1-sender whose final message is shown only
+//     to a chosen fraction of receivers, pushing that group just over
+//     the 6/10 propose-1 threshold; the groups' next-round proposals are
+//     then centred above the coin-flip mean, which is what keeps the
+//     process alive (this is the view-splitting the paper's adversary
+//     performs message by message in Section 3.4).
+//  3. Rescue: when the zeros are about to sweep (ones below 5/10·N'),
+//     crash every 0-sender, delivering their final messages only to the
+//     lower half of the receivers. The hidden half then sees Z = 0 and
+//     the one-side-bias rule forces it back to 1, re-splitting the vote.
+//     This is the expensive move — the paper shows it costs about half
+//     the survivors — so it is attempted only while budget remains.
+//
+// Levers 1 and 3 are exactly the two cases of the Lemma 4.6 argument
+// ("the adversary will have to fail at least p/2 processes" / "fail at
+// least p/10 processes"); the measured per-block crash cost is
+// experiment E8.
+type SplitVote struct {
+	// SplitFraction is the fraction of receivers put into the propose-1
+	// group by lever 2 (default 0.2, the value that centres the next
+	// round's expected one-count mid-band).
+	SplitFraction float64
+	// DisableSplit turns lever 2 off (ablation).
+	DisableSplit bool
+	// DisableRescue turns lever 3 off (ablation).
+	DisableRescue bool
+
+	bases []int // per-receiver N from the previous round (self included)
+}
+
+var _ sim.Adversary = (*SplitVote)(nil)
+
+// Name implements sim.Adversary.
+func (a *SplitVote) Name() string { return "splitvote" }
+
+// Clone implements sim.Adversary.
+func (a *SplitVote) Clone() sim.Adversary {
+	c := *a
+	c.bases = append([]int(nil), a.bases...)
+	return &c
+}
+
+// Plan implements sim.Adversary.
+func (a *SplitVote) Plan(v *sim.View) []sim.CrashPlan {
+	if a.bases == nil {
+		a.bases = make([]int, v.N)
+		for i := range a.bases {
+			a.bases[i] = v.N
+		}
+	}
+	plans := a.plan(v)
+	a.updateBases(v, plans)
+	return plans
+}
+
+// plan chooses this round's lever.
+func (a *SplitVote) plan(v *sim.View) []sim.CrashPlan {
+	oneSenders, zeroSenders, flood := senderSets(v)
+	if flood > 0 {
+		// The deterministic stage has begun; FloodSet cannot be stopped
+		// by crashes (fewer than its round count can occur), so save the
+		// remaining budget.
+		return nil
+	}
+	ones, zeros := len(oneSenders), len(zeroSenders)
+	if ones+zeros == 0 || v.Budget == 0 {
+		return nil
+	}
+	base := a.commonBase(v)
+	if base <= 0 {
+		return nil
+	}
+	hi := 6 * base / 10 // top of the coin-flip band (floor)
+
+	switch {
+	case 10*ones > 6*base:
+		return a.trimAndSplit(v, oneSenders, ones, hi)
+	case 10*ones < 5*base && zeros > 0 && !a.DisableRescue:
+		// Below the band: every receiver would propose 0 (or decide 0 if
+		// below 4/10). Rescue by hiding all zeros from half the receivers.
+		if zeros <= v.Budget {
+			return a.rescue(v, zeroSenders)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// trimAndSplit implements levers 1 and 2: crash ones−hi 1-senders; the
+// last of them is delivered to a receiver subset when splitting is on.
+func (a *SplitVote) trimAndSplit(v *sim.View, oneSenders []int, ones, hi int) []sim.CrashPlan {
+	excess := ones - hi
+	if excess > v.Budget {
+		excess = v.Budget
+	}
+	if excess <= 0 {
+		return nil
+	}
+	plans := make([]sim.CrashPlan, 0, excess)
+	for k := 0; k < excess; k++ {
+		victim := oneSenders[k]
+		plan := sim.CrashPlan{Victim: victim}
+		if k == excess-1 && !a.DisableSplit && ones-excess == hi {
+			// Lever 2: show this last 1 to a group that then sees
+			// hi+1 > 6/10·base ones and proposes 1 deterministically.
+			plan.Deliver = a.splitGroup(v)
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// splitGroup selects the receivers that get the extra 1-message.
+func (a *SplitVote) splitGroup(v *sim.View) *sim.BitSet {
+	frac := a.SplitFraction
+	if frac <= 0 || frac >= 1 {
+		frac = 0.2
+	}
+	alive := v.AliveCount()
+	want := int(frac * float64(alive))
+	mask := sim.NewBitSet(v.N)
+	got := 0
+	for i := 0; i < v.N && got < want; i++ {
+		if v.Alive[i] {
+			mask.Set(i)
+			got++
+		}
+	}
+	return mask
+}
+
+// rescue implements lever 3: crash every 0-sender, delivering their
+// final messages only to half of the SURVIVORS (the processes that are
+// not being crashed). The other surviving half then sees no zero at all,
+// and the one-side-bias rule flips it to 1 while the seen half proposes
+// 0 — the vote is split again. Splitting the survivors, not the whole
+// population, matters: the zero-senders themselves are dying, so
+// blinding them would waste the lever.
+func (a *SplitVote) rescue(v *sim.View, zeroSenders []int) []sim.CrashPlan {
+	victim := make([]bool, v.N)
+	for _, z := range zeroSenders {
+		victim[z] = true
+	}
+	var survivors []int
+	for i := 0; i < v.N; i++ {
+		if v.Alive[i] && !v.Halted[i] && !victim[i] {
+			survivors = append(survivors, i)
+		}
+	}
+	seen := sim.NewBitSet(v.N)
+	for k := 0; k < len(survivors)/2; k++ {
+		seen.Set(survivors[k])
+	}
+	plans := make([]sim.CrashPlan, 0, len(zeroSenders))
+	for _, z := range zeroSenders {
+		plans = append(plans, sim.CrashPlan{Victim: z, Deliver: seen.Clone()})
+	}
+	return plans
+}
+
+// commonBase returns the most common previous-round receive count among
+// live receivers — the threshold base N^{r-1} the bulk of the population
+// is using this round.
+func (a *SplitVote) commonBase(v *sim.View) int {
+	counts := make(map[int]int)
+	bestBase, bestCount := 0, 0
+	for i := 0; i < v.N; i++ {
+		if !v.Alive[i] || v.Halted[i] {
+			continue
+		}
+		b := a.bases[i]
+		counts[b]++
+		if counts[b] > bestCount {
+			bestBase, bestCount = b, counts[b]
+		}
+	}
+	return bestBase
+}
+
+// updateBases recomputes each live receiver's N for the round that was
+// just planned, replaying the delivery outcome of the chosen plans so
+// next round's threshold bases are tracked exactly (the engine counts a
+// receiver's own value, hence the +1).
+func (a *SplitVote) updateBases(v *sim.View, plans []sim.CrashPlan) {
+	masks := make(map[int]*sim.BitSet, len(plans))
+	for _, p := range plans {
+		if p.Deliver != nil {
+			masks[p.Victim] = p.Deliver
+		} else {
+			masks[p.Victim] = nil
+		}
+	}
+	for j := 0; j < v.N; j++ {
+		if !v.Alive[j] || v.Halted[j] {
+			continue
+		}
+		n := 1 // own value
+		for i := 0; i < v.N; i++ {
+			if i == j || !v.Sending[i] {
+				continue
+			}
+			if mask, crashed := masks[i]; crashed {
+				if mask == nil || !mask.Get(j) {
+					continue
+				}
+			}
+			n++
+		}
+		a.bases[j] = n
+	}
+}
+
+// senderSets partitions this round's senders by broadcast value.
+func senderSets(v *sim.View) (oneSenders, zeroSenders []int, flood int) {
+	for i := 0; i < v.N; i++ {
+		if !v.Sending[i] {
+			continue
+		}
+		p := v.Payloads[i]
+		if wire.IsFlood(p) {
+			flood++
+			continue
+		}
+		if p&1 == 1 {
+			oneSenders = append(oneSenders, i)
+		} else {
+			zeroSenders = append(zeroSenders, i)
+		}
+	}
+	return oneSenders, zeroSenders, flood
+}

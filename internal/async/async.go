@@ -1,0 +1,312 @@
+// Package async implements the asynchronous message-passing model the
+// paper contrasts its synchronous results against (Section 1.2): no
+// rounds, an adversarial scheduler with full information chooses which
+// in-flight message to deliver next and may fail-stop up to t processes.
+// FLP impossibility lives here — a deterministic protocol admits
+// non-terminating schedules — as does the regime of Aspnes' asynchronous
+// lower bound on coin flips, both reproduced by experiment E15 with the
+// asynchronous Ben-Or protocol in internal/async/benor.go.
+//
+// The engine is deterministic given the scheduler's choices: pending
+// messages carry sequence numbers, and schedulers pick among them by
+// index, so a seed reproduces an execution exactly.
+package async
+
+import (
+	"errors"
+	"fmt"
+
+	"synran/internal/rng"
+)
+
+// Send is an outgoing message request from a process: To = Broadcast
+// fans out to every other process.
+type Send struct {
+	To      int
+	Payload int64
+}
+
+// Broadcast is the Send.To wildcard.
+const Broadcast = -1
+
+// Message is one in-flight message.
+type Message struct {
+	Seq     int // global sequence number (creation order)
+	From    int
+	To      int
+	Payload int64
+}
+
+// Process is an event-driven asynchronous protocol participant.
+type Process interface {
+	// Init returns the messages sent before any delivery.
+	Init() []Send
+	// Deliver consumes one message and returns the sends it triggers.
+	Deliver(from int, payload int64) []Send
+	// Decided reports the irrevocable decision, if any.
+	Decided() (int, bool)
+	// Halted reports that the process will ignore all future deliveries.
+	Halted() bool
+}
+
+// View is the scheduler's full-information snapshot.
+type View struct {
+	Step    int
+	N, T    int
+	Budget  int
+	Alive   []bool
+	Pending []Message // read-only
+	Procs   []Process
+	Rng     *rng.Stream
+}
+
+// Action is one scheduler decision: crash a process (Victim >= 0), or
+// deliver the pending message at index Deliver.
+type Action struct {
+	Victim  int // -1 = no crash this step
+	Deliver int // index into Pending; ignored when a crash empties it
+}
+
+// Scheduler is the asynchronous adversary: message scheduling plus
+// fail-stop crashes, with full information.
+type Scheduler interface {
+	Name() string
+	Next(v *View) Action
+}
+
+// Config sizes an asynchronous execution.
+type Config struct {
+	N        int
+	T        int
+	MaxSteps int // delivery cap; 0 picks a generous default
+}
+
+// DefaultMaxSteps bounds executions: enough for many phases of a
+// quorum-based protocol.
+func DefaultMaxSteps(n int) int { return 2000 * n }
+
+// ErrMaxSteps reports that the schedule did not let the protocol finish
+// — for a randomized protocol under a fair scheduler this is
+// probability-zero; for a deterministic protocol under the FLP-style
+// scheduler it is the expected outcome.
+var ErrMaxSteps = errors.New("async: execution exceeded MaxSteps before every correct process decided")
+
+// Result summarizes an asynchronous execution.
+type Result struct {
+	Steps     int // messages delivered
+	Crashes   int
+	Survivors int
+	Decisions []int
+	Decided   []bool
+	Agreement bool
+	Validity  bool
+	Inputs    []int
+}
+
+// DecidedValue mirrors sim.Result.DecidedValue.
+func (r *Result) DecidedValue() int {
+	v := -1
+	for i, ok := range r.Decided {
+		if !ok {
+			continue
+		}
+		if v == -1 {
+			v = r.Decisions[i]
+		} else if v != r.Decisions[i] {
+			return -1
+		}
+	}
+	return v
+}
+
+// Execution drives asynchronous processes under a scheduler.
+type Execution struct {
+	cfg    Config
+	procs  []Process
+	inputs []int
+	alive  []bool
+	// pending is kept in seq order; delivery removes by index.
+	pending []Message
+	seq     int
+	steps   int
+	crashes int
+	advRng  *rng.Stream
+}
+
+// NewExecution assembles an asynchronous execution.
+func NewExecution(cfg Config, procs []Process, inputs []int, seed uint64) (*Execution, error) {
+	if cfg.N <= 0 || len(procs) != cfg.N || len(inputs) != cfg.N {
+		return nil, fmt.Errorf("async: inconsistent sizes n=%d procs=%d inputs=%d",
+			cfg.N, len(procs), len(inputs))
+	}
+	if cfg.T < 0 || cfg.T >= cfg.N {
+		return nil, fmt.Errorf("async: T = %d out of [0, n-1]", cfg.T)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps(cfg.N)
+	}
+	e := &Execution{
+		cfg:    cfg,
+		procs:  procs,
+		inputs: append([]int(nil), inputs...),
+		alive:  make([]bool, cfg.N),
+		advRng: rng.New(seed),
+	}
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	for i, p := range procs {
+		e.enqueue(i, p.Init())
+	}
+	return e, nil
+}
+
+// enqueue expands a process's sends into pending messages.
+func (e *Execution) enqueue(from int, sends []Send) {
+	for _, s := range sends {
+		if s.To == Broadcast {
+			for j := 0; j < e.cfg.N; j++ {
+				if j == from {
+					continue
+				}
+				e.pending = append(e.pending, Message{Seq: e.seq, From: from, To: j, Payload: s.Payload})
+				e.seq++
+			}
+			continue
+		}
+		if s.To < 0 || s.To >= e.cfg.N || s.To == from {
+			continue
+		}
+		e.pending = append(e.pending, Message{Seq: e.seq, From: from, To: s.To, Payload: s.Payload})
+		e.seq++
+	}
+}
+
+// done reports whether every correct process has decided.
+func (e *Execution) done() bool {
+	for i, p := range e.procs {
+		if !e.alive[i] {
+			continue
+		}
+		if _, ok := p.Decided(); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Run drives the execution until every correct process decides, the
+// schedule starves (no deliverable messages), or MaxSteps is hit.
+func (e *Execution) Run(sched Scheduler) (*Result, error) {
+	for !e.done() {
+		if e.steps >= e.cfg.MaxSteps {
+			return nil, fmt.Errorf("%w (scheduler %q, %d steps)", ErrMaxSteps, sched.Name(), e.steps)
+		}
+		e.compactPending()
+		if len(e.pending) == 0 {
+			// Starvation with undecided correct processes: in the crash
+			// model this means the protocol needed more messages than
+			// exist — count it as non-termination.
+			return nil, fmt.Errorf("%w (no pending messages after %d steps)", ErrMaxSteps, e.steps)
+		}
+		view := &View{
+			Step:    e.steps,
+			N:       e.cfg.N,
+			T:       e.cfg.T,
+			Budget:  e.cfg.T - e.crashes,
+			Alive:   e.alive,
+			Pending: e.pending,
+			Procs:   e.procs,
+			Rng:     e.advRng,
+		}
+		act := sched.Next(view)
+		if act.Victim >= 0 && act.Victim < e.cfg.N && e.alive[act.Victim] && e.crashes < e.cfg.T {
+			e.alive[act.Victim] = false
+			e.crashes++
+			e.compactPending()
+			if len(e.pending) == 0 {
+				continue
+			}
+			if act.Deliver >= len(e.pending) {
+				act.Deliver = 0
+			}
+		}
+		if act.Deliver < 0 || act.Deliver >= len(e.pending) {
+			act.Deliver = 0
+		}
+		m := e.pending[act.Deliver]
+		e.pending = append(e.pending[:act.Deliver], e.pending[act.Deliver+1:]...)
+		e.steps++
+		if e.alive[m.To] && !e.procs[m.To].Halted() {
+			e.enqueue(m.To, e.procs[m.To].Deliver(m.From, m.Payload))
+		}
+	}
+	return e.result(), nil
+}
+
+// compactPending drops messages to or from crashed processes and to
+// halted ones (they would be ignored anyway), keeping the scheduler's
+// choice set meaningful.
+func (e *Execution) compactPending() {
+	out := e.pending[:0]
+	for _, m := range e.pending {
+		if !e.alive[m.From] || !e.alive[m.To] || e.procs[m.To].Halted() {
+			continue
+		}
+		out = append(out, m)
+	}
+	e.pending = out
+}
+
+// Steps returns the number of deliveries so far.
+func (e *Execution) Steps() int { return e.steps }
+
+func (e *Execution) result() *Result {
+	n := e.cfg.N
+	res := &Result{
+		Steps:     e.steps,
+		Crashes:   e.crashes,
+		Decisions: make([]int, n),
+		Decided:   make([]bool, n),
+		Inputs:    append([]int(nil), e.inputs...),
+	}
+	for i := range res.Decisions {
+		res.Decisions[i] = -1
+	}
+	common := -1
+	agreement := true
+	for i, p := range e.procs {
+		if !e.alive[i] {
+			continue
+		}
+		res.Survivors++
+		v, ok := p.Decided()
+		if !ok {
+			agreement = false
+			continue
+		}
+		res.Decided[i] = true
+		res.Decisions[i] = v
+		if common == -1 {
+			common = v
+		} else if common != v {
+			agreement = false
+		}
+	}
+	res.Agreement = agreement
+	res.Validity = true
+	allSame := true
+	for _, x := range e.inputs[1:] {
+		if x != e.inputs[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		for i := range e.procs {
+			if res.Decided[i] && res.Decisions[i] != e.inputs[0] {
+				res.Validity = false
+			}
+		}
+	}
+	return res
+}

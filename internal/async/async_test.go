@@ -1,0 +1,221 @@
+package async
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mkBenOr(t *testing.T, n, tt int, inputs []int, mode CoinMode, seed uint64) []Process {
+	t.Helper()
+	procs, err := NewBenOrProcs(n, tt, inputs, mode, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return procs
+}
+
+func runAsync(t *testing.T, n, tt int, inputs []int, mode CoinMode, sched Scheduler, seed uint64, maxSteps int) (*Result, error) {
+	t.Helper()
+	procs := mkBenOr(t, n, tt, inputs, mode, seed)
+	exec, err := NewExecution(Config{N: n, T: tt, MaxSteps: maxSteps}, procs, inputs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec.Run(sched)
+}
+
+func half(n int) []int {
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i % 2
+	}
+	return in
+}
+
+func uniform(n, v int) []int {
+	in := make([]int, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, typ := range []int{typeReport, typePropose, typeDecide} {
+		for _, phase := range []int{1, 7, 1000} {
+			for _, val := range []int{0, 1, valBottom} {
+				ty, p, v := Unpack(Pack(typ, phase, val))
+				if ty != typ || p != phase || v != val {
+					t.Fatalf("roundtrip (%d,%d,%d) -> (%d,%d,%d)", typ, phase, val, ty, p, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBenOrValidation(t *testing.T) {
+	if _, err := NewBenOr(0, 4, 2, 0, CoinRandom, nil); err == nil {
+		t.Fatal("t >= n/2 must be rejected")
+	}
+	if _, err := NewBenOrProcs(4, 1, []int{2, 0, 0, 0}, CoinRandom, 1); err == nil {
+		t.Fatal("bad input must be rejected")
+	}
+}
+
+func TestExecutionValidation(t *testing.T) {
+	procs := mkBenOr(t, 4, 1, uniform(4, 0), CoinRandom, 1)
+	if _, err := NewExecution(Config{N: 5, T: 1}, procs, uniform(4, 0), 1); err == nil {
+		t.Fatal("size mismatch must be rejected")
+	}
+	if _, err := NewExecution(Config{N: 4, T: 4}, procs, uniform(4, 0), 1); err == nil {
+		t.Fatal("T >= N must be rejected")
+	}
+}
+
+func TestUnanimousFIFO(t *testing.T) {
+	for _, v := range []int{0, 1} {
+		res, err := runAsync(t, 5, 2, uniform(5, v), CoinRandom, FIFO{}, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agreement || !res.Validity || res.DecidedValue() != v {
+			t.Fatalf("all-%d: agreement=%v validity=%v decided=%d",
+				v, res.Agreement, res.Validity, res.DecidedValue())
+		}
+	}
+}
+
+func TestSplitInputsTerminateUnderFIFO(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := runAsync(t, 5, 2, half(5), CoinRandom, FIFO{}, seed, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Agreement {
+			t.Fatalf("seed %d: disagreement %v", seed, res.Decisions)
+		}
+	}
+}
+
+func TestAgreementUnderRandomSchedulerWithCrashes(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := runAsync(t, 7, 3, half(7), CoinRandom,
+			&RandomSched{CrashProb: 0.02}, seed, 0)
+		if err != nil {
+			// A heavily crashed run can starve; safety is the claim.
+			if errors.Is(err, ErrMaxSteps) {
+				continue
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Agreement || !res.Validity {
+			t.Fatalf("seed %d: agreement=%v validity=%v", seed, res.Agreement, res.Validity)
+		}
+	}
+}
+
+func TestFLPDeterministicLoopsForever(t *testing.T) {
+	// The FLP demonstration: Ben-Or derandomized with the parity coin,
+	// balanced inputs, and the splitter scheduler never decides — the
+	// run hits the step cap with every process still alive and undecided.
+	_, err := runAsync(t, 4, 1, half(4), CoinParity, NewSplitter(), 1, 4000)
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("deterministic variant terminated under the splitter (err=%v); "+
+			"FLP says a non-terminating schedule exists", err)
+	}
+}
+
+func TestRandomizedEscapesTheSplitter(t *testing.T) {
+	// The same scheduler cannot loop the RANDOMIZED protocol forever:
+	// with private fair coins, each phase has a positive probability of
+	// alignment. (This is exactly the randomization-beats-FLP point.)
+	done := 0
+	for seed := uint64(0); seed < 5; seed++ {
+		res, err := runAsync(t, 4, 1, half(4), CoinRandom, NewSplitter(), seed, 200000)
+		if err != nil {
+			continue
+		}
+		done++
+		if !res.Agreement {
+			t.Fatalf("seed %d: disagreement", seed)
+		}
+	}
+	if done == 0 {
+		t.Fatal("randomized Ben-Or never terminated under the splitter in 5 runs")
+	}
+}
+
+func TestDecideGossipPropagates(t *testing.T) {
+	// Crash-reliable flooding: once anyone decides, everyone correct
+	// decides the same value even if the original decider halts at once.
+	res, err := runAsync(t, 5, 2, uniform(5, 1), CoinRandom, FIFO{}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range res.Decided {
+		if !ok {
+			t.Fatalf("process %d never decided", i)
+		}
+		if res.Decisions[i] != 1 {
+			t.Fatalf("process %d decided %d", i, res.Decisions[i])
+		}
+	}
+}
+
+func TestFlipsCountedOnlyWhenCoinUsed(t *testing.T) {
+	procs := mkBenOr(t, 5, 2, uniform(5, 1), CoinRandom, 1)
+	exec, err := NewExecution(Config{N: 5, T: 2}, procs, uniform(5, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Run(FIFO{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range procs {
+		if f := p.(*BenOr).Flips(); f != 0 {
+			t.Fatalf("process %d flipped %d coins on unanimous inputs", i, f)
+		}
+	}
+}
+
+func TestSafetyQuickAsync(t *testing.T) {
+	f := func(tRaw uint8, bits uint32, seed uint64) bool {
+		tt := int(tRaw%3) + 1
+		n := 2*tt + 1 + int(bits%3)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = int(bits>>uint(i%32)) & 1
+		}
+		procs, err := NewBenOrProcs(n, tt, inputs, CoinRandom, seed)
+		if err != nil {
+			return false
+		}
+		exec, err := NewExecution(Config{N: n, T: tt}, procs, inputs, seed)
+		if err != nil {
+			return false
+		}
+		res, err := exec.Run(&RandomSched{CrashProb: 0.01})
+		if err != nil {
+			return errors.Is(err, ErrMaxSteps) // starvation is allowed; unsafety is not
+		}
+		return res.Agreement && res.Validity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (*Result, error) {
+		return runAsync(t, 5, 2, half(5), CoinRandom, &RandomSched{CrashProb: 0.01}, 42, 0)
+	}
+	a, errA := run()
+	b, errB := run()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("replay diverged: %v vs %v", errA, errB)
+	}
+	if errA == nil && (a.Steps != b.Steps || a.DecidedValue() != b.DecidedValue()) {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,140 @@
+package async
+
+// Schedulers: the asynchronous adversaries. FIFO is the benign network;
+// RandomSched models a noisy one; Splitter is the adaptive
+// full-information adversary that keeps report quorums balanced — the
+// FLP-style strategy that loops deterministic protocols forever and
+// stretches randomized ones.
+
+// FIFO delivers the oldest pending message.
+type FIFO struct{}
+
+var _ Scheduler = FIFO{}
+
+// Name implements Scheduler.
+func (FIFO) Name() string { return "fifo" }
+
+// Next implements Scheduler.
+func (FIFO) Next(v *View) Action {
+	return Action{Victim: -1, Deliver: 0}
+}
+
+// RandomSched delivers a uniformly random pending message and, with
+// probability CrashProb per step, crashes a random live process while
+// budget remains.
+type RandomSched struct {
+	CrashProb float64
+}
+
+var _ Scheduler = (*RandomSched)(nil)
+
+// Name implements Scheduler.
+func (s *RandomSched) Name() string { return "random" }
+
+// Next implements Scheduler.
+func (s *RandomSched) Next(v *View) Action {
+	act := Action{Victim: -1, Deliver: v.Rng.Intn(len(v.Pending))}
+	if s.CrashProb > 0 && v.Budget > 0 && v.Rng.Float64() < s.CrashProb {
+		var live []int
+		for i, a := range v.Alive {
+			if a {
+				live = append(live, i)
+			}
+		}
+		if len(live) > 0 {
+			act.Victim = live[v.Rng.Intn(len(live))]
+		}
+	}
+	return act
+}
+
+// Splitter is the adaptive full-information scheduler: it chooses, at
+// every step, the pending message whose delivery keeps the receiver's
+// report tally as balanced as possible, prefers ⊥ proposals over value
+// proposals, and starves DECIDE gossip for as long as anything else is
+// deliverable. Against the deterministic CoinParity variant of Ben-Or
+// it recreates the FLP bivalence loop; against the randomized variant
+// it maximizes the number of coin-flip phases.
+type Splitter struct {
+	// seen[r][v] counts REPORT values already delivered to receiver r in
+	// the receiver's current phase bucket (approximated by phase number).
+	seen map[int]map[int]*[2]int
+}
+
+var _ Scheduler = (*Splitter)(nil)
+
+// NewSplitter builds the adaptive scheduler.
+func NewSplitter() *Splitter {
+	return &Splitter{seen: make(map[int]map[int]*[2]int)}
+}
+
+// Name implements Scheduler.
+func (s *Splitter) Name() string { return "splitter" }
+
+// Next implements Scheduler.
+func (s *Splitter) Next(v *View) Action {
+	bestIdx, bestScore := 0, 1<<30
+	for idx, m := range v.Pending {
+		score := s.score(m)
+		if score < bestScore {
+			bestScore, bestIdx = score, idx
+			if score == 0 {
+				break // nothing scores lower; skip the rest of the scan
+			}
+		}
+	}
+	s.record(v.Pending[bestIdx])
+	return Action{Victim: -1, Deliver: bestIdx}
+}
+
+// score ranks a message: lower is delivered sooner.
+func (s *Splitter) score(m Message) int {
+	typ, phase, val := Unpack(m.Payload)
+	switch typ {
+	case typeDecide:
+		return 1 << 20 // starve decision gossip while anything else exists
+	case typePropose:
+		if val == valBottom {
+			return 0 // bottom proposals keep everyone undecided
+		}
+		return 1000
+	case typeReport:
+		if val != 0 && val != 1 {
+			return 500
+		}
+		c := s.counts(m.To, phase)
+		// Delivering the minority value reduces imbalance: score by the
+		// resulting imbalance of the receiver's tally.
+		after := [2]int{c[0], c[1]}
+		after[val]++
+		imb := after[0] - after[1]
+		if imb < 0 {
+			imb = -imb
+		}
+		return 10 + imb
+	default:
+		return 100
+	}
+}
+
+func (s *Splitter) counts(receiver, phase int) *[2]int {
+	byPhase, ok := s.seen[receiver]
+	if !ok {
+		byPhase = make(map[int]*[2]int)
+		s.seen[receiver] = byPhase
+	}
+	c, ok := byPhase[phase]
+	if !ok {
+		c = &[2]int{}
+		byPhase[phase] = c
+	}
+	return c
+}
+
+// record tracks the delivery just chosen.
+func (s *Splitter) record(m Message) {
+	typ, phase, val := Unpack(m.Payload)
+	if typ == typeReport && (val == 0 || val == 1) {
+		s.counts(m.To, phase)[val]++
+	}
+}

@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"synran/internal/async"
+	"synran/internal/stats"
+	"synran/internal/workload"
+)
+
+// AsyncOptions configures AsyncSim.
+type AsyncOptions struct {
+	N, T      int
+	Scheduler string
+	Coin      string
+	Workload  string
+	Seed      uint64
+	Trials    int
+	MaxSteps  int
+}
+
+// AsyncSim is the command core of cmd/asyncsim.
+func AsyncSim(opts AsyncOptions, w io.Writer) error {
+	if opts.T < 0 {
+		opts.T = (opts.N - 1) / 2
+	}
+	mode := async.CoinRandom
+	switch opts.Coin {
+	case "", "random":
+	case "parity":
+		mode = async.CoinParity
+	default:
+		return fmt.Errorf("unknown coin %q (want random|parity)", opts.Coin)
+	}
+	mkSched := func() (async.Scheduler, error) {
+		switch opts.Scheduler {
+		case "", "fifo":
+			return async.FIFO{}, nil
+		case "random":
+			return &async.RandomSched{CrashProb: 0.01}, nil
+		case "splitter":
+			return async.NewSplitter(), nil
+		default:
+			return nil, fmt.Errorf("unknown scheduler %q (want fifo|random|splitter)", opts.Scheduler)
+		}
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 1
+	}
+
+	var (
+		stepsSeen, phases, flips []float64
+		timeouts                 int
+		decided                  = map[int]int{}
+	)
+	for i := 0; i < opts.Trials; i++ {
+		runSeed := opts.Seed + uint64(i)
+		inputs, err := workload.Named(opts.Workload, opts.N, runSeed)
+		if err != nil {
+			return err
+		}
+		procs, err := async.NewBenOrProcs(opts.N, opts.T, inputs, mode, runSeed)
+		if err != nil {
+			return err
+		}
+		exec, err := async.NewExecution(async.Config{
+			N: opts.N, T: opts.T, MaxSteps: opts.MaxSteps,
+		}, procs, inputs, runSeed)
+		if err != nil {
+			return err
+		}
+		sched, err := mkSched()
+		if err != nil {
+			return err
+		}
+		res, err := exec.Run(sched)
+		if err != nil {
+			if errors.Is(err, async.ErrMaxSteps) {
+				timeouts++
+				continue
+			}
+			return err
+		}
+		if !res.Agreement || !res.Validity {
+			return fmt.Errorf("safety violated on seed %d", runSeed)
+		}
+		decided[res.DecidedValue()]++
+		stepsSeen = append(stepsSeen, float64(res.Steps))
+		maxPhase, totalFlips := 0, 0
+		for _, p := range procs {
+			b := p.(*async.BenOr)
+			if b.Phase() > maxPhase {
+				maxPhase = b.Phase()
+			}
+			totalFlips += b.Flips()
+		}
+		phases = append(phases, float64(maxPhase))
+		flips = append(flips, float64(totalFlips))
+	}
+
+	fmt.Fprintf(w, "async benor: n=%d t=%d coin=%s scheduler=%s workload=%s trials=%d\n",
+		opts.N, opts.T, orWord(opts.Coin, "random"), orWord(opts.Scheduler, "fifo"),
+		opts.Workload, opts.Trials)
+	fmt.Fprintf(w, "terminated : %d/%d (timeouts: %d)\n", opts.Trials-timeouts, opts.Trials, timeouts)
+	if len(stepsSeen) > 0 {
+		fmt.Fprintf(w, "deliveries : %s\n", stats.Summarize(stepsSeen))
+		fmt.Fprintf(w, "phases     : %s\n", stats.Summarize(phases))
+		fmt.Fprintf(w, "coin flips : %s\n", stats.Summarize(flips))
+		fmt.Fprintf(w, "decisions  : 0 → %d, 1 → %d\n", decided[0], decided[1])
+	}
+	if timeouts == opts.Trials && mode == async.CoinParity {
+		fmt.Fprintln(w, "every run looped forever: the FLP schedule, demonstrated")
+	}
+	return nil
+}
+
+func orWord(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"synran/internal/experiments"
+)
+
+// BenchOptions configures Bench (cmd/synran-bench's core).
+type BenchOptions struct {
+	Quick    bool
+	Seed     uint64
+	Only     string // comma-separated experiment ids, empty = all
+	CSV      bool
+	Markdown bool
+}
+
+// Bench runs the selected experiments, writing tables to out and
+// progress lines to errw. It returns an error listing failed claims.
+func Bench(opts BenchOptions, out, errw io.Writer) error {
+	cfg := experiments.Config{Quick: opts.Quick, Seed: opts.Seed}
+	want := map[string]bool{}
+	if opts.Only != "" {
+		for _, id := range strings.Split(opts.Only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	var failures []string
+	for _, ex := range experiments.All() {
+		if len(want) > 0 && !want[ex.ID] {
+			continue
+		}
+		ran++
+		fmt.Fprintf(errw, "running %s: %s ...\n", ex.ID, ex.Desc)
+		res, err := ex.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+		switch {
+		case opts.CSV:
+			if err := res.Table.RenderCSV(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		case opts.Markdown:
+			if err := res.Table.RenderMarkdown(out); err != nil {
+				return err
+			}
+		default:
+			if err := res.Table.Render(out); err != nil {
+				return err
+			}
+		}
+		for _, c := range res.Failed() {
+			failures = append(failures, fmt.Sprintf("%s: %s (%s)", ex.ID, c.Name, c.Got))
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched -only=%q", opts.Only)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("claims failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(errw, "all claims hold")
+	return nil
+}

@@ -1,0 +1,150 @@
+// Package cli holds the testable command cores of the repository's
+// binaries: each cmd/<tool>/main.go parses flags and delegates here, so
+// the behaviour (output formatting, error paths, exit conditions) is
+// unit-tested without spawning processes.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"synran"
+	"synran/internal/sim"
+	"synran/internal/stats"
+	"synran/internal/trace"
+	"synran/internal/workload"
+)
+
+// SimOptions configures ConsensusSim.
+type SimOptions struct {
+	N, T      int
+	Protocol  string
+	Adversary string
+	Workload  string
+	Seed      uint64
+	Trials    int
+	Trace     bool
+	Digest    bool
+	TraceFile string
+	Live      bool
+}
+
+// ConsensusSim is the command core of cmd/consensus-sim.
+func ConsensusSim(opts SimOptions, w io.Writer) error {
+	if opts.T < 0 {
+		opts.T = opts.N - 1
+	}
+	if opts.Trials <= 1 {
+		return simOnce(opts, w)
+	}
+	return simMany(opts, w)
+}
+
+func buildSpec(opts SimOptions, seed uint64) (synran.Spec, error) {
+	inputs, err := workload.Named(opts.Workload, opts.N, seed)
+	if err != nil {
+		return synran.Spec{}, err
+	}
+	return synran.Spec{
+		N: opts.N, T: opts.T, Inputs: inputs,
+		Protocol:  opts.Protocol,
+		Adversary: opts.Adversary,
+		Seed:      seed,
+		Live:      opts.Live,
+	}, nil
+}
+
+func simOnce(opts SimOptions, w io.Writer) error {
+	spec, err := buildSpec(opts, opts.Seed)
+	if err != nil {
+		return err
+	}
+	var (
+		observers sim.MultiObserver
+		dg        *sim.Digest
+		rec       *trace.Recorder
+	)
+	if opts.Trace {
+		observers = append(observers, &synran.TraceObserver{W: w})
+	}
+	if opts.Digest {
+		dg = sim.NewDigest()
+		observers = append(observers, dg)
+	}
+	if opts.TraceFile != "" {
+		rec = trace.NewRecorder(opts.N, opts.T, opts.Seed)
+		observers = append(observers, rec)
+	}
+	if len(observers) > 0 {
+		spec.Observer = observers
+	}
+	res, err := synran.Run(spec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "protocol=%s adversary=%s n=%d t=%d workload=%s seed=%d\n",
+		opts.Protocol, opts.Adversary, opts.N, opts.T, opts.Workload, opts.Seed)
+	fmt.Fprintf(w, "decided value : %d\n", res.DecidedValue())
+	fmt.Fprintf(w, "rounds        : %d (all decided), %d (all halted)\n", res.DecideRounds, res.HaltRounds)
+	fmt.Fprintf(w, "messages      : %d delivered\n", res.Messages)
+	fmt.Fprintf(w, "crashes       : %d of budget %d; survivors %d\n", res.Crashes, opts.T, res.Survivors)
+	fmt.Fprintf(w, "agreement     : %v\n", res.Agreement)
+	fmt.Fprintf(w, "validity      : %v\n", res.Validity)
+	fmt.Fprintf(w, "theory        : upper-bound shape %.2f rounds, lower-bound floor %.2f rounds\n",
+		synran.UpperBoundRounds(opts.N, opts.T), synran.LowerBoundRounds(opts.N, opts.T))
+	if dg != nil {
+		fmt.Fprintf(w, "digest        : %s\n", dg)
+	}
+	if rec != nil {
+		f, err := os.Create(opts.TraceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.Log().WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written : %s (%d events)\n", opts.TraceFile, len(rec.Log().Events))
+	}
+	if !res.Agreement || !res.Validity {
+		return fmt.Errorf("safety violated (expected only for the symmetric baseline under mass crashes)")
+	}
+	return nil
+}
+
+func simMany(opts SimOptions, w io.Writer) error {
+	rounds := make([]float64, 0, opts.Trials)
+	crashes := make([]float64, 0, opts.Trials)
+	decided := map[int]int{}
+	violations := 0
+	for i := 0; i < opts.Trials; i++ {
+		spec, err := buildSpec(opts, opts.Seed+uint64(i))
+		if err != nil {
+			return err
+		}
+		res, err := synran.Run(spec)
+		if err != nil {
+			return err
+		}
+		rounds = append(rounds, float64(res.HaltRounds))
+		crashes = append(crashes, float64(res.Crashes))
+		decided[res.DecidedValue()]++
+		if !res.Agreement || !res.Validity {
+			violations++
+		}
+	}
+	fmt.Fprintf(w, "protocol=%s adversary=%s n=%d t=%d workload=%s trials=%d (seeds %d..%d)\n",
+		opts.Protocol, opts.Adversary, opts.N, opts.T, opts.Workload, opts.Trials,
+		opts.Seed, opts.Seed+uint64(opts.Trials)-1)
+	fmt.Fprintf(w, "rounds   : %s  %s\n", stats.Summarize(rounds), stats.Sparkline(rounds, 12))
+	fmt.Fprintf(w, "crashes  : %s\n", stats.Summarize(crashes))
+	fmt.Fprintf(w, "decisions: 0 → %d, 1 → %d\n", decided[0], decided[1])
+	fmt.Fprintf(w, "safety   : %d violations\n", violations)
+	fmt.Fprintf(w, "theory   : upper-bound shape %.2f rounds\n", synran.UpperBoundRounds(opts.N, opts.T))
+	if violations > 0 {
+		return fmt.Errorf("%d safety violations", violations)
+	}
+	return nil
+}

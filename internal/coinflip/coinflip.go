@@ -1,0 +1,312 @@
+// Package coinflip implements the one-round collective coin-flipping
+// games of Section 2 of the paper. A game has n players, each drawing a
+// local value from its own distribution; an adaptive fail-stop
+// t-adversary inspects all values and may hide up to t of them
+// (replacing them with the default value "−"); a function f maps the
+// censored vector to one of k outcomes.
+//
+// Lemma 2.1 / Corollary 2.2 state that with t > k·4·sqrt(n·log n) the
+// adversary can force at least one particular outcome with probability
+// greater than 1 − 1/n, but — as the majority-with-default-0 game shows —
+// not necessarily every outcome. Each game here carries its own exact
+// optimal adversary (BiasPlan), so the set U^v = "points where no
+// t-hiding forces v" can be sampled exactly; an exhaustive
+// subset-search adversary cross-checks optimality on small instances.
+package coinflip
+
+import (
+	"fmt"
+
+	"synran/internal/rng"
+)
+
+// Game is a one-round collective coin-flipping game.
+type Game interface {
+	// Name identifies the game in experiment tables.
+	Name() string
+	// Players returns n.
+	Players() int
+	// Outcomes returns k; outcomes are 0..k-1.
+	Outcomes() int
+	// Sample draws the players' local values.
+	Sample(r *rng.Stream) []int
+	// Outcome applies the game function to a censored vector: hidden[i]
+	// marks values replaced by the default "−".
+	Outcome(vals []int, hidden []bool) int
+	// BiasPlan returns a hiding set of size ≤ t that forces outcome
+	// target on vals, and whether one exists. Implementations are exact
+	// optimal adversaries: ok == false means no t-subset forces target
+	// (i.e. vals ∈ U^target).
+	BiasPlan(vals []int, target, t int) ([]bool, bool)
+}
+
+// Majority is the fair-coin majority game: each player flips an unbiased
+// bit; the outcome is 1 when strictly more visible ones than zeros
+// remain, 0 otherwise (ties and the empty view default to 0).
+type Majority struct {
+	N int
+}
+
+var _ Game = Majority{}
+
+// Name implements Game.
+func (g Majority) Name() string { return "majority" }
+
+// Players implements Game.
+func (g Majority) Players() int { return g.N }
+
+// Outcomes implements Game.
+func (g Majority) Outcomes() int { return 2 }
+
+// Sample implements Game.
+func (g Majority) Sample(r *rng.Stream) []int {
+	vals := make([]int, g.N)
+	for i := range vals {
+		vals[i] = r.Bit()
+	}
+	return vals
+}
+
+// Outcome implements Game.
+func (g Majority) Outcome(vals []int, hidden []bool) int {
+	ones, zeros := visibleCounts(vals, hidden)
+	if ones > zeros {
+		return 1
+	}
+	return 0
+}
+
+// BiasPlan implements Game. Hiding opposite-valued players is optimal:
+// hiding a zero can only help outcome 1, hiding a one can only help 0.
+func (g Majority) BiasPlan(vals []int, target, t int) ([]bool, bool) {
+	ones, zeros := visibleCounts(vals, nil)
+	switch target {
+	case 1:
+		if ones == 0 {
+			return nil, false // no ones left to win a strict majority
+		}
+		need := zeros - ones + 1
+		if need < 0 {
+			need = 0
+		}
+		if need > t {
+			return nil, false
+		}
+		return hideValue(vals, 0, need), true
+	case 0:
+		need := ones - zeros
+		if need < 0 {
+			need = 0
+		}
+		if need > t {
+			return nil, false
+		}
+		return hideValue(vals, 1, need), true
+	default:
+		return nil, false
+	}
+}
+
+// MajorityDefaultZero is the paper's example of a game the adversary can
+// bias only one way: the hidden marker counts as 0, so the outcome is 1
+// iff more than half of ALL n players show a visible 1. Hiding can push
+// the outcome to 0 but never to 1.
+type MajorityDefaultZero struct {
+	N int
+}
+
+var _ Game = MajorityDefaultZero{}
+
+// Name implements Game.
+func (g MajorityDefaultZero) Name() string { return "majority-default0" }
+
+// Players implements Game.
+func (g MajorityDefaultZero) Players() int { return g.N }
+
+// Outcomes implements Game.
+func (g MajorityDefaultZero) Outcomes() int { return 2 }
+
+// Sample implements Game.
+func (g MajorityDefaultZero) Sample(r *rng.Stream) []int {
+	vals := make([]int, g.N)
+	for i := range vals {
+		vals[i] = r.Bit()
+	}
+	return vals
+}
+
+// Outcome implements Game.
+func (g MajorityDefaultZero) Outcome(vals []int, hidden []bool) int {
+	ones, _ := visibleCounts(vals, hidden)
+	if 2*ones > g.N {
+		return 1
+	}
+	return 0
+}
+
+// BiasPlan implements Game.
+func (g MajorityDefaultZero) BiasPlan(vals []int, target, t int) ([]bool, bool) {
+	ones, _ := visibleCounts(vals, nil)
+	switch target {
+	case 0:
+		need := ones - g.N/2
+		if need < 0 {
+			need = 0
+		}
+		if need > t {
+			return nil, false
+		}
+		return hideValue(vals, 1, need), true
+	case 1:
+		// Hiding only removes ones; outcome 1 must already hold.
+		if 2*ones > g.N {
+			return make([]bool, len(vals)), true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// Parity is the XOR game: outcome is the parity of the visible ones. A
+// single hidden 1 flips it, so any 1-adversary controls the game almost
+// surely — the cautionary extreme of Lemma 2.1.
+type Parity struct {
+	N int
+}
+
+var _ Game = Parity{}
+
+// Name implements Game.
+func (g Parity) Name() string { return "parity" }
+
+// Players implements Game.
+func (g Parity) Players() int { return g.N }
+
+// Outcomes implements Game.
+func (g Parity) Outcomes() int { return 2 }
+
+// Sample implements Game.
+func (g Parity) Sample(r *rng.Stream) []int {
+	vals := make([]int, g.N)
+	for i := range vals {
+		vals[i] = r.Bit()
+	}
+	return vals
+}
+
+// Outcome implements Game.
+func (g Parity) Outcome(vals []int, hidden []bool) int {
+	ones, _ := visibleCounts(vals, hidden)
+	return ones & 1
+}
+
+// BiasPlan implements Game.
+func (g Parity) BiasPlan(vals []int, target, t int) ([]bool, bool) {
+	ones, _ := visibleCounts(vals, nil)
+	if ones&1 == target&1 {
+		return make([]bool, len(vals)), true
+	}
+	// Need to flip parity: hide exactly one 1.
+	if ones == 0 || t < 1 {
+		return nil, false
+	}
+	return hideValue(vals, 1, 1), true
+}
+
+// Leader is a k-outcome game: the outcome is the value of the first
+// visible player (uniform in 0..k-1); the empty view defaults to 0.
+// The adversary controls it by hiding a prefix.
+type Leader struct {
+	N int
+	K int
+}
+
+var _ Game = Leader{}
+
+// Name implements Game.
+func (g Leader) Name() string { return fmt.Sprintf("leader-k%d", g.K) }
+
+// Players implements Game.
+func (g Leader) Players() int { return g.N }
+
+// Outcomes implements Game.
+func (g Leader) Outcomes() int { return g.K }
+
+// Sample implements Game.
+func (g Leader) Sample(r *rng.Stream) []int {
+	vals := make([]int, g.N)
+	for i := range vals {
+		vals[i] = r.Intn(g.K)
+	}
+	return vals
+}
+
+// Outcome implements Game.
+func (g Leader) Outcome(vals []int, hidden []bool) int {
+	for i, v := range vals {
+		if hidden != nil && hidden[i] {
+			continue
+		}
+		return v
+	}
+	return 0
+}
+
+// BiasPlan implements Game.
+func (g Leader) BiasPlan(vals []int, target, t int) ([]bool, bool) {
+	for i, v := range vals {
+		if v == target {
+			if i > t {
+				return nil, false
+			}
+			hidden := make([]bool, len(vals))
+			for j := 0; j < i; j++ {
+				hidden[j] = true
+			}
+			return hidden, true
+		}
+	}
+	// target appears nowhere; hiding everyone yields the default 0.
+	if target == 0 && len(vals) <= t {
+		hidden := make([]bool, len(vals))
+		for i := range hidden {
+			hidden[i] = true
+		}
+		return hidden, true
+	}
+	return nil, false
+}
+
+// visibleCounts tallies the visible ones and zeros (nil hidden = all
+// visible). Non-binary values count as ones when odd — only the binary
+// games use this helper.
+func visibleCounts(vals []int, hidden []bool) (ones, zeros int) {
+	for i, v := range vals {
+		if hidden != nil && hidden[i] {
+			continue
+		}
+		if v&1 == 1 {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	return ones, zeros
+}
+
+// hideValue returns a hiding mask covering the first `count` players
+// whose value equals v.
+func hideValue(vals []int, v, count int) []bool {
+	hidden := make([]bool, len(vals))
+	for i := range vals {
+		if count == 0 {
+			break
+		}
+		if vals[i] == v {
+			hidden[i] = true
+			count--
+		}
+	}
+	return hidden
+}

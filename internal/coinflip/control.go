@@ -1,0 +1,95 @@
+package coinflip
+
+import (
+	"fmt"
+
+	"synran/internal/rng"
+)
+
+// ControlReport summarizes a Monte-Carlo control analysis of one game
+// under a t-adversary: ForceProb[v] estimates Pr(y ∉ U^v), the
+// probability the adversary can force outcome v on a fresh draw.
+type ControlReport struct {
+	Game      string
+	N, K, T   int
+	Trials    int
+	ForceProb []float64
+	// BestOutcome is the outcome the adversary can force most often, and
+	// BestProb its probability — Corollary 2.2 asserts BestProb > 1 − 1/n
+	// when t > k·4·sqrt(n·log n).
+	BestOutcome int
+	BestProb    float64
+}
+
+// Control estimates, for every outcome v, the probability that a
+// t-adversary can bias a fresh draw of the game to v. The games' exact
+// BiasPlan adversaries make this an exact Monte-Carlo estimate of
+// Pr(y ∉ U^v).
+func Control(g Game, t, trials int, seed uint64) (*ControlReport, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("coinflip: trials = %d, want > 0", trials)
+	}
+	if t < 0 || t > g.Players() {
+		return nil, fmt.Errorf("coinflip: t = %d out of [0, %d]", t, g.Players())
+	}
+	r := rng.New(seed)
+	k := g.Outcomes()
+	wins := make([]int, k)
+	for i := 0; i < trials; i++ {
+		vals := g.Sample(r)
+		for v := 0; v < k; v++ {
+			if _, ok := g.BiasPlan(vals, v, t); ok {
+				wins[v]++
+			}
+		}
+	}
+	rep := &ControlReport{
+		Game: g.Name(), N: g.Players(), K: k, T: t, Trials: trials,
+		ForceProb: make([]float64, k),
+	}
+	for v := 0; v < k; v++ {
+		rep.ForceProb[v] = float64(wins[v]) / float64(trials)
+		if rep.ForceProb[v] >= rep.BestProb {
+			rep.BestProb = rep.ForceProb[v]
+			rep.BestOutcome = v
+		}
+	}
+	return rep, nil
+}
+
+// Controls reports whether the adversary controls the game in the
+// paper's sense: some outcome is forceable with probability > 1 − 1/n.
+func (c *ControlReport) Controls() bool {
+	return c.BestProb > 1-1/float64(c.N)
+}
+
+// ExhaustiveForce decides by brute force whether any hiding set of size
+// at most t forces the target outcome on vals. It enumerates subsets in
+// increasing size, so it is only feasible for small instances; tests use
+// it to certify that the games' BiasPlan adversaries are exactly optimal.
+func ExhaustiveForce(g Game, vals []int, target, t int) bool {
+	n := len(vals)
+	if t > n {
+		t = n
+	}
+	hidden := make([]bool, n)
+	var rec func(start, left int) bool
+	rec = func(start, left int) bool {
+		if g.Outcome(vals, hidden) == target {
+			return true
+		}
+		if left == 0 {
+			return false
+		}
+		for i := start; i < n; i++ {
+			hidden[i] = true
+			if rec(i+1, left-1) {
+				hidden[i] = false
+				return true
+			}
+			hidden[i] = false
+		}
+		return false
+	}
+	return rec(0, t)
+}

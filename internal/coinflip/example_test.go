@@ -1,0 +1,36 @@
+package coinflip_test
+
+import (
+	"fmt"
+
+	"synran/internal/coinflip"
+)
+
+// Analyzing how often a t-adversary can force each outcome of a game:
+// Corollary 2.2's quantity Pr(y ∉ U^v), estimated with the game's exact
+// optimal biasing adversary.
+func ExampleControl() {
+	g := coinflip.MajorityDefaultZero{N: 64}
+	rep, err := coinflip.Control(g, 64, 2000, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("force 0 always:", rep.ForceProb[0] == 1)
+	fmt.Println("force 1 rarely:", rep.ForceProb[1] < 0.6)
+	// Output:
+	// force 0 always: true
+	// force 1 rarely: true
+}
+
+// The exact biasing adversary produces a concrete hiding set.
+func ExampleGame_biasPlan() {
+	g := coinflip.Majority{N: 5}
+	vals := []int{1, 1, 1, 0, 0} // unbiased outcome: 1
+	plan, ok := g.BiasPlan(vals, 0, 1)
+	fmt.Println("can force 0 by hiding one player:", ok)
+	fmt.Println("forced outcome:", g.Outcome(vals, plan))
+	// Output:
+	// can force 0 by hiding one player: true
+	// forced outcome: 0
+}

@@ -1,0 +1,110 @@
+package coinflip
+
+import (
+	"math"
+	"testing"
+
+	"synran/internal/rng"
+)
+
+func TestRoundsDefault(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := RoundsDefault(tt.n); got != tt.want {
+			t.Fatalf("RoundsDefault(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPlayIteratedValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := PlayIterated(IteratedMajority{N: 0, R: 3}, 1, 10, r); err == nil {
+		t.Fatal("N=0 must be rejected")
+	}
+	if _, err := PlayIterated(IteratedMajority{N: 8, R: 0}, 1, 10, r); err == nil {
+		t.Fatal("R=0 must be rejected")
+	}
+	if _, err := PlayIterated(IteratedMajority{N: 8, R: 3}, 2, 10, r); err == nil {
+		t.Fatal("target=2 must be rejected")
+	}
+}
+
+func TestPlayIteratedZeroBudgetIsFair(t *testing.T) {
+	g := IteratedMajority{N: 64, R: 5}
+	r := rng.New(3)
+	wins := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		out, err := PlayIterated(g, 1, 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Halted != 0 {
+			t.Fatal("zero budget adversary halted someone")
+		}
+		if out.Outcome == 1 {
+			wins++
+		}
+	}
+	frac := float64(wins) / trials
+	// Ties go to 0, so outcome 1 is slightly below 1/2 but near it.
+	if frac < 0.3 || frac > 0.55 {
+		t.Fatalf("unbiased win fraction for 1 = %v", frac)
+	}
+}
+
+func TestIteratedAspnesBudgetControls(t *testing.T) {
+	// The Section 1.2 quote: halting O(sqrt(n)·log n) processes biases
+	// the multi-round game w.p. > 1 - 1/n. Budget c·sqrt(n)·log2(n) with
+	// c = 2 controls the iterated majority game at every tested n.
+	for _, n := range []int{64, 256, 1024} {
+		g := IteratedMajority{N: n, R: RoundsDefault(n)}
+		budget := int(2 * math.Sqrt(float64(n)) * float64(g.R))
+		for _, target := range []int{0, 1} {
+			p, cost, err := IteratedControl(g, target, budget, 2000, uint64(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p <= 1-1/float64(n) {
+				t.Fatalf("n=%d target=%d: control prob %v <= 1-1/n", n, target, p)
+			}
+			if cost > float64(budget) {
+				t.Fatalf("mean cost %v exceeds budget %d", cost, budget)
+			}
+		}
+	}
+}
+
+func TestIteratedTinyBudgetFails(t *testing.T) {
+	g := IteratedMajority{N: 1024, R: RoundsDefault(1024)}
+	p, _, err := IteratedControl(g, 1, 3, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.9 {
+		t.Fatalf("budget 3 controlled a 1024-player iterated game (p=%v)", p)
+	}
+}
+
+func TestIteratedCostScalesLikeSqrtNLogN(t *testing.T) {
+	// Mean spend of the greedy adversary grows sublinearly in n: compare
+	// against both the sqrt(n)·log n shape and a linear-in-n shape.
+	costs := map[int]float64{}
+	for _, n := range []int{64, 1024} {
+		g := IteratedMajority{N: n, R: RoundsDefault(n)}
+		budget := int(4 * math.Sqrt(float64(n)) * float64(g.R))
+		_, cost, err := IteratedControl(g, 1, budget, 1500, uint64(n)+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[n] = cost
+	}
+	growth := costs[1024] / costs[64]
+	shape := math.Sqrt(1024.0/64.0) * (10.0 / 6.0) // sqrt(n) ratio × log ratio
+	if growth > 2*shape {
+		t.Fatalf("cost growth %v far exceeds the sqrt(n)log n shape %v (linear would be 16x)",
+			growth, shape)
+	}
+}

@@ -1,0 +1,91 @@
+package coinflip
+
+import (
+	"fmt"
+
+	"synran/internal/rng"
+)
+
+// Threshold is a k-outcome one-round game generalizing
+// majority-with-default-0: the outcome is the bucket of the VISIBLE
+// one-count, bucket b covering counts in [b·n/k, (b+1)·n/k). Hidden
+// values count as zeros, so the adversary can only LOWER the one-count:
+// every bucket at or below the unbiased one is forceable, no bucket
+// above it ever is — the k-outcome face of the Section 2.1 one-sidedness
+// observation, and a second k-outcome instance for Lemma 2.1 (alongside
+// Leader): with budget k·4·sqrt(n·log n) the adversary always controls
+// bucket 0.
+type Threshold struct {
+	N int
+	K int
+}
+
+var _ Game = Threshold{}
+
+// Name implements Game.
+func (g Threshold) Name() string { return fmt.Sprintf("threshold-k%d", g.K) }
+
+// Players implements Game.
+func (g Threshold) Players() int { return g.N }
+
+// Outcomes implements Game.
+func (g Threshold) Outcomes() int { return g.K }
+
+// Sample implements Game.
+func (g Threshold) Sample(r *rng.Stream) []int {
+	vals := make([]int, g.N)
+	for i := range vals {
+		vals[i] = r.Bit()
+	}
+	return vals
+}
+
+// bucket maps a one-count to its outcome.
+func (g Threshold) bucket(ones int) int {
+	b := ones * g.K / (g.N + 1)
+	if b >= g.K {
+		b = g.K - 1
+	}
+	return b
+}
+
+// bucketBounds returns the [lo, hi] one-counts mapping to bucket b.
+func (g Threshold) bucketBounds(b int) (lo, hi int) {
+	lo = (b*(g.N+1) + g.K - 1) / g.K
+	hi = ((b+1)*(g.N+1) - 1) / g.K
+	if hi > g.N {
+		hi = g.N
+	}
+	return lo, hi
+}
+
+// Outcome implements Game.
+func (g Threshold) Outcome(vals []int, hidden []bool) int {
+	ones, _ := visibleCounts(vals, hidden)
+	return g.bucket(ones)
+}
+
+// BiasPlan implements Game: hide ones to lower the count into the
+// target bucket; raising is impossible.
+func (g Threshold) BiasPlan(vals []int, target, t int) ([]bool, bool) {
+	if target < 0 || target >= g.K {
+		return nil, false
+	}
+	ones, _ := visibleCounts(vals, nil)
+	lo, hi := g.bucketBounds(target)
+	if lo > hi {
+		return nil, false // empty bucket (k > n+1 corner)
+	}
+	switch {
+	case ones < lo:
+		return nil, false // cannot raise the one-count
+	case ones <= hi:
+		return make([]bool, len(vals)), true
+	default:
+		need := ones - hi
+		if need > t {
+			return nil, false
+		}
+		return hideValue(vals, 1, need), true
+	}
+}

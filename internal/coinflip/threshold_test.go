@@ -1,0 +1,96 @@
+package coinflip
+
+import (
+	"testing"
+
+	"synran/internal/rng"
+)
+
+func TestThresholdBuckets(t *testing.T) {
+	g := Threshold{N: 9, K: 2}
+	// Counts 0..4 → bucket 0; 5..9 → bucket 1.
+	for ones := 0; ones <= 9; ones++ {
+		want := 0
+		if ones >= 5 {
+			want = 1
+		}
+		if got := g.bucket(ones); got != want {
+			t.Fatalf("bucket(%d) = %d, want %d", ones, got, want)
+		}
+	}
+	lo, hi := g.bucketBounds(0)
+	if lo != 0 || hi != 4 {
+		t.Fatalf("bounds(0) = [%d,%d]", lo, hi)
+	}
+	lo, hi = g.bucketBounds(1)
+	if lo != 5 || hi != 9 {
+		t.Fatalf("bounds(1) = [%d,%d]", lo, hi)
+	}
+}
+
+func TestThresholdBiasPlanSoundAndOptimal(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		g := Threshold{N: 7, K: k}
+		r := rng.New(uint64(k))
+		for trial := 0; trial < 60; trial++ {
+			vals := g.Sample(r)
+			for target := 0; target < k; target++ {
+				for _, budget := range []int{0, 1, 3, 7} {
+					plan, ok := g.BiasPlan(vals, target, budget)
+					want := ExhaustiveForce(g, vals, target, budget)
+					if ok != want {
+						t.Fatalf("k=%d vals=%v target=%d t=%d: plan=%v exhaustive=%v",
+							k, vals, target, budget, ok, want)
+					}
+					if ok {
+						if got := countHidden(plan); got > budget {
+							t.Fatalf("plan hides %d > %d", got, budget)
+						}
+						if out := g.Outcome(vals, plan); out != target {
+							t.Fatalf("plan yields %d, want %d", out, target)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestThresholdOneSidedDownward(t *testing.T) {
+	// No budget ever raises the bucket: forcing a bucket strictly above
+	// the unbiased one must always fail.
+	g := Threshold{N: 16, K: 4}
+	r := rng.New(9)
+	for trial := 0; trial < 300; trial++ {
+		vals := g.Sample(r)
+		unbiased := g.Outcome(vals, nil)
+		for target := unbiased + 1; target < g.K; target++ {
+			if _, ok := g.BiasPlan(vals, target, g.N); ok {
+				t.Fatalf("raised bucket %d → %d on %v", unbiased, target, vals)
+			}
+		}
+		// Bucket 0 is always reachable with full budget.
+		if _, ok := g.BiasPlan(vals, 0, g.N); !ok {
+			t.Fatalf("full budget failed to reach bucket 0 on %v", vals)
+		}
+	}
+}
+
+func TestThresholdControlReport(t *testing.T) {
+	g := Threshold{N: 256, K: 4}
+	rep, err := Control(g, 256, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ForceProb[0] != 1 {
+		t.Fatalf("bucket 0 force prob = %v, want 1 with full budget", rep.ForceProb[0])
+	}
+	// The top bucket needs the unbiased count already there: around half
+	// the mass sits in bucket K/2-1 and K/2, so bucket 3 is rare.
+	if rep.ForceProb[3] > 0.2 {
+		t.Fatalf("top bucket force prob = %v, expected rare", rep.ForceProb[3])
+	}
+	if !rep.Controls() {
+		t.Fatal("full-budget adversary must control the game via bucket 0")
+	}
+}

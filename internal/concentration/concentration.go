@@ -1,0 +1,194 @@
+// Package concentration implements the probabilistic machinery the paper
+// leans on: the non-asymptotic binomial lower deviation bound of
+// Lemma 4.4 (with Corollary 4.5), exact binomial tails for checking it,
+// and the isoperimetric inequality of Schechtman used in Lemma 2.1,
+// instantiated on the Hamming cube where ball measures are exactly
+// computable.
+package concentration
+
+import (
+	"fmt"
+	"math"
+
+	"synran/internal/rng"
+)
+
+// DeviationLowerBound returns Lemma 4.4's lower bound
+// e^{−4(t+1)²} / sqrt(2π) on Pr(x − E(x) ≥ t·sqrt(n)) for the number x
+// of ones among n fair coins, valid for t < sqrt(n)/8.
+func DeviationLowerBound(t float64) float64 {
+	return math.Exp(-4*(t+1)*(t+1)) / math.Sqrt(2*math.Pi)
+}
+
+// Corollary45Threshold returns the deviation sqrt(n·log n)/8 at which
+// Corollary 4.5 guarantees probability at least sqrt(log n / n).
+func Corollary45Threshold(n int) float64 {
+	return math.Sqrt(float64(n)*math.Log(float64(n))) / 8
+}
+
+// Corollary45Bound returns Corollary 4.5's probability floor
+// sqrt(log n / n).
+func Corollary45Bound(n int) float64 {
+	return math.Sqrt(math.Log(float64(n)) / float64(n))
+}
+
+// logChoose returns log C(n, k) via lgamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk - lnk
+}
+
+// BinomialPMF returns Pr(X = k) for X ~ Binomial(n, 1/2).
+func BinomialPMF(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	return math.Exp(logChoose(n, k) - float64(n)*math.Ln2)
+}
+
+// BinomialUpperTail returns Pr(X >= k) for X ~ Binomial(n, 1/2),
+// computed exactly by summation (stable: terms are added smallest side
+// first when that is the shorter sum, using symmetry).
+func BinomialUpperTail(n, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	// Use symmetry so we always sum the shorter side.
+	if 2*k <= n {
+		// Pr(X >= k) = 1 - Pr(X <= k-1) = 1 - Pr(X >= n-k+1 side)...
+		// Simpler: sum the lower side and subtract.
+		return 1 - binomialSum(n, 0, k-1)
+	}
+	return binomialSum(n, k, n)
+}
+
+// binomialSum returns sum of Pr(X = i) for i in [lo, hi].
+func binomialSum(n, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i <= hi; i++ {
+		s += BinomialPMF(n, i)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// DeviationExact returns the exact probability Pr(x − n/2 ≥ t·sqrt(n))
+// for x ~ Binomial(n, 1/2).
+func DeviationExact(n int, t float64) float64 {
+	k := int(math.Ceil(float64(n)/2 + t*math.Sqrt(float64(n))))
+	return BinomialUpperTail(n, k)
+}
+
+// DeviationEmpirical estimates the same probability by simulation:
+// trials batches of n fair coins.
+func DeviationEmpirical(n int, t float64, trials int, seed uint64) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("concentration: trials = %d, want > 0", trials)
+	}
+	r := rng.New(seed)
+	thresh := float64(n)/2 + t*math.Sqrt(float64(n))
+	hits := 0
+	for i := 0; i < trials; i++ {
+		ones := 0
+		// Draw 64 coins at a time.
+		for drawn := 0; drawn < n; drawn += 64 {
+			w := r.Uint64()
+			remaining := n - drawn
+			if remaining < 64 {
+				w &= (1 << uint(remaining)) - 1
+			}
+			ones += popcount(w)
+		}
+		if float64(ones) >= thresh {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials), nil
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// HammingBallMeasure returns Pr(|x| <= m) under the uniform measure on
+// {0,1}^n — the measure of the Hamming ball of radius m around 0^n.
+func HammingBallMeasure(n, m int) float64 {
+	if m < 0 {
+		return 0
+	}
+	if m >= n {
+		return 1
+	}
+	return binomialSum(n, 0, m)
+}
+
+// SchechtmanL0 returns the inequality's pivot l0 = 2·sqrt(n·ln(1/alpha)).
+func SchechtmanL0(n int, alpha float64) float64 {
+	return 2 * math.Sqrt(float64(n)*math.Log(1/alpha))
+}
+
+// SchechtmanBound returns the inequality's guarantee
+// 1 − e^{−(l−l0)²/(4n)} on Pr(B(A, l)) for Pr(A) = alpha and l ≥ l0.
+func SchechtmanBound(n int, alpha float64, l int) float64 {
+	l0 := SchechtmanL0(n, alpha)
+	fl := float64(l)
+	if fl < l0 {
+		return 0
+	}
+	return 1 - math.Exp(-(fl-l0)*(fl-l0)/(4*float64(n)))
+}
+
+// BallGrowth reports, for the Hamming ball A of measure at least alpha,
+// the exact measure of its l-enlargement B(A, l) — the set of points
+// within Hamming distance l of A — alongside the Schechtman bound. Balls
+// are the extremal sets of the vertex isoperimetric inequality on the
+// cube (Harper), so this is the tightest possible comparison.
+type BallGrowth struct {
+	N      int
+	Alpha  float64 // requested measure of A
+	Radius int     // smallest m with Pr(|x| <= m) >= alpha
+	MeasA  float64 // exact measure of A
+	L      int
+	MeasB  float64 // exact measure of B(A, l) = ball of radius m+l
+	Bound  float64 // Schechtman guarantee for measure alpha
+}
+
+// GrowBall computes BallGrowth for the given parameters.
+func GrowBall(n int, alpha float64, l int) (*BallGrowth, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("concentration: alpha = %v, want (0,1)", alpha)
+	}
+	if n <= 0 || l < 0 {
+		return nil, fmt.Errorf("concentration: n = %d, l = %d invalid", n, l)
+	}
+	m := 0
+	for ; m <= n; m++ {
+		if HammingBallMeasure(n, m) >= alpha {
+			break
+		}
+	}
+	return &BallGrowth{
+		N:      n,
+		Alpha:  alpha,
+		Radius: m,
+		MeasA:  HammingBallMeasure(n, m),
+		L:      l,
+		MeasB:  HammingBallMeasure(n, m+l),
+		Bound:  SchechtmanBound(n, alpha, l),
+	}, nil
+}

@@ -1,0 +1,176 @@
+package concentration
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 501} {
+		s := 0.0
+		for k := 0; k <= n; k++ {
+			s += BinomialPMF(n, k)
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("n=%d: pmf sums to %v", n, s)
+		}
+	}
+}
+
+func TestBinomialPMFSymmetry(t *testing.T) {
+	const n = 33
+	for k := 0; k <= n; k++ {
+		a, b := BinomialPMF(n, k), BinomialPMF(n, n-k)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("pmf(%d) = %v != pmf(%d) = %v", k, a, n-k, b)
+		}
+	}
+}
+
+func TestBinomialUpperTailEdges(t *testing.T) {
+	if got := BinomialUpperTail(10, 0); got != 1 {
+		t.Fatalf("tail at 0 = %v", got)
+	}
+	if got := BinomialUpperTail(10, 11); got != 0 {
+		t.Fatalf("tail beyond n = %v", got)
+	}
+	if got := BinomialUpperTail(10, 5); math.Abs(got-0.623046875) > 1e-9 {
+		// Pr(X>=5) for Binom(10,1/2) = 1 - Pr(X<=4) = 1 - 0.376953125.
+		t.Fatalf("tail(10,5) = %v", got)
+	}
+}
+
+func TestBinomialTailMonotone(t *testing.T) {
+	const n = 100
+	prev := 1.1
+	for k := 0; k <= n+1; k++ {
+		cur := BinomialUpperTail(n, k)
+		if cur > prev+1e-12 {
+			t.Fatalf("tail not monotone at k=%d: %v > %v", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLemma44ExactTailDominatesBound(t *testing.T) {
+	// The paper's bound Pr(x - E >= t*sqrt(n)) >= e^{-4(t+1)^2}/sqrt(2pi)
+	// for t < sqrt(n)/8, checked against the exact binomial tail.
+	for _, n := range []int{256, 1024, 4096} {
+		limit := math.Sqrt(float64(n)) / 8
+		for _, tv := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+			if tv >= limit {
+				continue
+			}
+			exact := DeviationExact(n, tv)
+			bound := DeviationLowerBound(tv)
+			if exact < bound {
+				t.Fatalf("n=%d t=%v: exact tail %v < bound %v", n, tv, exact, bound)
+			}
+		}
+	}
+}
+
+func TestCorollary45(t *testing.T) {
+	// Pr(x - E >= sqrt(n log n)/8) >= sqrt(log n / n), via the exact tail.
+	for _, n := range []int{64, 256, 1024, 4096} {
+		dev := Corollary45Threshold(n) / math.Sqrt(float64(n)) // in t*sqrt(n) units
+		exact := DeviationExact(n, dev)
+		floor := Corollary45Bound(n)
+		if exact < floor {
+			t.Fatalf("n=%d: exact %v < corollary floor %v", n, exact, floor)
+		}
+	}
+}
+
+func TestDeviationEmpiricalMatchesExact(t *testing.T) {
+	const n = 256
+	for _, tv := range []float64{0, 0.5, 1.0} {
+		emp, err := DeviationEmpirical(n, tv, 20000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := DeviationExact(n, tv)
+		if math.Abs(emp-exact) > 0.02 {
+			t.Fatalf("t=%v: empirical %v vs exact %v", tv, emp, exact)
+		}
+	}
+}
+
+func TestDeviationEmpiricalValidation(t *testing.T) {
+	if _, err := DeviationEmpirical(16, 0, 0, 1); err == nil {
+		t.Fatal("trials=0 must be rejected")
+	}
+}
+
+func TestHammingBallMeasure(t *testing.T) {
+	if got := HammingBallMeasure(4, -1); got != 0 {
+		t.Fatalf("negative radius measure = %v", got)
+	}
+	if got := HammingBallMeasure(4, 4); got != 1 {
+		t.Fatalf("full ball measure = %v", got)
+	}
+	// Pr(|x| <= 2) on {0,1}^4 = (1+4+6)/16.
+	if got := HammingBallMeasure(4, 2); math.Abs(got-11.0/16) > 1e-12 {
+		t.Fatalf("ball(4,2) = %v", got)
+	}
+}
+
+func TestSchechtmanOnBalls(t *testing.T) {
+	// Harper's theorem: balls are extremal, so the Schechtman bound must
+	// hold exactly for them — the engine behind Lemma 2.1 (E10).
+	for _, n := range []int{16, 64, 256} {
+		for _, alpha := range []float64{0.01, 0.1, 0.5} {
+			for l := 0; l <= n; l += intMax(1, n/8) {
+				g, err := GrowBall(n, alpha, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g.MeasB+1e-12 < g.Bound {
+					t.Fatalf("n=%d alpha=%v l=%d: measured %v < bound %v",
+						n, alpha, l, g.MeasB, g.Bound)
+				}
+			}
+		}
+	}
+}
+
+func TestGrowBallValidation(t *testing.T) {
+	if _, err := GrowBall(16, 0, 1); err == nil {
+		t.Fatal("alpha=0 must be rejected")
+	}
+	if _, err := GrowBall(16, 1, 1); err == nil {
+		t.Fatal("alpha=1 must be rejected")
+	}
+	if _, err := GrowBall(0, 0.5, 1); err == nil {
+		t.Fatal("n=0 must be rejected")
+	}
+	if _, err := GrowBall(16, 0.5, -1); err == nil {
+		t.Fatal("l<0 must be rejected")
+	}
+}
+
+func TestSchechtmanBoundBelowL0IsZero(t *testing.T) {
+	if got := SchechtmanBound(64, 0.1, 0); got != 0 {
+		t.Fatalf("bound below l0 = %v, want 0", got)
+	}
+}
+
+func TestTailQuick(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		k := int(kRaw) % (n + 2)
+		p := BinomialUpperTail(n, k)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

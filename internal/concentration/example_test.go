@@ -1,0 +1,31 @@
+package concentration_test
+
+import (
+	"fmt"
+
+	"synran/internal/concentration"
+)
+
+// Checking Schechtman's inequality on the tightest instance — Hamming
+// balls — for the parameters Lemma 2.1 uses (l = 2·l₀ = 4·sqrt(n·log n)
+// when α = 1/n).
+func ExampleGrowBall() {
+	g, err := concentration.GrowBall(256, 0.01, 104)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("bound %.3f, measured %.3f, holds: %v\n",
+		g.Bound, g.MeasB, g.MeasB >= g.Bound)
+	// Output:
+	// bound 0.704, measured 1.000, holds: true
+}
+
+// The Lemma 4.4 bound is a valid floor on the exact binomial tail.
+func ExampleDeviationLowerBound() {
+	tail := concentration.DeviationExact(1024, 0.5)
+	bound := concentration.DeviationLowerBound(0.5)
+	fmt.Println("tail dominates bound:", tail >= bound)
+	// Output:
+	// tail dominates bound: true
+}

@@ -1,0 +1,94 @@
+// Package core implements the paper's primary contribution: the SynRan
+// randomized synchronous consensus protocol (Bar-Joseph & Ben-Or,
+// PODC 1998, Section 4) together with the closed-form round bounds the
+// paper proves about it and about every protocol in this model.
+package core
+
+import "math"
+
+// safeLog returns ln(max(x, 3)) so the paper's sqrt(n/log n) style
+// expressions stay finite and positive for tiny n. The base of the
+// logarithm (and this clamp) only moves constants, never the asymptotic
+// shape the experiments check.
+func safeLog(x float64) float64 {
+	if x < 3 {
+		x = 3
+	}
+	return math.Log(x)
+}
+
+// DetThreshold returns the paper's deterministic-stage trigger
+// sqrt(n / log n): a process whose round receives fewer messages than
+// this switches to the deterministic protocol.
+func DetThreshold(n int) float64 {
+	return math.Sqrt(float64(n) / safeLog(float64(n)))
+}
+
+// FloodRounds returns the number of flooding rounds the deterministic
+// stage runs: ceil(sqrt(n/log n)) + 1. At most DetThreshold(n) processes
+// are still active when the stage starts (Lemma 4.3), so at most
+// DetThreshold(n)−1 of them can crash during it, guaranteeing a clean
+// round and hence FloodSet agreement.
+func FloodRounds(n int) int {
+	return int(math.Ceil(DetThreshold(n))) + 1
+}
+
+// UpperBoundRounds returns the paper's Theorem 3 upper bound shape
+// t / sqrt(n · log(2 + t/sqrt(n))) on SynRan's expected number of
+// rounds (up to constants). For t = 0 it returns 0.
+func UpperBoundRounds(n, t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	fn := float64(n)
+	ft := float64(t)
+	return ft / math.Sqrt(fn*math.Log(2+ft/math.Sqrt(fn)))
+}
+
+// LowerBoundRounds returns the Theorem 1 lower bound shape
+// t / (4·sqrt(n·log n) + 1): the number of rounds the adaptive adversary
+// forces with probability > 1 − 1/sqrt(log n).
+func LowerBoundRounds(n, t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(t) / (4*math.Sqrt(float64(n)*safeLog(float64(n))) + 1)
+}
+
+// RoundBudget returns the paper's per-round crash allowance for the
+// lower-bound adversary, 4·sqrt(n·log n) + 1 (Section 3.2 defines the
+// adversary class B as those failing no more than this per round).
+func RoundBudget(n int) int {
+	return int(math.Floor(4*math.Sqrt(float64(n)*safeLog(float64(n))))) + 1
+}
+
+// CoinControlBudget returns Corollary 2.2's sufficient budget for
+// controlling a one-round k-outcome coin-flipping game:
+// k · 4 · sqrt(n · log n).
+func CoinControlBudget(n, k int) int {
+	return int(math.Ceil(float64(k) * 4 * math.Sqrt(float64(n)*safeLog(float64(n)))))
+}
+
+// BlockCrashCost returns the Theorem 2 proof's lower bound on the
+// expected number of processes the adversary must crash per 3-round
+// block to keep SynRan running while p processes are alive:
+// sqrt(p·log p)/16.
+func BlockCrashCost(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Sqrt(float64(p)*safeLog(float64(p))) / 16
+}
+
+// ValencyLow returns the paper's Section 3.2 low probability threshold
+// for round k: 1/sqrt(n) − k/n. Executions whose minimum probability of
+// deciding 1 is below this are 0-valent or bivalent.
+func ValencyLow(n, k int) float64 {
+	return 1/math.Sqrt(float64(n)) - float64(k)/float64(n)
+}
+
+// ValencyHigh returns the Section 3.2 high threshold for round k:
+// 1 − 1/sqrt(n) + k/n.
+func ValencyHigh(n, k int) float64 {
+	return 1 - 1/math.Sqrt(float64(n)) + float64(k)/float64(n)
+}

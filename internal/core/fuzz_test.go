@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"synran/internal/adversary"
+	"synran/internal/sim"
+)
+
+// FuzzSynRanSafety feeds arbitrary bytes as (n, t, inputs, adversary
+// schedule) and asserts Agreement and Validity on every terminating
+// execution — the native-fuzzing twin of TestSafetyQuick, with the
+// adversary decoded from the fuzz input so the fuzzer can search crash
+// patterns directly.
+func FuzzSynRanSafety(f *testing.F) {
+	f.Add(uint8(8), uint8(3), uint64(0b10101), []byte{1, 2, 0, 3, 1})
+	f.Add(uint8(3), uint8(3), uint64(0), []byte{0, 0, 0})
+	f.Add(uint8(16), uint8(15), uint64(0xFFFF), []byte{9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, nRaw, tRaw uint8, inputBits uint64, schedule []byte) {
+		n := int(nRaw%24) + 1
+		tt := int(tRaw) % (n + 1)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = int(inputBits>>uint(i%64)) & 1
+		}
+		// Decode the schedule bytes: byte k crashes process (b % n) in
+		// round k+1 with a mask derived from the high bits.
+		plans := make(map[int][]sim.CrashPlan)
+		for k, b := range schedule {
+			if k >= 12 {
+				break
+			}
+			victim := int(b) % n
+			var mask *sim.BitSet
+			if b&0x80 != 0 {
+				mask = sim.NewBitSet(n)
+				for j := 0; j < n; j++ {
+					if (int(b)>>uint(j%7))&1 == 1 {
+						mask.Set(j)
+					}
+				}
+			}
+			plans[k+1] = append(plans[k+1], sim.CrashPlan{Victim: victim, Deliver: mask})
+		}
+		res, err := Run(RunSpec{
+			N: n, T: tt, Inputs: inputs, Seed: inputBits ^ 0xfeed,
+			Adversary: &adversary.Schedule{Plans: plans},
+		})
+		if err != nil {
+			t.Fatalf("n=%d t=%d: %v", n, tt, err)
+		}
+		if !res.Agreement {
+			t.Fatalf("AGREEMENT violated: n=%d t=%d inputs=%v schedule=%v decisions=%v",
+				n, tt, inputs, schedule, res.Decisions)
+		}
+		if !res.Validity {
+			t.Fatalf("VALIDITY violated: n=%d t=%d inputs=%v schedule=%v decisions=%v",
+				n, tt, inputs, schedule, res.Decisions)
+		}
+	})
+}

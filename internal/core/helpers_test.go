@@ -1,0 +1,6 @@
+package core
+
+import "synran/internal/rng"
+
+// newTestStream returns a fresh deterministic stream for white-box tests.
+func newTestStream(seed uint64) *rng.Stream { return rng.New(seed) }

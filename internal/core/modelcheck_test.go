@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"synran/internal/adversary"
+	"synran/internal/sim"
+)
+
+// This file is a bounded model checker for SynRan's safety properties:
+// for small n it enumerates EVERY fair-coin outcome sequence (via a
+// scripted coin and binary-counter enumeration) combined with every
+// single-crash adversary choice (round × victim × delivery mask), and
+// asserts Agreement and Validity on every terminating execution. Paths
+// on which the coins disagree forever are probability-zero; they hit the
+// round cap and are counted, not failed (the paper's Termination is
+// "with probability 1", not "always").
+
+// coinScript deals scripted bits; flips beyond the script extend it
+// with 0 so the consumed sequence is always recorded.
+type coinScript struct {
+	bits []int
+	pos  int
+	max  int
+}
+
+func (s *coinScript) next() int {
+	if s.pos < len(s.bits) {
+		b := s.bits[s.pos]
+		s.pos++
+		return b
+	}
+	if len(s.bits) < s.max {
+		s.bits = append(s.bits, 0)
+	}
+	s.pos++
+	return 0
+}
+
+// nextScript advances the consumed prefix like a binary counter;
+// nil means the enumeration is complete.
+func nextScript(bits []int) []int {
+	i := len(bits) - 1
+	for i >= 0 && bits[i] == 1 {
+		i--
+	}
+	if i < 0 {
+		return nil
+	}
+	out := append([]int(nil), bits[:i]...)
+	return append(out, 1)
+}
+
+// crashChoice is one element of the adversary's bounded action space.
+type crashChoice struct {
+	round  int
+	victim int
+	mask   *sim.BitSet // nil = silent crash
+}
+
+// crashChoices enumerates no-crash plus every (round, victim, mask) with
+// masks drawn from {silent, full, each singleton receiver}.
+func crashChoices(n, maxRound int) []*crashChoice {
+	choices := []*crashChoice{nil}
+	for r := 1; r <= maxRound; r++ {
+		for v := 0; v < n; v++ {
+			masks := []*sim.BitSet{nil}
+			full := sim.NewBitSet(n)
+			full.Fill()
+			masks = append(masks, full)
+			for j := 0; j < n; j++ {
+				if j == v {
+					continue
+				}
+				m := sim.NewBitSet(n)
+				m.Set(j)
+				masks = append(masks, m)
+			}
+			for _, m := range masks {
+				choices = append(choices, &crashChoice{round: r, victim: v, mask: m})
+			}
+		}
+	}
+	return choices
+}
+
+// runScripted executes SynRan with the scripted coins and one crash
+// choice, returning the result (or ErrMaxRounds).
+func runScripted(n, t int, inputs []int, choice *crashChoice, script *coinScript) (*sim.Result, error) {
+	procs := make([]sim.Process, n)
+	for i := 0; i < n; i++ {
+		p, err := NewProc(i, n, inputs[i], newTestStream(uint64(i)+1), Options{})
+		if err != nil {
+			return nil, err
+		}
+		p.SetFlip(script.next)
+		procs[i] = p
+	}
+	var adv sim.Adversary = adversary.None{}
+	if choice != nil {
+		adv = &adversary.Schedule{Plans: map[int][]sim.CrashPlan{
+			choice.round: {{Victim: choice.victim, Deliver: choice.mask}},
+		}}
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: t, MaxRounds: 40}, procs, inputs, 1)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(adv)
+}
+
+func modelCheck(t *testing.T, n int, maxBits int) {
+	t.Helper()
+	inputsList := make([][]int, 0, 1<<n)
+	for m := 0; m < 1<<n; m++ {
+		in := make([]int, n)
+		for i := 0; i < n; i++ {
+			in[i] = (m >> i) & 1
+		}
+		inputsList = append(inputsList, in)
+	}
+	choices := crashChoices(n, 4)
+
+	executions, capped := 0, 0
+	for _, inputs := range inputsList {
+		for _, choice := range choices {
+			bits := []int{}
+			for {
+				script := &coinScript{bits: append([]int(nil), bits...), max: maxBits}
+				res, err := runScripted(n, 1, inputs, choice, script)
+				executions++
+				switch {
+				case errors.Is(err, sim.ErrMaxRounds):
+					capped++ // probability-zero forever-disagree path
+				case err != nil:
+					t.Fatalf("inputs=%v choice=%+v script=%v: %v", inputs, choice, bits, err)
+				default:
+					if !res.Agreement || !res.Validity {
+						t.Fatalf("SAFETY VIOLATION: inputs=%v choice=%+v coins=%v: "+
+							"agreement=%v validity=%v decisions=%v",
+							inputs, choice, script.bits, res.Agreement, res.Validity, res.Decisions)
+					}
+				}
+				bits = nextScript(script.bits)
+				if bits == nil {
+					break
+				}
+			}
+		}
+	}
+	if executions == 0 {
+		t.Fatal("model checker explored nothing")
+	}
+	t.Logf("n=%d: %d executions explored exhaustively (%d hit the round cap)",
+		n, executions, capped)
+}
+
+func TestModelCheckN2(t *testing.T) {
+	modelCheck(t, 2, 16)
+}
+
+func TestModelCheckN3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive n=3 exploration takes a few seconds")
+	}
+	modelCheck(t, 3, 14)
+}
+
+// TestModelCheckScriptEnumeration sanity-checks the binary-counter
+// script enumeration itself.
+func TestModelCheckScriptEnumeration(t *testing.T) {
+	seen := map[string]bool{}
+	bits := []int{}
+	for i := 0; i < 100; i++ {
+		// Simulate a run that always consumes exactly 3 coins.
+		script := &coinScript{bits: append([]int(nil), bits...), max: 8}
+		for j := 0; j < 3; j++ {
+			script.next()
+		}
+		key := fmt.Sprint(script.bits)
+		if seen[key] {
+			t.Fatalf("script %v enumerated twice", script.bits)
+		}
+		seen[key] = true
+		bits = nextScript(script.bits)
+		if bits == nil {
+			break
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("enumerated %d scripts of 3 coins, want 8", len(seen))
+	}
+}

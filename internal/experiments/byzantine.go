@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"synran/internal/adversary"
+	"synran/internal/protocol/phaseking"
+	"synran/internal/sim"
+	"synran/internal/stats"
+	"synran/internal/workload"
+)
+
+// E14Byzantine reproduces the paper's introductory Byzantine context:
+// "efficient t+1 round agreement protocols are known even for Byzantine
+// adversaries [GM93]" — deterministic Byzantine agreement runs in Θ(t)
+// rounds. Phase King (the textbook polynomial protocol of that family,
+// at 2 rounds per phase) is measured under the worst-case equivocating
+// adversary that corrupts the kings of the first t phases:
+//
+//   - rounds are exactly 2(t+1)+1 — linear in t, deterministic;
+//   - agreement and validity hold among the correct processes whenever
+//     n > 4t, including with unanimous correct inputs (persistence).
+func E14Byzantine(cfg Config) (*Result, error) {
+	tsList := sizes(cfg, []int{1, 2}, []int{1, 2, 4, 8})
+	reps := trials(cfg, 5, 20)
+	tb := stats.NewTable("E14: deterministic Byzantine agreement is Θ(t) rounds (Phase King, [GM93] context)",
+		"n", "t", "adversary", "mean rounds", "expected 2(t+1)+1", "violations")
+	res := &Result{ID: "E14", Table: tb}
+
+	for _, t := range tsList {
+		n := 4*t + 1
+		violations := 0
+		rounds := make([]float64, 0, reps)
+		for i := 0; i < reps; i++ {
+			inputs := workload.HalfHalf(n)
+			procs, err := phaseking.NewProcs(n, t, inputs)
+			if err != nil {
+				return nil, err
+			}
+			exec, err := sim.NewExecution(sim.Config{N: n, T: t}, procs, inputs, cfg.Seed+uint64(t*100+i))
+			if err != nil {
+				return nil, err
+			}
+			run, err := exec.Run(&adversary.Equivocator{Corruptions: t})
+			if err != nil {
+				return nil, err
+			}
+			if !run.Agreement || !run.Validity {
+				violations++
+			}
+			rounds = append(rounds, float64(run.HaltRounds))
+		}
+		sum := stats.Summarize(rounds)
+		want := float64(2*(t+1) + 1)
+		tb.AddRow(n, t, "equivocator", sum.Mean, want, violations)
+		res.Claims = append(res.Claims,
+			Claim{
+				Name: fmt.Sprintf("t=%d: Phase King takes exactly 2(t+1)+1 rounds", t),
+				OK:   sum.Min == want && sum.Max == want,
+				Got:  fmt.Sprintf("rounds=[%.0f,%.0f] want %v", sum.Min, sum.Max, want),
+			},
+			Claim{
+				Name: fmt.Sprintf("t=%d: no safety violations among correct processes", t),
+				OK:   violations == 0,
+				Got:  fmt.Sprintf("violations=%d/%d", violations, reps),
+			})
+	}
+	tb.Note = "n = 4t+1 (the protocol's resilience bound); the adversary corrupts the kings of the first t phases and equivocates"
+	return res, nil
+}

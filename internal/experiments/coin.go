@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"synran/internal/coinflip"
+	"synran/internal/core"
+	"synran/internal/stats"
+)
+
+// E1CoinControl reproduces Corollary 2.2: an adversary with budget
+// t = k·4·sqrt(n·log n) controls any one-round coin-flipping game —
+// some outcome is forceable with probability > 1 − 1/n. The table sweeps
+// the majority (k=2) and leader (k=4) games over n, reporting the best
+// forceable outcome's probability at the corollary budget and at a small
+// budget for contrast.
+func E1CoinControl(cfg Config) (*Result, error) {
+	ns := sizes(cfg, []int{64, 256}, []int{64, 256, 1024, 4096})
+	tr := trials(cfg, 500, 4000)
+	tb := stats.NewTable("E1: one-round coin-game control (Corollary 2.2)",
+		"game", "n", "t", "budget", "best v", "Pr[force best]", "1-1/n", "controls")
+	res := &Result{ID: "E1", Table: tb}
+
+	for _, n := range ns {
+		games := []coinflip.Game{
+			coinflip.Majority{N: n},
+			coinflip.Leader{N: n, K: 4},
+		}
+		for _, g := range games {
+			budgets := []struct {
+				label string
+				t     int
+			}{
+				{"sqrt(n)", isqrt(n)},
+				{"cor2.2", clamp(core.CoinControlBudget(n, g.Outcomes()), n)},
+			}
+			for _, b := range budgets {
+				rep, err := coinflip.Control(g, b.t, tr, cfg.Seed+uint64(n)+uint64(b.t))
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(g.Name(), n, b.label, b.t, rep.BestOutcome, rep.BestProb,
+					1-1/float64(n), rep.Controls())
+				if b.label == "cor2.2" {
+					res.Claims = append(res.Claims, Claim{
+						Name: fmt.Sprintf("%s n=%d controlled at corollary budget", g.Name(), n),
+						OK:   rep.Controls(),
+						Got:  fmt.Sprintf("best=%.4f need>%.4f", rep.BestProb, 1-1/float64(n)),
+					})
+				}
+			}
+		}
+	}
+	tb.Note = "Cor 2.2: with t > k·4·sqrt(n·log n) some outcome is forceable w.p. > 1-1/n"
+	return res, nil
+}
+
+// E2OneSidedBias reproduces the Section 2.1 observation that games
+// exist which a fail-stop adversary can bias only toward one outcome:
+// majority-with-default-0 can always be pushed to 0 given budget, but
+// can be pushed to 1 exactly when the unbiased outcome is already 1.
+func E2OneSidedBias(cfg Config) (*Result, error) {
+	ns := sizes(cfg, []int{16, 64}, []int{16, 64, 256, 1024})
+	tr := trials(cfg, 1000, 8000)
+	tb := stats.NewTable("E2: one-sided bias of majority-default-0 (Section 2.1)",
+		"n", "t", "Pr[force 0]", "Pr[force 1]", "Pr[outcome 1 unbiased]")
+	res := &Result{ID: "E2", Table: tb}
+
+	for _, n := range ns {
+		g := coinflip.MajorityDefaultZero{N: n}
+		rep, err := coinflip.Control(g, n, tr, cfg.Seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		unbiased, err := unbiasedOutcomeProb(g, 1, tr, cfg.Seed+uint64(n)+7)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(n, n, rep.ForceProb[0], rep.ForceProb[1], unbiased)
+		res.Claims = append(res.Claims,
+			Claim{
+				Name: fmt.Sprintf("n=%d: 0 always forceable", n),
+				OK:   rep.ForceProb[0] == 1,
+				Got:  fmt.Sprintf("Pr[force 0]=%.4f", rep.ForceProb[0]),
+			},
+			Claim{
+				Name: fmt.Sprintf("n=%d: 1 forceable only when already 1", n),
+				// The two probabilities are estimated from independent
+				// draws; the tolerance is ~3 standard errors at the quick
+				// trial count.
+				OK:  absf(rep.ForceProb[1]-unbiased) < 0.10,
+				Got: fmt.Sprintf("force1=%.4f unbiased1=%.4f", rep.ForceProb[1], unbiased),
+			})
+	}
+	tb.Note = "hiding counts as 0, so no adversary can raise the one-count: bias is one-sided"
+	return res, nil
+}
+
+// unbiasedOutcomeProb estimates the probability the game yields v with
+// no adversary.
+func unbiasedOutcomeProb(g coinflip.Game, v, tr int, seed uint64) (float64, error) {
+	rep, err := coinflip.Control(g, 0, tr, seed)
+	if err != nil {
+		return 0, err
+	}
+	// With t = 0 the "forceable" probability of v is exactly the
+	// unbiased outcome probability.
+	return rep.ForceProb[v], nil
+}
+
+func isqrt(n int) int {
+	i := 0
+	for (i+1)*(i+1) <= n {
+		i++
+	}
+	return i
+}
+
+func clamp(v, hi int) int {
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

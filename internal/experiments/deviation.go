@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"synran/internal/concentration"
+	"synran/internal/stats"
+)
+
+// E7Deviation reproduces Lemma 4.4 and Corollary 4.5: the probability
+// that n fair coins exceed their mean by t·sqrt(n) is at least
+// e^{−4(t+1)²}/sqrt(2π) for t < sqrt(n)/8, and at the Corollary 4.5
+// deviation sqrt(n·log n)/8 it is at least sqrt(log n / n). Both the
+// exact binomial tail and a Monte-Carlo estimate are reported.
+func E7Deviation(cfg Config) (*Result, error) {
+	ns := sizes(cfg, []int{256, 1024}, []int{64, 256, 1024, 4096})
+	tr := trials(cfg, 4000, 20000)
+	tb := stats.NewTable("E7: binomial lower deviation (Lemma 4.4 / Corollary 4.5)",
+		"n", "t (in sqrt(n) units)", "exact tail", "empirical", "lemma bound", "cor4.5 floor")
+	res := &Result{ID: "E7", Table: tb}
+
+	for _, n := range ns {
+		limit := math.Sqrt(float64(n)) / 8
+		devs := []float64{0.25, 0.5, 1.0}
+		// Corollary 4.5's deviation expressed in t·sqrt(n) units.
+		corDev := concentration.Corollary45Threshold(n) / math.Sqrt(float64(n))
+		devs = append(devs, corDev)
+		for _, tv := range devs {
+			if tv >= limit {
+				continue
+			}
+			exact := concentration.DeviationExact(n, tv)
+			emp, err := concentration.DeviationEmpirical(n, tv, tr, cfg.Seed+uint64(n)+uint64(tv*100))
+			if err != nil {
+				return nil, err
+			}
+			bound := concentration.DeviationLowerBound(tv)
+			corFloor := 0.0
+			isCor := tv == corDev
+			if isCor {
+				corFloor = concentration.Corollary45Bound(n)
+			}
+			tb.AddRow(n, tv, exact, emp, bound, corFloor)
+			res.Claims = append(res.Claims, Claim{
+				Name: fmt.Sprintf("n=%d t=%.2f: exact tail >= lemma bound", n, tv),
+				OK:   exact >= bound,
+				Got:  fmt.Sprintf("exact=%.4g bound=%.4g", exact, bound),
+			})
+			if isCor {
+				res.Claims = append(res.Claims, Claim{
+					Name: fmt.Sprintf("n=%d: corollary 4.5 floor holds", n),
+					OK:   exact >= corFloor,
+					Got:  fmt.Sprintf("exact=%.4g floor=%.4g", exact, corFloor),
+				})
+			}
+		}
+	}
+	tb.Note = "Lemma 4.4: Pr(x-E >= t sqrt n) >= e^{-4(t+1)^2}/sqrt(2π) for t < sqrt(n)/8"
+	return res, nil
+}
+
+// E10Schechtman reproduces the isoperimetric engine behind Lemma 2.1:
+// for Hamming balls A of measure alpha, the measure of the l-enlargement
+// B(A, l) is at least 1 − e^{−(l−l₀)²/4n} with l₀ = 2·sqrt(n·ln(1/α)).
+// Balls are the extremal sets (Harper), so the comparison is tight.
+func E10Schechtman(cfg Config) (*Result, error) {
+	ns := sizes(cfg, []int{64, 256}, []int{16, 64, 256, 1024})
+	tb := stats.NewTable("E10: Schechtman ball growth on the Hamming cube (Lemma 2.1 engine)",
+		"n", "alpha", "l", "l0", "Pr[B(A,l)] exact", "bound")
+	res := &Result{ID: "E10", Table: tb}
+
+	for _, n := range ns {
+		for _, alpha := range []float64{0.01, 0.1, 0.5} {
+			l0 := concentration.SchechtmanL0(n, alpha)
+			for _, mult := range []float64{1.0, 1.5, 2.0} {
+				l := int(math.Ceil(l0 * mult))
+				g, err := concentration.GrowBall(n, alpha, l)
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(n, alpha, l, l0, g.MeasB, g.Bound)
+				res.Claims = append(res.Claims, Claim{
+					Name: fmt.Sprintf("n=%d alpha=%.2f l=%d: growth >= bound", n, alpha, l),
+					OK:   g.MeasB+1e-12 >= g.Bound,
+					Got:  fmt.Sprintf("measured=%.4f bound=%.4f", g.MeasB, g.Bound),
+				})
+			}
+		}
+	}
+	tb.Note = "the h = 4 sqrt(n log n) enlargement in Lemma 2.1 uses exactly this inequality"
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 42} }
+
+// runExp executes one experiment in quick mode and asserts every claim.
+func runExp(t *testing.T, ex Experiment) *Result {
+	t.Helper()
+	res, err := ex.Run(quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", ex.ID, err)
+	}
+	if res.Table == nil || len(res.Table.Rows) == 0 {
+		t.Fatalf("%s: empty table", ex.ID)
+	}
+	for _, c := range res.Failed() {
+		t.Errorf("%s claim failed: %s (%s)", ex.ID, c.Name, c.Got)
+	}
+	return res
+}
+
+func TestAllExperimentsListed(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, ex := range all {
+		if seen[ex.ID] {
+			t.Fatalf("duplicate experiment id %s", ex.ID)
+		}
+		seen[ex.ID] = true
+		if ex.Run == nil || ex.Desc == "" {
+			t.Fatalf("experiment %s incomplete", ex.ID)
+		}
+	}
+}
+
+func TestE1(t *testing.T)  { runExp(t, All()[0]) }
+func TestE2(t *testing.T)  { runExp(t, All()[1]) }
+func TestE3(t *testing.T)  { runExp(t, All()[2]) }
+func TestE4(t *testing.T)  { runExp(t, All()[3]) }
+func TestE5(t *testing.T)  { runExp(t, All()[4]) }
+func TestE7(t *testing.T)  { runExp(t, All()[6]) }
+func TestE8(t *testing.T)  { runExp(t, All()[7]) }
+func TestE10(t *testing.T) { runExp(t, All()[9]) }
+
+func TestE11(t *testing.T) { runExp(t, All()[10]) }
+
+func TestE12(t *testing.T) { runExp(t, All()[11]) }
+
+func TestE13(t *testing.T) { runExp(t, All()[12]) }
+
+func TestE14(t *testing.T) { runExp(t, All()[13]) }
+
+func TestE15(t *testing.T) { runExp(t, All()[14]) }
+
+func TestE6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("valency lookahead is expensive")
+	}
+	runExp(t, All()[5])
+}
+
+func TestE9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is expensive")
+	}
+	runExp(t, All()[8])
+}
+
+func TestTablesRender(t *testing.T) {
+	res, err := E2OneSidedBias(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.Table.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E2") {
+		t.Fatalf("rendered table missing title:\n%s", sb.String())
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	a, err := E4ScaleT(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E4ScaleT(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Table.Rows) != len(b.Table.Rows) {
+		t.Fatal("row count differs between identical runs")
+	}
+	for i := range a.Table.Rows {
+		for j := range a.Table.Rows[i] {
+			if a.Table.Rows[i][j] != b.Table.Rows[i][j] {
+				t.Fatalf("row %d col %d differs: %q vs %q",
+					i, j, a.Table.Rows[i][j], b.Table.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestRunAllQuickSubset(t *testing.T) {
+	// RunAll on the cheap experiments only (via direct calls): the full
+	// RunAll is exercised by cmd/synran-bench and the benches.
+	for _, ex := range []Experiment{All()[0], All()[1], All()[6], All()[9]} {
+		res, err := ex.Run(quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Table.Render(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"synran/internal/coinflip"
+	"synran/internal/stats"
+)
+
+// E12IteratedGames reproduces the Section 1.2 multi-round coin-flipping
+// statement drawn from Aspnes [Asp97]: "by halting O(sqrt(n)·log n)
+// processes the adversary can bias the game to one of the possible
+// outcomes with probability greater than (1 − 1/n)". We play the
+// R = ceil(log2 n)-round iterated-majority game under the greedy
+// fail-stop adversary at three budgets: zero (fair game), the Aspnes
+// budget 2·sqrt(n)·log2(n), and a constant budget (contrast).
+func E12IteratedGames(cfg Config) (*Result, error) {
+	ns := sizes(cfg, []int{64, 256}, []int{64, 256, 1024, 4096})
+	tr := trials(cfg, 600, 3000)
+	tb := stats.NewTable("E12: multi-round coin-flipping control (Aspnes budget, Section 1.2)",
+		"n", "rounds", "budget", "target", "Pr[force]", "mean halts", "1-1/n")
+	res := &Result{ID: "E12", Table: tb}
+
+	for _, n := range ns {
+		g := coinflip.IteratedMajority{N: n, R: coinflip.RoundsDefault(n)}
+		aspnes := int(2 * math.Sqrt(float64(n)) * float64(g.R))
+		budgets := []struct {
+			label string
+			b     int
+		}{
+			{"0", 0},
+			{"const", 4},
+			{"2·sqrt(n)·log n", aspnes},
+		}
+		for _, bc := range budgets {
+			for target := 0; target <= 1; target++ {
+				p, cost, err := coinflip.IteratedControl(g, target, bc.b, tr, cfg.Seed+uint64(n)+uint64(bc.b))
+				if err != nil {
+					return nil, err
+				}
+				tb.AddRow(n, g.R, bc.label, target, p, cost, 1-1/float64(n))
+				if bc.b == aspnes {
+					res.Claims = append(res.Claims, Claim{
+						Name: fmt.Sprintf("n=%d target=%d controlled at the Aspnes budget", n, target),
+						OK:   p > 1-1/float64(n),
+						Got:  fmt.Sprintf("Pr=%.4f need>%.4f (mean cost %.0f of %d)", p, 1-1/float64(n), cost, aspnes),
+					})
+				}
+			}
+		}
+	}
+	tb.Note = "iterated majority over R rounds; the adversary halts opposing flippers after seeing each round's coins"
+	return res, nil
+}

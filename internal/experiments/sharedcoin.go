@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"synran/internal/adversary"
+	"synran/internal/core"
+	"synran/internal/stats"
+	"synran/internal/workload"
+)
+
+// E13SharedCoin reproduces the paper's opening observation: "assuming
+// reasonable bounds on the power of the adversary there are synchronous
+// randomized agreement protocols that require only constant expected
+// number of rounds [CMS89, Rab83, FM97]" — and that therefore "some
+// restrictions are needed on the power of the adversary to allow
+// randomized constant expected number of rounds protocols".
+//
+// A Rabin-style common coin is such a restriction escape: with every
+// undecided process adopting the SAME unpredictable bit, the adversary
+// can no longer split the coin-flippers, and SynRan's settle time drops
+// to O(1) even under the adaptive split-vote adversary — at every n.
+// Private coins, the paper's model, show the growing settle time of E11
+// under the same adversary.
+func E13SharedCoin(cfg Config) (*Result, error) {
+	ns := sizes(cfg, []int{32, 128}, []int{32, 128, 512})
+	reps := trials(cfg, 8, 30)
+	tb := stats.NewTable("E13: Rabin-style common coin escapes the lower bound (Section 1)",
+		"coin", "n", "t", "mean settle rounds", "mean halt rounds")
+	res := &Result{ID: "E13", Table: tb}
+
+	type cell struct {
+		name string
+		opts func(seed uint64) core.Options
+	}
+	cells := []cell{
+		{"private (paper model)", func(uint64) core.Options { return core.Options{} }},
+		{"common (Rabin-style)", func(seed uint64) core.Options {
+			return core.Options{SharedCoinSeed: seed | 1}
+		}},
+	}
+	means := make(map[string][]float64)
+	for _, n := range ns {
+		t := n - 1
+		for _, c := range cells {
+			settle := make([]float64, 0, reps)
+			halt := make([]float64, 0, reps)
+			for i := 0; i < reps; i++ {
+				seed := cfg.Seed + uint64(n*100+i)
+				obs := &stabilizationObserver{}
+				run, err := core.Run(core.RunSpec{
+					N: n, T: t,
+					Inputs:    workload.HalfHalf(n),
+					Opts:      c.opts(seed),
+					Seed:      seed,
+					Adversary: &adversary.SplitVote{},
+					Observer:  obs,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !run.Agreement || !run.Validity {
+					return nil, fmt.Errorf("safety violated: %s n=%d", c.name, n)
+				}
+				settle = append(settle, float64(obs.lastSplit+1))
+				halt = append(halt, float64(run.HaltRounds))
+			}
+			ss, hs := stats.Summarize(settle), stats.Summarize(halt)
+			tb.AddRow(c.name, n, t, ss.Mean, hs.Mean)
+			means[c.name] = append(means[c.name], ss.Mean)
+		}
+	}
+	common := means["common (Rabin-style)"]
+	private := means["private (paper model)"]
+	res.Claims = append(res.Claims,
+		Claim{
+			Name: "common coin settles in O(1) under the adaptive adversary",
+			OK:   common[len(common)-1] < 2*common[0] && common[len(common)-1] <= 8,
+			Got:  fmt.Sprintf("settle rounds across n sweep: %v", common),
+		},
+		Claim{
+			Name: "private coins settle slower and grow with n (the lower-bound regime)",
+			OK:   private[len(private)-1] > common[len(common)-1],
+			Got: fmt.Sprintf("private %v vs common %v at the largest n",
+				private[len(private)-1], common[len(common)-1]),
+		})
+	tb.Note = "the common coin is outside the paper's model: it is the restriction that buys O(1)"
+	return res, nil
+}

@@ -1,0 +1,269 @@
+// Package netsim runs the same sim.Process protocol implementations
+// over real concurrency: one goroutine per process, channels as links,
+// and a coordinator enforcing the synchronous round structure (the
+// standard way lock-step rounds are deployed on an asynchronous
+// substrate with a synchronizer).
+//
+// Because each process's behaviour depends only on its inbox sequence
+// and its private rng stream, a netsim execution is bit-for-bit
+// equivalent to the sequential sim engine under the same adversary and
+// seeds — the equivalence test in this package checks exactly that.
+// The coordinator plays the network: it collects every Phase-A output,
+// consults the adversary, applies the crash plans, and routes the
+// surviving messages.
+//
+// Limitation: the adversary view's Exec field is nil here (there is no
+// clonable execution mid-flight), so look-ahead adversaries like
+// valency.LowerBound require the sequential engine.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"synran/internal/rng"
+	"synran/internal/sim"
+)
+
+// phaseOut is what a process goroutine reports after Phase A.
+type phaseOut struct {
+	payload int64
+	send    bool
+	stopped bool
+}
+
+// roundIn is what the coordinator hands a process goroutine.
+type roundIn struct {
+	round int
+	inbox []sim.Recv
+}
+
+// Run executes the protocol under adv with one goroutine per process.
+// It mirrors sim.Execution's semantics and returns the same Result.
+func Run(cfg sim.Config, procs []sim.Process, inputs []int, adv sim.Adversary, advSeed uint64) (*sim.Result, error) {
+	n := cfg.N
+	if n <= 0 || len(procs) != n || len(inputs) != n {
+		return nil, fmt.Errorf("netsim: inconsistent sizes: n=%d procs=%d inputs=%d", n, len(procs), len(inputs))
+	}
+	if cfg.T < 0 || cfg.T > n {
+		return nil, fmt.Errorf("netsim: T = %d out of [0, %d]", cfg.T, n)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = sim.DefaultMaxRounds(n)
+	}
+
+	ins := make([]chan roundIn, n)
+	outs := make([]chan phaseOut, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ins[i] = make(chan roundIn)
+		outs[i] = make(chan phaseOut, 1)
+		wg.Add(1)
+		go func(p sim.Process, in chan roundIn, out chan phaseOut) {
+			defer wg.Done()
+			for msg := range in {
+				payload, send := p.Round(msg.round, msg.inbox)
+				out <- phaseOut{payload: payload, send: send, stopped: p.Stopped()}
+			}
+		}(procs[i], ins[i], outs[i])
+	}
+	defer func() {
+		for _, ch := range ins {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+
+	var (
+		alive       = make([]bool, n)
+		halted      = make([]bool, n)
+		decidedSeen = make([]bool, n)
+		payloads    = make([]int64, n)
+		sending     = make([]bool, n)
+		inboxes     = make([][]sim.Recv, n)
+		advRng      = rng.New(advSeed)
+		crashed     = 0
+
+		decideRound, haltRound int
+	)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	active := func() bool {
+		for i := range alive {
+			if alive[i] && !halted[i] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for r := 1; active(); r++ {
+		if r > cfg.MaxRounds {
+			return nil, fmt.Errorf("%w (netsim, adversary %q)", sim.ErrMaxRounds, adv.Name())
+		}
+
+		// Phase A, concurrently on every live process goroutine.
+		for i := 0; i < n; i++ {
+			if alive[i] && !halted[i] {
+				ins[i] <- roundIn{round: r, inbox: inboxes[i]}
+			} else {
+				sending[i] = false
+			}
+		}
+		stoppedNow := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if alive[i] && !halted[i] {
+				o := <-outs[i]
+				payloads[i], sending[i], stoppedNow[i] = o.payload, o.send, o.stopped
+			}
+		}
+
+		// Consult the adversary (no Exec: see package doc).
+		view := &sim.View{
+			Round:    r,
+			N:        n,
+			T:        cfg.T,
+			Budget:   cfg.T - crashed,
+			Alive:    alive,
+			Halted:   halted,
+			Sending:  sending,
+			Payloads: payloads,
+			Procs:    procs,
+			Rng:      advRng,
+		}
+		if obs := cfg.Observer; obs != nil {
+			obs.OnRound(r, view)
+		}
+		deliver := make([]*sim.BitSet, n)
+		for _, plan := range adv.Plan(view) {
+			v := plan.Victim
+			if v < 0 || v >= n || !alive[v] || crashed >= cfg.T {
+				continue
+			}
+			alive[v] = false
+			crashed++
+			if plan.Deliver != nil {
+				deliver[v] = plan.Deliver.Clone()
+			} else {
+				deliver[v] = sim.NewBitSet(n)
+			}
+			if obs := cfg.Observer; obs != nil {
+				d := 0
+				if sending[v] {
+					d = deliver[v].Count()
+				}
+				obs.OnCrash(r, v, d)
+			}
+		}
+
+		// Phase B: route messages.
+		next := make([][]sim.Recv, n)
+		for i := 0; i < n; i++ {
+			if !sending[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] || halted[j] || stoppedNow[j] {
+					continue
+				}
+				if deliver[i] != nil && !deliver[i].Get(j) {
+					continue
+				}
+				next[j] = append(next[j], sim.Recv{From: i, Payload: payloads[i]})
+			}
+		}
+		inboxes = next
+
+		// Bookkeeping mirrors the sequential engine.
+		allDecided := true
+		anyActive := false
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			if dv, ok := procs[i].Decided(); !ok {
+				allDecided = false
+			} else if !decidedSeen[i] {
+				decidedSeen[i] = true
+				if obs := cfg.Observer; obs != nil {
+					obs.OnDecide(r, i, dv)
+				}
+			}
+			if !halted[i] && stoppedNow[i] {
+				halted[i] = true
+				if obs := cfg.Observer; obs != nil {
+					obs.OnHalt(r, i)
+				}
+			}
+			if alive[i] && !halted[i] {
+				anyActive = true
+			}
+		}
+		if decideRound == 0 && allDecided {
+			decideRound = r
+		}
+		if haltRound == 0 && !anyActive {
+			haltRound = r
+		}
+	}
+
+	return assemble(procs, inputs, alive, decideRound, haltRound, crashed), nil
+}
+
+// assemble builds a sim.Result identical in semantics to the sequential
+// engine's Result method.
+func assemble(procs []sim.Process, inputs []int, alive []bool, decideRound, haltRound, crashed int) *sim.Result {
+	n := len(procs)
+	res := &sim.Result{
+		DecideRounds: decideRound,
+		HaltRounds:   haltRound,
+		Crashes:      crashed,
+		Decisions:    make([]int, n),
+		Decided:      make([]bool, n),
+		Inputs:       append([]int(nil), inputs...),
+	}
+	for i := range res.Decisions {
+		res.Decisions[i] = -1
+	}
+	common := -1
+	agreement := true
+	for i, p := range procs {
+		if !alive[i] {
+			continue
+		}
+		res.Survivors++
+		v, ok := p.Decided()
+		if !ok {
+			agreement = false
+			continue
+		}
+		res.Decisions[i] = v
+		res.Decided[i] = true
+		if common == -1 {
+			common = v
+		} else if common != v {
+			agreement = false
+		}
+	}
+	res.Agreement = agreement
+	res.Validity = true
+	allSame := true
+	for _, x := range inputs[1:] {
+		if x != inputs[0] {
+			allSame = false
+		}
+	}
+	if allSame && n > 0 {
+		for i := range procs {
+			if res.Decided[i] && res.Decisions[i] != inputs[0] {
+				res.Validity = false
+			}
+		}
+	}
+	if res.Survivors == 0 {
+		res.Agreement = true
+	}
+	return res
+}

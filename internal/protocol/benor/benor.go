@@ -1,0 +1,23 @@
+// Package benor provides the symmetric-coin baseline the paper starts
+// from: Ben-Or's randomized agreement [BO83] transplanted to the
+// synchronous fail-stop model. Concretely it is SynRan with the
+// one-side-bias rule removed (the paper describes SynRan as "similar to
+// Ben-Or's algorithm, but to raise the immunity to fail-stop failures we
+// use a 'one-side-bias' coin flipping function instead of the symmetric
+// coin flipping used in the original algorithm").
+//
+// The symmetric variant is a correct consensus protocol only while the
+// adversary cannot crash a constant fraction of the surviving processes
+// within a round or two; experiment E5 demonstrates the validity
+// violation that the one-side bias repairs.
+package benor
+
+import (
+	"synran/internal/core"
+	"synran/internal/sim"
+)
+
+// NewProcs builds the symmetric-coin process vector.
+func NewProcs(n int, inputs []int, seed uint64) ([]sim.Process, error) {
+	return core.NewProcs(n, inputs, seed, core.Options{SymmetricCoin: true})
+}

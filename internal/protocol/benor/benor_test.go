@@ -1,0 +1,58 @@
+package benor
+
+import (
+	"testing"
+
+	"synran/internal/adversary"
+	"synran/internal/sim"
+)
+
+func TestSymmetricVariantAgreesWithoutFaults(t *testing.T) {
+	const n = 32
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	procs, err := NewProcs(n, inputs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: 0}, procs, inputs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(adversary.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("agreement=%v validity=%v", res.Agreement, res.Validity)
+	}
+}
+
+func TestSymmetricVariantAgreesUnderMildFaults(t *testing.T) {
+	// With a mild adversary (far below the crash rates that break the
+	// symmetric coin), the baseline still satisfies agreement.
+	const n = 32
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		procs, err := NewProcs(n, inputs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := sim.NewExecution(sim.Config{N: n, T: 4}, procs, inputs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(&adversary.Random{PerRound: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agreement {
+			t.Fatalf("seed %d: agreement violated: %v", seed, res.Decisions)
+		}
+	}
+}

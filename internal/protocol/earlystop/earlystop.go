@@ -1,0 +1,140 @@
+// Package earlystop implements the early-stopping variant of
+// deterministic crash-fault consensus: like FloodSet it tolerates any
+// number of crashes, but instead of always flooding for t+1 rounds it
+// decides after the first CLEAN round — a round in which no process it
+// can observe disappeared. With f actual crashes it halts in at most
+// f+2 exchange rounds (min(f+2, t+1) is the classic bound), which makes
+// it the fair deterministic baseline when the adversary does not spend
+// its whole budget.
+//
+// The decision logic is the standard "decide when your receive set is
+// stable and you have flooded your witness set one extra round":
+// a process tracks the sender set of each round; a round whose sender
+// set equals the previous round's is clean, and after one further
+// broadcast the witness sets of all live processes are provably equal.
+package earlystop
+
+import (
+	"fmt"
+
+	"synran/internal/sim"
+	"synran/internal/wire"
+)
+
+// Proc is one early-stopping process. It implements sim.Process.
+type Proc struct {
+	id     int
+	bound  int // t+1 fallback bound on flooding rounds
+	mask   int64
+	sent   int
+	peers  map[int]bool // senders heard in the previous round
+	clean  bool         // a clean round has been observed
+	linger int          // extra broadcasts after the clean round
+	done   bool
+	dec    int
+}
+
+var _ sim.Process = (*Proc)(nil)
+
+// NewProc builds an early-stopping process; t is the crash budget used
+// for the fallback bound.
+func NewProc(id, input, t int) (*Proc, error) {
+	if input != 0 && input != 1 {
+		return nil, fmt.Errorf("earlystop: input %d, want 0 or 1", input)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("earlystop: t = %d, want >= 0", t)
+	}
+	return &Proc{id: id, bound: t + 1, mask: wire.ValueMask(input)}, nil
+}
+
+// NewProcs builds the full process vector.
+func NewProcs(n, t int, inputs []int) ([]sim.Process, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("earlystop: %d inputs for n=%d", len(inputs), n)
+	}
+	procs := make([]sim.Process, n)
+	for i := range procs {
+		p, err := NewProc(i, inputs[i], t)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = p
+	}
+	return procs, nil
+}
+
+// Round implements sim.Process.
+func (p *Proc) Round(r int, inbox []sim.Recv) (int64, bool) {
+	if p.done {
+		return 0, false
+	}
+	senders := make(map[int]bool, len(inbox))
+	for _, m := range inbox {
+		p.mask |= m.Payload & wire.MaskBoth
+		senders[m.From] = true
+	}
+	if r > 2 {
+		// A clean round: every process heard last round was heard again.
+		// (Senders can only disappear in the crash model, so set equality
+		// is containment of the previous set in the current one.) The
+		// check needs two consecutive OBSERVED rounds, so it is armed only
+		// from the third callback on — comparing round 1 against the empty
+		// pre-history would declare every first round "clean" and decide
+		// before any crash information could have propagated.
+		stable := true
+		for from := range p.peers {
+			if !senders[from] {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			p.clean = true
+		}
+	}
+	p.peers = senders
+
+	switch {
+	case p.clean && p.linger >= 1:
+		// One broadcast after the clean round has been made and its
+		// echoes consumed: every live process has the same witness set.
+		p.decide()
+		return 0, false
+	case p.sent >= p.bound:
+		// Fallback: the classic t+1 flood bound.
+		p.decide()
+		return 0, false
+	default:
+		if p.clean {
+			p.linger++
+		}
+		p.sent++
+		return p.mask, true
+	}
+}
+
+func (p *Proc) decide() {
+	if p.mask == wire.MaskOne {
+		p.dec = 1
+	} else {
+		p.dec = 0
+	}
+	p.done = true
+}
+
+// Decided implements sim.Process.
+func (p *Proc) Decided() (int, bool) { return p.dec, p.done }
+
+// Stopped implements sim.Process.
+func (p *Proc) Stopped() bool { return p.done }
+
+// Clone implements sim.Process.
+func (p *Proc) Clone() sim.Process {
+	c := *p
+	c.peers = make(map[int]bool, len(p.peers))
+	for k, v := range p.peers {
+		c.peers[k] = v
+	}
+	return &c
+}

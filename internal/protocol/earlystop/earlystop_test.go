@@ -1,0 +1,152 @@
+package earlystop
+
+import (
+	"testing"
+	"testing/quick"
+
+	"synran/internal/adversary"
+	"synran/internal/sim"
+)
+
+func runES(t *testing.T, n, tt int, inputs []int, adv sim.Adversary, seed uint64) *sim.Result {
+	t.Helper()
+	procs, err := NewProcs(n, tt, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: tt}, procs, inputs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEarlyStopNoFaultsIsFast(t *testing.T) {
+	// With zero actual crashes the first clean round is round 2, the
+	// linger broadcast is round 2's, and the decision lands in round 3 —
+	// regardless of the budget t.
+	for _, tt := range []int{0, 5, 20} {
+		n := tt + 4
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = i % 2
+		}
+		res := runES(t, n, tt, inputs, adversary.None{}, 1)
+		if !res.Agreement || !res.Validity {
+			t.Fatalf("t=%d: unsafe", tt)
+		}
+		want := 4 // first observable clean pair (r1, r2) + linger, decide in round 4
+		if tt+2 < want {
+			want = tt + 2 // the t+1 flood fallback is even shorter for tiny t
+		}
+		if res.HaltRounds != want {
+			t.Fatalf("t=%d: halted in %d rounds, want %d (early stopping)", tt, res.HaltRounds, want)
+		}
+	}
+}
+
+func TestEarlyStopScalesWithActualCrashes(t *testing.T) {
+	// One crash per round for f rounds: decision in about f+3 rounds,
+	// far below the t+2 worst case when f << t.
+	const n = 20
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	for _, f := range []int{1, 3, 6} {
+		plans := make(map[int][]sim.CrashPlan)
+		for r := 1; r <= f; r++ {
+			plans[r] = []sim.CrashPlan{{Victim: n - r}}
+		}
+		res := runES(t, n, n-1, inputs, &adversary.Schedule{Plans: plans}, 1)
+		if !res.Agreement || !res.Validity {
+			t.Fatalf("f=%d: unsafe", f)
+		}
+		if res.HaltRounds > f+4 {
+			t.Fatalf("f=%d: halted in %d rounds, want <= f+4 (early stopping)", f, res.HaltRounds)
+		}
+		if res.HaltRounds >= n {
+			t.Fatalf("f=%d: no early stopping at all (%d rounds)", f, res.HaltRounds)
+		}
+	}
+}
+
+func TestEarlyStopAgreementUnderChain(t *testing.T) {
+	// The classic hidden-value chain: p0 holds the only 1, each crasher
+	// leaks it to exactly one successor.
+	const n = 6
+	inputs := []int{1, 0, 0, 0, 0, 0}
+	plans := make(map[int][]sim.CrashPlan)
+	for r := 1; r < n-1; r++ {
+		mask := sim.NewBitSet(n)
+		mask.Set(r) // only p_r hears the dying p_{r-1}
+		plans[r] = []sim.CrashPlan{{Victim: r - 1, Deliver: mask}}
+	}
+	res := runES(t, n, n-1, inputs, &adversary.Schedule{Plans: plans}, 1)
+	if !res.Agreement {
+		t.Fatalf("agreement violated under chain crash: %v", res.Decisions)
+	}
+	if !res.Validity {
+		t.Fatalf("validity violated: %v", res.Decisions)
+	}
+}
+
+func TestEarlyStopSafetyQuick(t *testing.T) {
+	f := func(nRaw, tRaw uint8, bits uint32, seed uint64) bool {
+		n := int(nRaw%12) + 1
+		tt := int(tRaw) % (n + 1)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = int(bits>>uint(i%32)) & 1
+		}
+		procs, err := NewProcs(n, tt, inputs)
+		if err != nil {
+			return false
+		}
+		exec, err := sim.NewExecution(sim.Config{N: n, T: tt}, procs, inputs, seed)
+		if err != nil {
+			return false
+		}
+		res, err := exec.Run(&adversary.Random{PerRound: 0.7, MaxPerRound: 2})
+		if err != nil {
+			return false
+		}
+		return res.Agreement && res.Validity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyStopValidation(t *testing.T) {
+	if _, err := NewProc(0, 2, 1); err == nil {
+		t.Fatal("bad input must be rejected")
+	}
+	if _, err := NewProc(0, 0, -1); err == nil {
+		t.Fatal("negative t must be rejected")
+	}
+	if _, err := NewProcs(3, 1, []int{0}); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+}
+
+func TestEarlyStopCloneIsDeep(t *testing.T) {
+	p, err := NewProc(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Round(1, nil)
+	p.Round(2, []sim.Recv{{From: 1, Payload: 1}})
+	c := p.Clone().(*Proc)
+	p.Round(3, nil)
+	if c.done {
+		t.Fatal("clone advanced with the original")
+	}
+	if len(c.peers) != 1 {
+		t.Fatalf("clone peers = %v, want the round-2 sender", c.peers)
+	}
+}

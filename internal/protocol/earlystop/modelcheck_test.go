@@ -1,0 +1,107 @@
+package earlystop
+
+import (
+	"testing"
+
+	"synran/internal/adversary"
+	"synran/internal/sim"
+)
+
+// TestRegressionVacuousCleanRound pins the exact failing case found by
+// testing/quick before the r > 2 guard existed: two partial-delivery
+// crashes in the first two rounds split the witnessed sets while every
+// process's first observed round looked "clean" against the empty
+// pre-history, so p2 decided {1} and p3 decided {0, 1}.
+func TestRegressionVacuousCleanRound(t *testing.T) {
+	const (
+		n    = 4
+		tt   = 2
+		seed = uint64(0xbdd06dd1213da07f)
+	)
+	inputs := []int{0, 1, 1, 1}
+	res := runES(t, n, tt, inputs, &adversary.Random{PerRound: 0.7, MaxPerRound: 2}, seed)
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("regression: agreement=%v validity=%v decisions=%v",
+			res.Agreement, res.Validity, res.Decisions)
+	}
+}
+
+// TestModelCheckEarlyStop exhaustively explores every input vector and
+// every ONE- and TWO-crash adversary choice (round × victim × mask from
+// {silent, full, singletons}) at n = 4. The protocol is deterministic,
+// so this is a complete verification over the bounded action space —
+// the counterpart of core's coin-enumerating model checker.
+func TestModelCheckEarlyStop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive crash-pair exploration takes a couple of seconds")
+	}
+	const n = 4
+	type choice struct {
+		round, victim int
+		mask          *sim.BitSet
+	}
+	var choices []choice
+	for r := 1; r <= 4; r++ {
+		for v := 0; v < n; v++ {
+			masks := []*sim.BitSet{nil}
+			full := sim.NewBitSet(n)
+			full.Fill()
+			masks = append(masks, full)
+			for j := 0; j < n; j++ {
+				if j == v {
+					continue
+				}
+				m := sim.NewBitSet(n)
+				m.Set(j)
+				masks = append(masks, m)
+			}
+			for _, m := range masks {
+				choices = append(choices, choice{r, v, m})
+			}
+		}
+	}
+
+	runCase := func(inputs []int, cs []choice) {
+		t.Helper()
+		plans := make(map[int][]sim.CrashPlan)
+		victims := map[int]bool{}
+		for _, c := range cs {
+			if victims[c.victim] {
+				return // same victim twice is not a new behaviour
+			}
+			victims[c.victim] = true
+			plans[c.round] = append(plans[c.round], sim.CrashPlan{Victim: c.victim, Deliver: c.mask})
+		}
+		res := runES(t, n, len(cs), inputs, &adversary.Schedule{Plans: plans}, 1)
+		if !res.Agreement || !res.Validity {
+			t.Fatalf("MODEL CHECK VIOLATION: inputs=%v choices=%+v decisions=%v",
+				inputs, cs, res.Decisions)
+		}
+	}
+
+	executions := 0
+	for m := 0; m < 1<<n; m++ {
+		inputs := make([]int, n)
+		for i := 0; i < n; i++ {
+			inputs[i] = (m >> i) & 1
+		}
+		// Zero and one crash.
+		runCase(inputs, nil)
+		executions++
+		for _, c := range choices {
+			runCase(inputs, []choice{c})
+			executions++
+		}
+		// Two crashes (ordered pairs with distinct victims).
+		for i, c1 := range choices {
+			for _, c2 := range choices[i:] {
+				if c1.victim == c2.victim {
+					continue
+				}
+				runCase(inputs, []choice{c1, c2})
+				executions++
+			}
+		}
+	}
+	t.Logf("explored %d executions exhaustively", executions)
+}

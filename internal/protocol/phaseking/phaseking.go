@@ -1,0 +1,163 @@
+// Package phaseking implements the Phase King Byzantine agreement
+// protocol (Berman–Garay–Perry) for the synchronous model with n > 4t:
+// t+1 phases of two rounds each — a universal-exchange round followed by
+// the phase king's broadcast — deciding after the last phase. It is the
+// deterministic Θ(t)-round Byzantine baseline the paper's introduction
+// refers to ("efficient t+1 round agreement protocols are known even for
+// Byzantine adversaries [GM93]"; Phase King is the textbook polynomial
+// protocol in that family, trading a factor ~2 in rounds for
+// simplicity).
+//
+// Resilience: agreement and validity among the CORRECT processes hold
+// whenever fewer than n/4 processes are Byzantine. The two standard
+// lemmas: (persistence) if every correct process starts a phase with the
+// same value v, the count C_i ≥ n − t > n/2 + t keeps them on v; (king
+// round) in a phase whose king is correct, every correct process ends
+// the phase with the same value — either its strong majority (> n/2 + t,
+// which forces the king itself to have seen a majority of that value) or
+// the king's value. With t+1 phases, some king is correct.
+package phaseking
+
+import (
+	"fmt"
+
+	"synran/internal/sim"
+	"synran/internal/wire"
+)
+
+// Proc is one Phase King process. It implements sim.Process.
+type Proc struct {
+	id int
+	n  int
+	t  int
+
+	v       int
+	maj     int
+	count   int
+	phase   int // 1-based
+	done    bool
+	decided int
+}
+
+var _ sim.Process = (*Proc)(nil)
+
+// NewProc builds one Phase King process. The protocol is t-resilient
+// only for n > 4t; the constructor enforces it so misconfigured
+// experiments fail loudly rather than silently losing agreement.
+func NewProc(id, n, t, input int) (*Proc, error) {
+	if input != 0 && input != 1 {
+		return nil, fmt.Errorf("phaseking: input %d, want 0 or 1", input)
+	}
+	if n <= 4*t {
+		return nil, fmt.Errorf("phaseking: n = %d, t = %d violates n > 4t", n, t)
+	}
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("phaseking: id %d out of range", id)
+	}
+	return &Proc{id: id, n: n, t: t, v: input, phase: 1}, nil
+}
+
+// NewProcs builds the full process vector.
+func NewProcs(n, t int, inputs []int) ([]sim.Process, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("phaseking: %d inputs for n=%d", len(inputs), n)
+	}
+	procs := make([]sim.Process, n)
+	for i := range procs {
+		p, err := NewProc(i, n, t, inputs[i])
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = p
+	}
+	return procs, nil
+}
+
+// King returns the id of the phase's king (1-based phase).
+func King(phase, n int) int { return (phase - 1) % n }
+
+// Phases returns the phase count, t+1.
+func (p *Proc) Phases() int { return p.t + 1 }
+
+// Round implements sim.Process. Engine round 2k−1 is phase k's exchange
+// round; engine round 2k is phase k's king round. Callback r consumes
+// the messages of engine round r−1.
+func (p *Proc) Round(r int, inbox []sim.Recv) (int64, bool) {
+	if p.done {
+		return 0, false
+	}
+	switch {
+	case r == 1:
+		// Phase 1 exchange broadcast.
+		return wire.Plain(p.v), true
+
+	case r%2 == 0:
+		// Consume the exchange round: tally the universal votes.
+		ones, zeros := 0, 0
+		for _, m := range inbox {
+			if wire.Bit(m.Payload) == 1 {
+				ones++
+			} else {
+				zeros++
+			}
+		}
+		if p.v == 1 {
+			ones++
+		} else {
+			zeros++
+		}
+		if ones > zeros {
+			p.maj, p.count = 1, ones
+		} else {
+			p.maj, p.count = 0, zeros
+		}
+		// King round broadcast: only the phase king speaks.
+		if King(p.phase, p.n) == p.id {
+			return wire.Plain(p.maj), true
+		}
+		return 0, false
+
+	default:
+		// Consume the king round and close the phase.
+		kingVal, heard := 0, false
+		kid := King(p.phase, p.n)
+		if kid == p.id {
+			kingVal, heard = p.maj, true
+		} else {
+			for _, m := range inbox {
+				if m.From == kid {
+					kingVal, heard = wire.Bit(m.Payload), true
+					break
+				}
+			}
+		}
+		if 2*p.count > p.n+2*p.t {
+			// Strong majority: keep it regardless of the king.
+			p.v = p.maj
+		} else if heard {
+			p.v = kingVal
+		} else {
+			p.v = 0 // silent (crashed) king: the common default
+		}
+		p.phase++
+		if p.phase > p.Phases() {
+			p.decided = p.v
+			p.done = true
+			return 0, false
+		}
+		// Next phase's exchange broadcast.
+		return wire.Plain(p.v), true
+	}
+}
+
+// Decided implements sim.Process.
+func (p *Proc) Decided() (int, bool) { return p.decided, p.done }
+
+// Stopped implements sim.Process.
+func (p *Proc) Stopped() bool { return p.done }
+
+// Clone implements sim.Process.
+func (p *Proc) Clone() sim.Process {
+	c := *p
+	return &c
+}

@@ -1,0 +1,156 @@
+package phaseking
+
+import (
+	"testing"
+	"testing/quick"
+
+	"synran/internal/adversary"
+	"synran/internal/sim"
+)
+
+func runPK(t *testing.T, n, tt int, inputs []int, adv sim.Adversary, seed uint64) *sim.Result {
+	t.Helper()
+	procs, err := NewProcs(n, tt, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: tt}, procs, inputs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewProc(0, 8, 2, 0); err == nil {
+		t.Fatal("n = 4t must be rejected")
+	}
+	if _, err := NewProc(0, 9, 2, 2); err == nil {
+		t.Fatal("input 2 must be rejected")
+	}
+	if _, err := NewProc(9, 9, 2, 0); err == nil {
+		t.Fatal("id out of range must be rejected")
+	}
+}
+
+func TestKingRotation(t *testing.T) {
+	if King(1, 9) != 0 || King(2, 9) != 1 || King(10, 9) != 0 {
+		t.Fatal("king rotation broken")
+	}
+}
+
+func TestFaultFreeAgreesAndTakesTPlusOnePhases(t *testing.T) {
+	const n, tt = 9, 2
+	inputs := []int{1, 0, 1, 0, 1, 0, 1, 0, 1}
+	res := runPK(t, n, tt, inputs, adversary.None{}, 1)
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("agreement=%v validity=%v", res.Agreement, res.Validity)
+	}
+	// t+1 phases × 2 rounds, plus the closing callback round.
+	want := 2*(tt+1) + 1
+	if res.HaltRounds != want {
+		t.Fatalf("halted in %d rounds, want %d", res.HaltRounds, want)
+	}
+}
+
+func TestUnanimousValidity(t *testing.T) {
+	const n, tt = 9, 2
+	for _, v := range []int{0, 1} {
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = v
+		}
+		res := runPK(t, n, tt, inputs, adversary.None{}, 1)
+		if res.DecidedValue() != v {
+			t.Fatalf("all-%d inputs decided %d", v, res.DecidedValue())
+		}
+	}
+}
+
+func TestAgreementUnderEquivocation(t *testing.T) {
+	// Corrupt the kings of the first t phases (ids 0..t-1 and beyond, up
+	// to t corruptions): the correct king of a later phase must still
+	// align every correct process.
+	const n, tt = 9, 2
+	for seed := uint64(1); seed <= 5; seed++ {
+		inputs := []int{1, 0, 1, 0, 1, 0, 1, 0, 1}
+		res := runPK(t, n, tt, inputs, &adversary.Equivocator{Corruptions: tt}, seed)
+		if !res.Agreement {
+			t.Fatalf("seed %d: correct processes disagree: %v", seed, res.Decisions)
+		}
+		if !res.Validity {
+			t.Fatalf("seed %d: validity violated: %v", seed, res.Decisions)
+		}
+		if res.Survivors != n-tt {
+			t.Fatalf("seed %d: survivors = %d, want %d correct", seed, res.Survivors, n-tt)
+		}
+	}
+}
+
+func TestUnanimousCorrectSurvivesEquivocation(t *testing.T) {
+	// Persistence: correct processes all start with 1; Byzantine noise
+	// must not flip any of them (n - t - 1 >= ... the standard lemma).
+	const n, tt = 13, 3
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = 1
+	}
+	res := runPK(t, n, tt, inputs, &adversary.Equivocator{Corruptions: tt}, 3)
+	if !res.Validity || res.DecidedValue() != 1 {
+		t.Fatalf("validity=%v decided=%d, want 1", res.Validity, res.DecidedValue())
+	}
+}
+
+func TestAgreementUnderCrashes(t *testing.T) {
+	// Phase King also tolerates plain crashes (weaker than Byzantine).
+	const n, tt = 9, 2
+	res := runPK(t, n, tt, []int{1, 0, 1, 0, 1, 0, 1, 0, 1},
+		&adversary.Random{PerRound: 0.5, MaxPerRound: 1}, 7)
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("agreement=%v validity=%v", res.Agreement, res.Validity)
+	}
+}
+
+func TestSafetyQuick(t *testing.T) {
+	f := func(tRaw uint8, bits uint32, seed uint64) bool {
+		tt := int(tRaw % 3)
+		n := 4*tt + 1 + int(bits%3) // keeps n > 4t
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = int(bits>>uint(i%32)) & 1
+		}
+		procs, err := NewProcs(n, tt, inputs)
+		if err != nil {
+			return false
+		}
+		exec, err := sim.NewExecution(sim.Config{N: n, T: tt}, procs, inputs, seed)
+		if err != nil {
+			return false
+		}
+		res, err := exec.Run(&adversary.Equivocator{Corruptions: tt})
+		if err != nil {
+			return false
+		}
+		return res.Agreement && res.Validity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p, err := NewProc(0, 9, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Round(1, nil)
+	c := p.Clone().(*Proc)
+	p.Round(2, nil)
+	if c.phase != 1 {
+		t.Fatalf("clone advanced with the original: phase=%d", c.phase)
+	}
+}

@@ -1,0 +1,250 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds agreed on %d/100 outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1again := parent.Split(1)
+
+	// Same key twice from an unadvanced parent gives the same stream.
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c1again.Uint64() {
+			t.Fatalf("Split(1) not deterministic at step %d", i)
+		}
+	}
+	// Different keys give different streams.
+	c1 = parent.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling streams agreed on %d/100 outputs", same)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	_ = a.Split(5)
+	_ = a.Split(6)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split advanced the parent stream (step %d)", i)
+		}
+	}
+}
+
+func TestCloneReplays(t *testing.T) {
+	a := New(3)
+	for i := 0; i < 17; i++ {
+		a.Uint64()
+	}
+	c := a.Clone()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != c.Uint64() {
+			t.Fatalf("clone diverged at step %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const trials = 100000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBitFairness(t *testing.T) {
+	r := New(123)
+	const trials = 100000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		ones += r.Bit()
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Bit() fraction of ones = %v, want ~0.5", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	for _, n := range []int{0, 1, 2, 5, 64} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformity(t *testing.T) {
+	// Chi-squared sanity test on permutations of 3 elements: 6 outcomes.
+	r := New(77)
+	counts := make(map[[3]int]int)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		p := r.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	want := float64(trials) / 6
+	for perm, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("permutation %v count %d deviates from %v", perm, c, want)
+		}
+	}
+}
+
+func TestIntnUniformQuick(t *testing.T) {
+	r := New(13)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSeed(t *testing.T) {
+	r := New(0)
+	// Must not be the degenerate all-zero xoshiro state.
+	allZero := true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("seed 0 produced a degenerate stream")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(1000)
+	}
+	_ = sink
+}
+
+func TestBoolFairness(t *testing.T) {
+	r := New(55)
+	trues := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	frac := float64(trues) / trials
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Bool() fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestIntnSmallBoundsUnbiased(t *testing.T) {
+	// Exercises the rejection path in boundedUint64 (n=3 has a nonzero
+	// threshold) and checks uniformity.
+	r := New(66)
+	counts := [3]int{}
+	const trials = 90000
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(3)]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-trials/3.0) > 0.05*trials/3.0 {
+			t.Fatalf("Intn(3) value %d count %d deviates from uniform", v, c)
+		}
+	}
+}

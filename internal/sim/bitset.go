@@ -1,0 +1,65 @@
+package sim
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bit set used to describe which receivers a
+// crashing process's final-round message still reaches (per-message
+// fail-stop granularity, Section 3.1 of the paper).
+type BitSet struct {
+	n     int
+	words []uint64
+}
+
+// NewBitSet returns an empty bit set over [0, n).
+func NewBitSet(n int) *BitSet {
+	return &BitSet{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the capacity of the set.
+func (b *BitSet) Len() int { return b.n }
+
+// Set marks index i as present.
+func (b *BitSet) Set(i int) {
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear marks index i as absent.
+func (b *BitSet) Clear(i int) {
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get reports whether index i is present.
+func (b *BitSet) Get(i int) bool {
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Fill marks every index as present.
+func (b *BitSet) Fill() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// Count returns the number of present indices.
+func (b *BitSet) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy of the set.
+func (b *BitSet) Clone() *BitSet {
+	c := &BitSet{n: b.n, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// trim clears bits beyond the logical length so Count stays exact.
+func (b *BitSet) trim() {
+	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	b := NewBitSet(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Fatalf("empty set Count = %d", b.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("Get(%d) = false after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("Get(64) = true after Clear")
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d after Clear, want 7", b.Count())
+	}
+}
+
+func TestBitSetFill(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		b := NewBitSet(n)
+		b.Fill()
+		if b.Count() != n {
+			t.Fatalf("Fill(%d): Count = %d", n, b.Count())
+		}
+		for i := 0; i < n; i++ {
+			if !b.Get(i) {
+				t.Fatalf("Fill(%d): bit %d not set", n, i)
+			}
+		}
+	}
+}
+
+func TestBitSetClone(t *testing.T) {
+	b := NewBitSet(70)
+	b.Set(3)
+	b.Set(69)
+	c := b.Clone()
+	c.Set(10)
+	if b.Get(10) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	if !c.Get(3) || !c.Get(69) {
+		t.Fatal("clone lost bits")
+	}
+}
+
+func TestBitSetCountMatchesNaive(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitSet(512)
+		seen := make(map[int]bool)
+		for _, raw := range idxs {
+			i := int(raw) % 512
+			b.Set(i)
+			seen[i] = true
+		}
+		return b.Count() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+func runDigested(t *testing.T, seed uint64, crashRound int) string {
+	t.Helper()
+	const n = 5
+	inputs := []int{0, 1, 0, 1, 0}
+	procs := mkProcs(n, 2, 4, inputs)
+	d := NewDigest()
+	e, err := NewExecution(Config{N: n, T: 1, Observer: d}, procs, inputs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &planAdversary{plans: map[int][]CrashPlan{
+		crashRound: {{Victim: 2}},
+	}}
+	if _, err := e.Run(adv); err != nil {
+		t.Fatal(err)
+	}
+	return d.String()
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	a := runDigested(t, 7, 2)
+	b := runDigested(t, 7, 2)
+	if a != b {
+		t.Fatalf("identical executions digest differently: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("digest %q is not 16 hex chars", a)
+	}
+}
+
+func TestDigestSensitive(t *testing.T) {
+	a := runDigested(t, 7, 2)
+	b := runDigested(t, 7, 3) // crash one round later
+	if a == b {
+		t.Fatal("different executions produced the same digest")
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	d := NewDigest()
+	if d.Sum() == 0 {
+		t.Fatal("empty digest must be the FNV offset basis, not zero")
+	}
+}

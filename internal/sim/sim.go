@@ -1,0 +1,642 @@
+// Package sim implements the synchronous distributed system model of
+// Bar-Joseph & Ben-Or (PODC 1998), Section 3.1: n processes computing in
+// lock-step rounds, each round split into Phase A (local coin flips and
+// computation, producing the round's outgoing message) and Phase B
+// (message exchange), under the control of a fail-stop,
+// adaptive-strongly-dynamic, computationally unbounded, full-information
+// adversary.
+//
+// The adversary is consulted after Phase A of every round, when it can
+// inspect every process's local state and the messages they are about to
+// send, and may then crash processes mid-exchange so that only a chosen
+// subset of a victim's round-r messages is delivered. A crashed process
+// never sends again. Communication links are perfectly reliable: every
+// message not censored by a crash is delivered at the end of the round.
+//
+// The engine is deliberately sequential and deterministic: given a seed,
+// an execution is exactly reproducible, and executions can be cloned
+// mid-round, which is what the Monte-Carlo valency analysis in
+// internal/valency uses to implement the paper's look-ahead adversary.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"synran/internal/rng"
+)
+
+// Process is one participant's protocol state machine. Implementations
+// must be deterministic given their rng stream and inbox sequence, and
+// must support deep copying via Clone so executions can be snapshotted.
+type Process interface {
+	// Round executes Phase A of round r (r starts at 1): consume the
+	// messages delivered at the end of the previous round (nil for r==1)
+	// and return the payload this process broadcasts in round r.
+	// send=false means the process broadcasts nothing this round.
+	// The inbox slice is only valid for the duration of the call.
+	Round(r int, inbox []Recv) (payload int64, send bool)
+
+	// Decided reports the process's irrevocable decision, if any.
+	Decided() (value int, ok bool)
+
+	// Stopped reports whether the process has halted voluntarily: it will
+	// not be scheduled again, and counts as non-faulty.
+	Stopped() bool
+
+	// Clone returns a deep copy of the process state.
+	Clone() Process
+}
+
+// Reseeder is implemented by processes whose future coin flips can be
+// replaced with a fresh stream. Execution.ReseedProcesses uses it so
+// Monte-Carlo rollouts of a cloned execution sample independent futures
+// (a plain Clone would replay the exact same coins).
+type Reseeder interface {
+	Reseed(seed uint64)
+}
+
+// Recv is one received message: the sender and its broadcast payload.
+// Processes do not receive their own broadcast; protocols that need it
+// (all of the ones in this repository) account for their own value
+// locally, matching the paper's "including b_i" convention.
+type Recv struct {
+	From    int
+	Payload int64
+}
+
+// CrashPlan instructs the engine to fail one process during Phase B of
+// the current round. Deliver selects which receivers still get the
+// victim's round message; nil means the message reaches no one. A
+// victim whose Deliver set is full crashes "silently": everyone hears
+// its last message, but it is dead from the next round on.
+type CrashPlan struct {
+	Victim  int
+	Deliver *BitSet
+}
+
+// View is the full-information snapshot handed to the adversary after
+// Phase A of a round. All slices are live engine state and must be
+// treated as read-only; to experiment with hypothetical futures, clone
+// Exec and drive the clone.
+type View struct {
+	Round    int
+	N        int
+	T        int
+	Budget   int // crashes the adversary may still perform
+	Alive    []bool
+	Halted   []bool
+	Corrupt  []bool
+	Sending  []bool
+	Payloads []int64 // Phase-A outputs; meaningful where Sending is true
+	Procs    []Process
+	Exec     *Execution
+	Rng      *rng.Stream
+}
+
+// AliveCount returns the number of non-crashed processes (halted
+// processes are alive: they stopped voluntarily and are non-faulty).
+func (v *View) AliveCount() int {
+	c := 0
+	for _, a := range v.Alive {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// Adversary is a (possibly adaptive, full-information) fault strategy.
+type Adversary interface {
+	// Name identifies the strategy in traces and experiment tables.
+	Name() string
+	// Plan is invoked once per round after Phase A. Plans that exceed the
+	// crash budget, name dead processes, or repeat a victim are ignored
+	// in order.
+	Plan(v *View) []CrashPlan
+	// Clone returns a deep copy, used when snapshotting executions.
+	Clone() Adversary
+}
+
+// Observer receives engine events; useful for tracing and statistics.
+type Observer interface {
+	OnRound(r int, view *View)
+	OnCrash(r int, victim int, delivered int)
+	OnDecide(r int, p int, value int)
+	OnHalt(r int, p int)
+}
+
+// Config describes one execution.
+type Config struct {
+	N         int      // number of processes
+	T         int      // adversary crash budget, 0 <= T <= N
+	MaxRounds int      // safety valve; 0 selects a generous default
+	Observer  Observer // optional
+}
+
+// DefaultMaxRounds returns the round cap used when Config.MaxRounds is
+// zero: comfortably above t+1, the worst deterministic bound.
+func DefaultMaxRounds(n int) int { return 20*n + 200 }
+
+// Execution errors.
+var (
+	// ErrMaxRounds reports that the execution hit the safety valve before
+	// every surviving process decided. For a correct protocol this means
+	// the adversary (or the round cap) is pathological.
+	ErrMaxRounds = errors.New("sim: execution exceeded MaxRounds before termination")
+)
+
+// Result summarizes a finished execution.
+type Result struct {
+	// DecideRounds is the number of rounds until every surviving process
+	// had decided — the complexity measure of the paper.
+	DecideRounds int
+	// HaltRounds is the number of rounds until every surviving process
+	// had halted (SynRan processes keep echoing briefly after deciding).
+	HaltRounds int
+	// Crashes is the number of processes the adversary failed.
+	Crashes int
+	// Messages is the total number of messages delivered — the message
+	// complexity of the execution.
+	Messages int
+	// Survivors is the number of non-faulty processes.
+	Survivors int
+	// Decisions[i] is process i's decision; valid where Decided[i].
+	Decisions []int
+	Decided   []bool
+	// Inputs echoes the initial values, for validity checking.
+	Inputs []int
+	// Agreement: all surviving processes decided, and on the same value.
+	Agreement bool
+	// Validity: if all inputs were v, every decision is v.
+	Validity bool
+}
+
+// DecidedValue returns the common decision value, or -1 if no process
+// survived (vacuous agreement) or agreement failed.
+func (r *Result) DecidedValue() int {
+	v := -1
+	for i, ok := range r.Decided {
+		if !ok {
+			continue
+		}
+		if v == -1 {
+			v = r.Decisions[i]
+		} else if v != r.Decisions[i] {
+			return -1
+		}
+	}
+	return v
+}
+
+// Execution is a running (or finished) instance of the model. Create one
+// with NewExecution, then drive it with Run, or step it manually with
+// StepPhaseA/FinishRound for adversary look-ahead.
+type Execution struct {
+	cfg    Config
+	procs  []Process
+	inputs []int
+	advRng *rng.Stream
+
+	alive       []bool
+	halted      []bool
+	corrupt     []bool
+	decidedSeen []bool
+	crashed     int
+	forged      map[int]*Forgery
+
+	round      int // last completed round
+	phaseAOpen bool
+
+	payloads []int64
+	sending  []bool
+	deliver  []*BitSet // per-sender override for the open round; nil = all
+
+	inboxes [][]Recv
+	scratch [][]Recv // double buffer for inbox construction
+
+	decideRound int // first round after which all survivors had decided
+	haltRound   int
+	messages    int // deliveries so far
+}
+
+// NewExecution validates the configuration and assembles an execution.
+// procs[i] receives inputs[i]; advSeed seeds the stream exposed to the
+// adversary through View.Rng.
+func NewExecution(cfg Config, procs []Process, inputs []int, advSeed uint64) (*Execution, error) {
+	n := cfg.N
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: N = %d, want > 0", n)
+	}
+	if len(procs) != n {
+		return nil, fmt.Errorf("sim: %d processes for N = %d", len(procs), n)
+	}
+	if len(inputs) != n {
+		return nil, fmt.Errorf("sim: %d inputs for N = %d", len(inputs), n)
+	}
+	if cfg.T < 0 || cfg.T > n {
+		return nil, fmt.Errorf("sim: T = %d out of [0, %d]", cfg.T, n)
+	}
+	for i, x := range inputs {
+		if x != 0 && x != 1 {
+			return nil, fmt.Errorf("sim: input[%d] = %d, want 0 or 1", i, x)
+		}
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds(n)
+	}
+	e := &Execution{
+		cfg:         cfg,
+		procs:       procs,
+		inputs:      append([]int(nil), inputs...),
+		advRng:      rng.New(advSeed),
+		alive:       make([]bool, n),
+		halted:      make([]bool, n),
+		corrupt:     make([]bool, n),
+		decidedSeen: make([]bool, n),
+		payloads:    make([]int64, n),
+		sending:     make([]bool, n),
+		deliver:     make([]*BitSet, n),
+		inboxes:     make([][]Recv, n),
+		scratch:     make([][]Recv, n),
+	}
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	for i := range e.inboxes {
+		e.inboxes[i] = make([]Recv, 0, n)
+		e.scratch[i] = make([]Recv, 0, n)
+	}
+	return e, nil
+}
+
+// N returns the number of processes.
+func (e *Execution) N() int { return e.cfg.N }
+
+// T returns the adversary's total crash budget.
+func (e *Execution) T() int { return e.cfg.T }
+
+// Round returns the index of the last completed round.
+func (e *Execution) Round() int { return e.round }
+
+// Budget returns the number of faults (crashes plus corruptions) the
+// adversary may still introduce.
+func (e *Execution) Budget() int { return e.cfg.T - e.crashed - e.CorruptCount() }
+
+// Alive reports whether process p has not crashed.
+func (e *Execution) Alive(p int) bool { return e.alive[p] }
+
+// Halted reports whether process p stopped voluntarily.
+func (e *Execution) Halted(p int) bool { return e.halted[p] }
+
+// Inputs returns a copy of the initial values.
+func (e *Execution) Inputs() []int { return append([]int(nil), e.inputs...) }
+
+// Process exposes process p's state machine (full-information model).
+func (e *Execution) Process(p int) Process { return e.procs[p] }
+
+// Done reports whether the execution has terminated: every correct
+// (non-crashed, non-corrupted) process has halted, or none remains.
+func (e *Execution) Done() bool {
+	for i := range e.alive {
+		if e.alive[i] && !e.corrupt[i] && !e.halted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the execution, including mid-round Phase-A
+// state, process state machines, and the adversary rng stream. Driving
+// the clone does not affect the original; identical inputs produce
+// identical continuations.
+func (e *Execution) Clone() *Execution {
+	c := &Execution{
+		cfg:         e.cfg,
+		inputs:      append([]int(nil), e.inputs...),
+		advRng:      e.advRng.Clone(),
+		alive:       append([]bool(nil), e.alive...),
+		halted:      append([]bool(nil), e.halted...),
+		corrupt:     append([]bool(nil), e.corrupt...),
+		decidedSeen: append([]bool(nil), e.decidedSeen...),
+		crashed:     e.crashed,
+		round:       e.round,
+		phaseAOpen:  e.phaseAOpen,
+		payloads:    append([]int64(nil), e.payloads...),
+		sending:     append([]bool(nil), e.sending...),
+		deliver:     make([]*BitSet, len(e.deliver)),
+		inboxes:     make([][]Recv, len(e.inboxes)),
+		scratch:     make([][]Recv, len(e.scratch)),
+		decideRound: e.decideRound,
+		haltRound:   e.haltRound,
+		messages:    e.messages,
+	}
+	c.cfg.Observer = nil // observers watch one execution, not its clones
+	c.procs = make([]Process, len(e.procs))
+	for i, p := range e.procs {
+		c.procs[i] = p.Clone()
+	}
+	if e.forged != nil {
+		c.forged = make(map[int]*Forgery, len(e.forged))
+		for k, f := range e.forged {
+			fc := *f
+			fc.PerReceiver = append([]int64(nil), f.PerReceiver...)
+			c.forged[k] = &fc
+		}
+	}
+	for i, d := range e.deliver {
+		if d != nil {
+			c.deliver[i] = d.Clone()
+		}
+	}
+	for i := range e.inboxes {
+		c.inboxes[i] = append(make([]Recv, 0, cap(e.inboxes[i])), e.inboxes[i]...)
+		c.scratch[i] = make([]Recv, 0, cap(e.scratch[i]))
+	}
+	return c
+}
+
+// ReseedProcesses replaces every process's (and the adversary view's)
+// future randomness with fresh streams derived from seed. Use on clones
+// before rollouts so each rollout samples an independent future.
+func (e *Execution) ReseedProcesses(seed uint64) {
+	root := rng.New(seed)
+	for i, p := range e.procs {
+		if rs, ok := p.(Reseeder); ok {
+			rs.Reseed(root.Split(uint64(i)).Uint64())
+		}
+	}
+	e.advRng = rng.New(root.Split(uint64(len(e.procs))).Uint64())
+}
+
+// StepPhaseA runs Phase A of the next round: every live, non-halted
+// process consumes its inbox and produces its outgoing payload. It
+// returns the adversary view for the round. It is an error to call it
+// twice without FinishRound, or after termination.
+func (e *Execution) StepPhaseA() (*View, error) {
+	if e.phaseAOpen {
+		return nil, errors.New("sim: StepPhaseA called with a round already open")
+	}
+	if e.Done() {
+		return nil, errors.New("sim: StepPhaseA called on a finished execution")
+	}
+	r := e.round + 1
+	e.forged = nil // forgeries are per round
+	for i, p := range e.procs {
+		e.deliver[i] = nil
+		if !e.alive[i] || e.halted[i] || e.corrupt[i] {
+			// Corrupted processes' honest state machines are frozen; the
+			// adversary speaks for them via forgeries.
+			e.sending[i] = false
+			continue
+		}
+		var inbox []Recv
+		if r > 1 {
+			inbox = e.inboxes[i]
+		}
+		e.payloads[i], e.sending[i] = p.Round(r, inbox)
+	}
+	e.phaseAOpen = true
+	return e.view(r), nil
+}
+
+// view assembles the adversary's full-information snapshot for round r.
+func (e *Execution) view(r int) *View {
+	return &View{
+		Round:    r,
+		N:        e.cfg.N,
+		T:        e.cfg.T,
+		Budget:   e.Budget(),
+		Alive:    e.alive,
+		Halted:   e.halted,
+		Corrupt:  e.corrupt,
+		Sending:  e.sending,
+		Payloads: e.payloads,
+		Procs:    e.procs,
+		Exec:     e,
+		Rng:      e.advRng,
+	}
+}
+
+// FinishRound applies the adversary's crash plans and performs Phase B
+// (message delivery) of the open round, then updates decision and halt
+// bookkeeping. Invalid plans (dead or repeated victims, out-of-range
+// indices, plans beyond the budget) are skipped deterministically.
+func (e *Execution) FinishRound(plans []CrashPlan) error {
+	if !e.phaseAOpen {
+		return errors.New("sim: FinishRound called without an open round")
+	}
+	r := e.round + 1
+	for _, plan := range plans {
+		v := plan.Victim
+		if v < 0 || v >= e.cfg.N || !e.alive[v] || e.corrupt[v] {
+			continue
+		}
+		if e.crashed+e.CorruptCount() >= e.cfg.T {
+			break
+		}
+		e.alive[v] = false
+		e.crashed++
+		if plan.Deliver != nil {
+			e.deliver[v] = plan.Deliver.Clone()
+		} else {
+			e.deliver[v] = NewBitSet(e.cfg.N) // empty: message reaches no one
+		}
+		if obs := e.cfg.Observer; obs != nil {
+			delivered := 0
+			if e.sending[v] {
+				delivered = e.deliver[v].Count()
+			}
+			obs.OnCrash(r, v, delivered)
+		}
+	}
+
+	// Phase B: build next-round inboxes.
+	for j := range e.scratch {
+		e.scratch[j] = e.scratch[j][:0]
+	}
+	for i := range e.procs {
+		if e.corrupt[i] {
+			// Byzantine sender: per-receiver forged payloads.
+			if !e.alive[i] {
+				continue
+			}
+			for j := range e.procs {
+				if j == i || !e.alive[j] || e.halted[j] || e.corrupt[j] {
+					continue
+				}
+				if payload, ok := e.forgedPayload(i, j); ok {
+					e.scratch[j] = append(e.scratch[j], Recv{From: i, Payload: payload})
+					e.messages++
+				}
+			}
+			continue
+		}
+		if !e.sending[i] {
+			continue
+		}
+		mask := e.deliver[i]
+		for j := range e.procs {
+			if j == i {
+				continue
+			}
+			if mask != nil && !mask.Get(j) {
+				continue
+			}
+			// Delivery to crashed, halted, or corrupted processes is
+			// harmless; skip it to keep inboxes meaningful.
+			if !e.alive[j] || e.halted[j] || e.corrupt[j] {
+				continue
+			}
+			e.scratch[j] = append(e.scratch[j], Recv{From: i, Payload: e.payloads[i]})
+			e.messages++
+		}
+	}
+	e.inboxes, e.scratch = e.scratch, e.inboxes
+
+	// Decision / halt bookkeeping. A process's Round call for round r has
+	// completed, so its decided/stopped state reflects the paper's "end of
+	// round r" (its round-r message was already sent above).
+	allDecided := true
+	anyAliveActive := false
+	for i, p := range e.procs {
+		if !e.alive[i] || e.corrupt[i] {
+			continue
+		}
+		if v, ok := p.Decided(); !ok {
+			allDecided = false
+		} else if !e.decidedSeen[i] {
+			e.decidedSeen[i] = true
+			if obs := e.cfg.Observer; obs != nil {
+				obs.OnDecide(r, i, v)
+			}
+		}
+		if !e.halted[i] && p.Stopped() {
+			e.halted[i] = true
+			if obs := e.cfg.Observer; obs != nil {
+				obs.OnHalt(r, i)
+			}
+		}
+		if e.alive[i] && !e.halted[i] {
+			anyAliveActive = true
+		}
+	}
+	if e.decideRound == 0 && allDecided {
+		e.decideRound = r
+	}
+	if e.haltRound == 0 && !anyAliveActive {
+		e.haltRound = r
+	}
+
+	e.round = r
+	e.phaseAOpen = false
+	return nil
+}
+
+// Run drives the execution under adv until every surviving process has
+// halted, or MaxRounds is exceeded (ErrMaxRounds).
+func (e *Execution) Run(adv Adversary) (*Result, error) {
+	for !e.Done() {
+		if e.round >= e.cfg.MaxRounds {
+			return nil, fmt.Errorf("%w (protocol still running after %d rounds, adversary %q)",
+				ErrMaxRounds, e.round, adv.Name())
+		}
+		v, err := e.StepPhaseA()
+		if err != nil {
+			return nil, err
+		}
+		if obs := e.cfg.Observer; obs != nil {
+			obs.OnRound(v.Round, v)
+		}
+		plans := adv.Plan(v)
+		if forger, ok := adv.(Forger); ok {
+			if err := e.FinishRoundForged(plans, forger.Forge(v)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := e.FinishRound(plans); err != nil {
+			return nil, err
+		}
+	}
+	return e.Result(), nil
+}
+
+// Result summarizes the execution so far. It is meaningful once Done.
+func (e *Execution) Result() *Result {
+	n := e.cfg.N
+	res := &Result{
+		DecideRounds: e.decideRound,
+		HaltRounds:   e.haltRound,
+		Crashes:      e.crashed,
+		Messages:     e.messages,
+		Decisions:    make([]int, n),
+		Decided:      make([]bool, n),
+		Inputs:       append([]int(nil), e.inputs...),
+	}
+	for i := range res.Decisions {
+		res.Decisions[i] = -1
+	}
+	common := -1
+	agreement := true
+	for i, p := range e.procs {
+		if !e.alive[i] || e.corrupt[i] {
+			continue
+		}
+		res.Survivors++
+		v, ok := p.Decided()
+		if !ok {
+			agreement = false
+			continue
+		}
+		res.Decisions[i] = v
+		res.Decided[i] = true
+		if common == -1 {
+			common = v
+		} else if common != v {
+			agreement = false
+		}
+	}
+	res.Agreement = agreement
+	res.Validity = true
+	// Byzantine-aware validity: only the CORRECT processes' inputs bind
+	// the decision (standard weak validity; identical to the fail-stop
+	// condition when nothing is corrupted).
+	var correctInputs []int
+	for i, x := range e.inputs {
+		if !e.corrupt[i] {
+			correctInputs = append(correctInputs, x)
+		}
+	}
+	allSame, v0 := allEqual(correctInputs)
+	if allSame {
+		for i := range e.procs {
+			if res.Decided[i] && res.Decisions[i] != v0 {
+				res.Validity = false
+			}
+		}
+	}
+	if res.Survivors == 0 {
+		// Vacuous: no non-faulty process remains.
+		res.Agreement = true
+		if res.DecideRounds == 0 {
+			res.DecideRounds = e.round
+		}
+		if res.HaltRounds == 0 {
+			res.HaltRounds = e.round
+		}
+	}
+	return res
+}
+
+func allEqual(xs []int) (bool, int) {
+	if len(xs) == 0 {
+		return false, 0
+	}
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false, 0
+		}
+	}
+	return true, xs[0]
+}

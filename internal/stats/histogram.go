@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram with an ASCII rendering, used by
+// the CLIs to show round-count distributions at a glance.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram bins the sample into `bins` equal-width buckets spanning
+// [min, max]. An empty sample or non-positive bin count yields nil.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if len(xs) == 0 || bins <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo == hi {
+		hi = lo + 1
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// Render draws one line per bucket: range, count, and a bar scaled to
+// the largest bucket.
+func (h *Histogram) Render(width int) string {
+	if h == nil || h.Total == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	binW := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%8.1f–%-8.1f %5d %s\n",
+			h.Lo+float64(i)*binW, h.Lo+float64(i+1)*binW, c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+// Sparkline renders the sample's distribution as a compact unicode
+// sparkline (8 levels), e.g. "▂▅▇▃▁".
+func Sparkline(xs []float64, bins int) string {
+	h := NewHistogram(xs, bins)
+	if h == nil {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for _, c := range h.Counts {
+		idx := 0
+		if maxCount > 0 {
+			idx = c * (len(levels) - 1) / maxCount
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

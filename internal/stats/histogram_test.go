@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinsAndTotal(t *testing.T) {
+	xs := []float64{1, 1, 2, 3, 4, 10}
+	h := NewHistogram(xs, 3)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	if h.Total != len(xs) {
+		t.Fatalf("total = %d", h.Total)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != len(xs) {
+		t.Fatalf("bin sum = %d", sum)
+	}
+	if h.Lo != 1 || h.Hi != 10 {
+		t.Fatalf("range [%v, %v]", h.Lo, h.Hi)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if NewHistogram(nil, 3) != nil {
+		t.Fatal("empty sample must yield nil")
+	}
+	if NewHistogram([]float64{1}, 0) != nil {
+		t.Fatal("zero bins must yield nil")
+	}
+	// Constant sample: all mass in the first bucket, no panic.
+	h := NewHistogram([]float64{5, 5, 5}, 4)
+	if h.Counts[0] != 3 {
+		t.Fatalf("constant sample counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 2, 3, 3, 3}, 3)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render lacks bars:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 3 {
+		t.Fatalf("render has %d lines, want 3", lines)
+	}
+	var empty *Histogram
+	if empty.Render(10) != "" {
+		t.Fatal("nil histogram must render empty")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{1, 1, 1, 2, 3, 9, 9, 9, 9}, 5)
+	if len([]rune(s)) != 5 {
+		t.Fatalf("sparkline %q has %d runes, want 5", s, len([]rune(s)))
+	}
+	if Sparkline(nil, 5) != "" {
+		t.Fatal("empty sparkline must be empty")
+	}
+}

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogLogSlope fits y = c·x^a by least squares in log-log space and
+// returns the exponent a. The experiments use it to compare measured
+// growth rates against the paper's asymptotic shapes (e.g. SynRan's
+// rounds at t = n−1 should grow roughly like n^0.5 before the log
+// correction). All inputs must be positive.
+func LogLogSlope(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, fmt.Errorf("stats: log-log fit needs positive values (point %d: %v, %v)",
+				i, xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, _ := linearFit(lx, ly)
+	return slope, nil
+}
+
+// linearFit returns the least-squares slope and intercept of y on x.
+func linearFit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / denom
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	for _, a := range []float64{0.5, 1.0, 2.0} {
+		xs := []float64{10, 100, 1000, 10000}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = 3 * math.Pow(x, a)
+		}
+		got, err := LogLogSlope(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-a) > 1e-9 {
+			t.Fatalf("exponent %v recovered as %v", a, got)
+		}
+	}
+}
+
+func TestLogLogSlopeValidation(t *testing.T) {
+	if _, err := LogLogSlope([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if _, err := LogLogSlope([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point must be rejected")
+	}
+	if _, err := LogLogSlope([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("non-positive values must be rejected")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := linearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = (%v, %v), want (2, 1)", slope, intercept)
+	}
+	// Degenerate: constant x.
+	slope, intercept = linearFit([]float64{2, 2}, []float64{1, 3})
+	if slope != 0 || intercept != 2 {
+		t.Fatalf("degenerate fit = (%v, %v), want (0, 2)", slope, intercept)
+	}
+}

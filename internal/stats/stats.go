@@ -1,0 +1,121 @@
+// Package stats provides the summary statistics and table rendering used
+// by the experiment harness: means with confidence intervals, quantiles,
+// Wilson intervals for proportions, and fixed-width / CSV table output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64 // sample standard deviation
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.Count = len(xs)
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.Count)
+	if s.Count > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.Count-1))
+	}
+	return s
+}
+
+// SummarizeInts converts and summarizes integer observations.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already sorted
+// sample using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanCI95 returns the sample mean and the half-width of its normal
+// 95% confidence interval.
+func MeanCI95(xs []float64) (mean, half float64) {
+	s := Summarize(xs)
+	if s.Count < 2 {
+		return s.Mean, 0
+	}
+	return s.Mean, 1.96 * s.Std / math.Sqrt(float64(s.Count))
+}
+
+// WilsonCI95 returns the 95% Wilson score interval for k successes out
+// of n trials — the right interval for success probabilities near 0 or 1
+// (which is where the paper's 1 − 1/n claims live).
+func WilsonCI95(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders a Summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.0f med=%.1f p90=%.1f max=%.0f",
+		s.Count, s.Mean, s.Std, s.Min, s.Median, s.P90, s.Max)
+}

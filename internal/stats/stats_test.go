@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary count = %d", s.Count)
+	}
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("singleton summary: %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4})
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{1, 1, 1, 1})
+	if mean != 1 || half != 0 {
+		t.Fatalf("constant sample CI: mean=%v half=%v", mean, half)
+	}
+	_, half = MeanCI95([]float64{0, 2, 0, 2, 0, 2, 0, 2})
+	if half <= 0 {
+		t.Fatalf("varying sample must have positive CI, got %v", half)
+	}
+}
+
+func TestWilsonCI95(t *testing.T) {
+	lo, hi := WilsonCI95(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty trials CI = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonCI95(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("CI [%v, %v] must bracket 0.5", lo, hi)
+	}
+	lo, hi = WilsonCI95(100, 100)
+	if hi < 0.999 || lo < 0.9 {
+		t.Fatalf("perfect success CI = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonCI95(0, 100)
+	if lo != 0 || hi > 0.1 {
+		t.Fatalf("zero success CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestWilsonCIQuick(t *testing.T) {
+	f := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		k := int(kRaw) % (n + 1)
+		lo, hi := WilsonCI95(k, n)
+		p := float64(k) / float64(n)
+		return lo >= 0 && hi <= 1 && lo <= hi && lo <= p+1e-9 && hi >= p-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "n", "rounds", "bound")
+	tb.AddRow(64, 5.25, 7.1)
+	tb.AddRow(1024, 17.0, 21.4)
+	tb.Note = "shape check"
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "rounds", "1024", "note: shape check"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: every data line has the same prefix width for col 2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected line count: %d", len(lines))
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("x,y", 2)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",2\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{42.25, "42.2"},
+		{1.5, "1.500"},
+		{0.0001, "1.00e-04"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.in); got != tt.want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := NewTable("md demo", "a", "b")
+	tb.AddRow("x|y", 2)
+	tb.Note = "a note"
+	var sb strings.Builder
+	if err := tb.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### md demo", "| a | b |", "| --- | --- |", `x\|y`, "_a note_"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

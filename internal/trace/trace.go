@@ -1,0 +1,119 @@
+// Package trace records engine executions as structured event logs that
+// can be serialized to JSON, reloaded, and compared — the artifact for
+// sharing reproductions ("here is the exact execution, event by event")
+// and for cross-checking engines beyond the single digest hash.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"synran/internal/sim"
+)
+
+// Event is one engine event. Kind selects which fields are meaningful.
+type Event struct {
+	Kind    string `json:"kind"` // "round" | "crash" | "decide" | "halt"
+	Round   int    `json:"round"`
+	Proc    int    `json:"proc,omitempty"`
+	Value   int    `json:"value,omitempty"`
+	Alive   int    `json:"alive,omitempty"`
+	Sending int    `json:"sending,omitempty"`
+	Ones    int    `json:"ones,omitempty"`
+}
+
+// Log is a recorded execution.
+type Log struct {
+	N      int     `json:"n"`
+	T      int     `json:"t"`
+	Seed   uint64  `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// Recorder implements sim.Observer, building a Log.
+type Recorder struct {
+	log Log
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder starts a log with the run's identity stamped in.
+func NewRecorder(n, t int, seed uint64) *Recorder {
+	return &Recorder{log: Log{N: n, T: t, Seed: seed}}
+}
+
+// OnRound implements sim.Observer.
+func (r *Recorder) OnRound(round int, v *sim.View) {
+	ev := Event{Kind: "round", Round: round, Alive: v.AliveCount()}
+	for i := range v.Sending {
+		if v.Sending[i] {
+			ev.Sending++
+			if v.Payloads[i]&1 == 1 {
+				ev.Ones++
+			}
+		}
+	}
+	r.log.Events = append(r.log.Events, ev)
+}
+
+// OnCrash implements sim.Observer.
+func (r *Recorder) OnCrash(round, victim, delivered int) {
+	r.log.Events = append(r.log.Events, Event{
+		Kind: "crash", Round: round, Proc: victim, Value: delivered,
+	})
+}
+
+// OnDecide implements sim.Observer.
+func (r *Recorder) OnDecide(round, p, value int) {
+	r.log.Events = append(r.log.Events, Event{
+		Kind: "decide", Round: round, Proc: p, Value: value,
+	})
+}
+
+// OnHalt implements sim.Observer.
+func (r *Recorder) OnHalt(round, p int) {
+	r.log.Events = append(r.log.Events, Event{Kind: "halt", Round: round, Proc: p})
+}
+
+// Log returns the recorded log.
+func (r *Recorder) Log() *Log { return &r.log }
+
+// WriteJSON serializes the log (one JSON document, indented).
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// ReadJSON parses a log written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var l Log
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &l, nil
+}
+
+// Diff compares two logs and returns a description of the first
+// divergence, or "" when identical. Use it to verify that a replayed
+// seed reproduces a shared trace exactly.
+func Diff(a, b *Log) string {
+	if a.N != b.N || a.T != b.T || a.Seed != b.Seed {
+		return fmt.Sprintf("headers differ: (n=%d t=%d seed=%d) vs (n=%d t=%d seed=%d)",
+			a.N, a.T, a.Seed, b.N, b.T, b.Seed)
+	}
+	limit := len(a.Events)
+	if len(b.Events) < limit {
+		limit = len(b.Events)
+	}
+	for i := 0; i < limit; i++ {
+		if a.Events[i] != b.Events[i] {
+			return fmt.Sprintf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		return fmt.Sprintf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	return ""
+}

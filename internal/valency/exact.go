@@ -1,0 +1,183 @@
+package valency
+
+import (
+	"fmt"
+	"math"
+
+	"synran/internal/adversary"
+	"synran/internal/core"
+	"synran/internal/sim"
+)
+
+// Exact valency computation for tiny n: instead of Monte-Carlo rollouts,
+// enumerate EVERY fair-coin path of the protocol (scripted coins +
+// binary-counter enumeration, the same device as core's bounded model
+// checker) under each continuation adversary, and sum exact path
+// probabilities 2^{-flips}. This grounds the Monte-Carlo estimator: for
+// the sizes where both run, their classifications must agree, which the
+// tests in exact_test.go check.
+//
+// The continuation adversaries must be deterministic (they may read the
+// view but not View.Rng); the default exact pool is {none, push0, push1,
+// splitvote}, the deterministic members of the estimator's pool.
+
+// flipSetter is the coin-injection hook (implemented by core.Proc).
+type flipSetter interface {
+	SetFlip(func() int)
+}
+
+// ExactOutcome is the exact probability mass of each terminal outcome
+// under one adversary.
+type ExactOutcome struct {
+	P0, P1 float64
+	// Capped is the probability mass of coin paths that exceeded the
+	// round cap (forever-disagreeing paths; 0 for all practical caps).
+	Capped float64
+	Paths  int
+}
+
+// ExactConfig sizes the enumeration.
+type ExactConfig struct {
+	N, T      int
+	Inputs    []int
+	Opts      core.Options
+	MaxFlips  int // script length cap (default 20)
+	MaxRounds int // engine round cap per path (default 40)
+}
+
+// exactScript mirrors the model checker's coin script.
+type exactScript struct {
+	bits []int
+	pos  int
+	max  int
+}
+
+func (s *exactScript) next() int {
+	if s.pos < len(s.bits) {
+		b := s.bits[s.pos]
+		s.pos++
+		return b
+	}
+	if len(s.bits) < s.max {
+		s.bits = append(s.bits, 0)
+	}
+	s.pos++
+	return 0
+}
+
+// nextBits advances the binary counter; nil = done.
+func nextBits(bits []int) []int {
+	i := len(bits) - 1
+	for i >= 0 && bits[i] == 1 {
+		i--
+	}
+	if i < 0 {
+		return nil
+	}
+	out := append([]int(nil), bits[:i]...)
+	return append(out, 1)
+}
+
+// ExactDecisionMass enumerates every coin path under adv and returns the
+// exact outcome masses.
+func ExactDecisionMass(cfg ExactConfig, mkAdv func() sim.Adversary) (*ExactOutcome, error) {
+	if cfg.MaxFlips <= 0 {
+		cfg.MaxFlips = 20
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 40
+	}
+	out := &ExactOutcome{}
+	bits := []int{}
+	for {
+		script := &exactScript{bits: append([]int(nil), bits...), max: cfg.MaxFlips}
+		procs, err := core.NewProcs(cfg.N, cfg.Inputs, 1, cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range procs {
+			fs, ok := p.(flipSetter)
+			if !ok {
+				return nil, fmt.Errorf("valency: process %T lacks the SetFlip hook", p)
+			}
+			fs.SetFlip(script.next)
+		}
+		exec, err := sim.NewExecution(sim.Config{
+			N: cfg.N, T: cfg.T, MaxRounds: cfg.MaxRounds,
+		}, procs, cfg.Inputs, 1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := exec.Run(mkAdv())
+		weight := math.Pow(0.5, float64(len(script.bits)))
+		out.Paths++
+		switch {
+		case err != nil:
+			out.Capped += weight
+		case res.DecidedValue() == 1:
+			out.P1 += weight
+		default:
+			out.P0 += weight
+		}
+		bits = nextBits(script.bits)
+		if bits == nil {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ExactClassify computes the exact valency class of the INITIAL state
+// for tiny n: min/max Pr[decide 1] over the deterministic adversary
+// pool, against the paper's round-0 thresholds.
+func ExactClassify(cfg ExactConfig, pool []func() sim.Adversary) (*Estimate, error) {
+	if len(pool) == 0 {
+		pool = ExactPool(cfg.N)
+	}
+	minP, maxP := 1.0, 0.0
+	paths := 0
+	for _, mk := range pool {
+		o, err := ExactDecisionMass(cfg, mk)
+		if err != nil {
+			return nil, err
+		}
+		paths += o.Paths
+		// Resolve the capped mass adversarially for each extreme: it can
+		// only widen the interval.
+		lo := o.P1
+		hi := o.P1 + o.Capped
+		if lo < minP {
+			minP = lo
+		}
+		if hi > maxP {
+			maxP = hi
+		}
+	}
+	est := &Estimate{MinP: minP, MaxP: maxP, Rollouts: paths}
+	lo := core.ValencyLow(cfg.N, 0)
+	hi := core.ValencyHigh(cfg.N, 0)
+	switch {
+	case minP < lo && maxP > hi:
+		est.Class = Bivalent
+	case minP < lo:
+		est.Class = ZeroValent
+	case maxP > hi:
+		est.Class = OneValent
+	default:
+		est.Class = NullValent
+	}
+	return est, nil
+}
+
+// ExactPool returns the deterministic continuation adversaries used by
+// the exact computation (the estimator's pool minus nothing — all four
+// members are deterministic given the view).
+func ExactPool(n int) []func() sim.Adversary {
+	perRound := core.RoundBudget(n)
+	return []func() sim.Adversary{
+		func() sim.Adversary { return adversary.None{} },
+		func() sim.Adversary { return &adversary.PushTo{Value: 0, PerRound: perRound} },
+		func() sim.Adversary { return &adversary.PushTo{Value: 1, PerRound: perRound} },
+		func() sim.Adversary { return &adversary.SplitVote{} },
+	}
+}

@@ -1,0 +1,86 @@
+package valency
+
+import (
+	"math"
+	"testing"
+
+	"synran/internal/workload"
+)
+
+func TestExactMassSumsToOne(t *testing.T) {
+	cfg := ExactConfig{N: 4, T: 3, Inputs: workload.HalfHalf(4)}
+	for i, mk := range ExactPool(4) {
+		o, err := ExactDecisionMass(cfg, mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := o.P0 + o.P1 + o.Capped
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("pool[%d]: masses sum to %v", i, total)
+		}
+		if o.Paths < 1 {
+			t.Fatalf("pool[%d]: no paths enumerated", i)
+		}
+	}
+}
+
+func TestExactUnanimousIsCertain(t *testing.T) {
+	// All-1 inputs: no coin is ever flipped and the decision is 1 with
+	// probability exactly 1 under the none adversary.
+	cfg := ExactConfig{N: 4, T: 0, Inputs: workload.Uniform(4, 1)}
+	o, err := ExactDecisionMass(cfg, ExactPool(4)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.P1 != 1 || o.Paths != 1 {
+		t.Fatalf("P1 = %v over %d paths, want exactly 1 over 1 path", o.P1, o.Paths)
+	}
+}
+
+func TestExactClassifyMatchesEstimator(t *testing.T) {
+	// The ground-truth check: at n = 4 the exact classification and the
+	// Monte-Carlo estimator must agree on the canonical states.
+	cases := []struct {
+		name   string
+		inputs []int
+		t      int
+		want   Class
+	}{
+		{"all-ones", workload.Uniform(4, 1), 3, OneValent},
+		{"all-zeros", workload.Uniform(4, 0), 3, ZeroValent},
+		{"split full budget", workload.HalfHalf(4), 3, Bivalent},
+	}
+	for _, tc := range cases {
+		cfg := ExactConfig{N: 4, T: tc.t, Inputs: tc.inputs}
+		exact, err := ExactClassify(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Class != tc.want {
+			t.Fatalf("%s: exact class %v (min=%v max=%v), want %v",
+				tc.name, exact.Class, exact.MinP, exact.MaxP, tc.want)
+		}
+
+		exec := newExec(t, 4, tc.t, tc.inputs, 3)
+		est, err := NewEstimator(4, 9).Classify(exec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Class != exact.Class {
+			t.Fatalf("%s: estimator %v disagrees with exact %v", tc.name, est.Class, exact.Class)
+		}
+	}
+}
+
+func TestExactCappedMassIsTiny(t *testing.T) {
+	// Forever-disagreeing coin paths have probability zero; with a finite
+	// flip cap the residual capped mass must be negligible.
+	cfg := ExactConfig{N: 4, T: 0, Inputs: workload.HalfHalf(4), MaxFlips: 22}
+	o, err := ExactDecisionMass(cfg, ExactPool(4)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Capped > 1e-3 {
+		t.Fatalf("capped mass %v too large", o.Capped)
+	}
+}

@@ -1,0 +1,81 @@
+package valency
+
+import (
+	"fmt"
+
+	"synran/internal/sim"
+	"synran/internal/workload"
+)
+
+// ProcFactory builds a fresh process vector for the given inputs; the
+// initial-state search instantiates many executions from it.
+type ProcFactory func(inputs []int, seed uint64) ([]sim.Process, error)
+
+// InitialState is the outcome of the Lemma 3.5 search: an input vector
+// (and at most one round-1 crash) from which the execution is bivalent
+// or null-valent, so the lower-bound adversary can begin its work.
+type InitialState struct {
+	Inputs []int
+	// CrashFirst, when >= 0, is a process the adversary crashes in round
+	// 1 to tip an adjacent univalent pair into bivalence.
+	CrashFirst int
+	Class      Class
+	Estimate   *Estimate
+}
+
+// FindInitialState walks the Lemma 3.5 chain of input vectors from all-0
+// to all-1 (adjacent vectors differ in one process's input), classifying
+// each initial state, and returns the first bivalent or null-valent one.
+// If every chain state is univalent, it locates the adjacent 0-valent /
+// 1-valent pair the lemma guarantees and returns the 0-valent side with
+// the differing process marked for a round-1 crash.
+func FindInitialState(n, t int, factory ProcFactory, est *Estimator, seed uint64) (*InitialState, error) {
+	chain := workload.Chain(n)
+	classes := make([]Class, len(chain))
+	estimates := make([]*Estimate, len(chain))
+	for j, inputs := range chain {
+		e, err := classifyInitial(n, t, inputs, factory, est, seed+uint64(j))
+		if err != nil {
+			return nil, err
+		}
+		classes[j] = e.Class
+		estimates[j] = e
+		if e.Class == Bivalent || e.Class == NullValent {
+			return &InitialState{
+				Inputs:     inputs,
+				CrashFirst: -1,
+				Class:      e.Class,
+				Estimate:   e,
+			}, nil
+		}
+	}
+	// All univalent. Validity pins the endpoints (all-0 is 0-valent,
+	// all-1 is 1-valent), so an adjacent flip pair exists.
+	for j := 0; j+1 < len(chain); j++ {
+		if classes[j] == ZeroValent && classes[j+1] == OneValent {
+			// The differing input is process j (chain[j+1] sets input j to 1).
+			return &InitialState{
+				Inputs:     chain[j],
+				CrashFirst: j,
+				Class:      classes[j],
+				Estimate:   estimates[j],
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("valency: no 0-valent/1-valent boundary found on the input chain " +
+		"(classification too noisy; raise RolloutsPerAdversary)")
+}
+
+// classifyInitial builds a fresh execution on the inputs and classifies
+// its round-0 state.
+func classifyInitial(n, t int, inputs []int, factory ProcFactory, est *Estimator, seed uint64) (*Estimate, error) {
+	procs, err := factory(inputs, seed)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: t}, procs, inputs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return est.Classify(exec, 0)
+}

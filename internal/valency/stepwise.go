@@ -1,0 +1,155 @@
+package valency
+
+import (
+	"synran/internal/core"
+	"synran/internal/sim"
+	"synran/internal/wire"
+)
+
+// Stepwise is the faithful Section 3.4 rendition of the lower-bound
+// adversary: instead of scoring a fixed candidate set (LowerBound), it
+// follows the paper's step-by-step procedure within each round.
+//
+//	"First, the adversary allows all processes to flip coins. Then we
+//	check the resulting execution if all the messages in round k would
+//	have been sent. If by sending all messages the execution becomes
+//	bivalent or null-valent we pass all the messages and continue...
+//	Otherwise ... the adversary will implement this strategy step by
+//	step and inspect the state of the execution after each step."
+//
+// Concretely: if full delivery keeps the state non-univalent, do
+// nothing. Otherwise walk the senders whose value feeds the current
+// valence, failing one at a time (messages hidden) and classifying after
+// each step; stop as soon as the state becomes bivalent or null-valent
+// (case 1), and when failing a victim would overshoot — flip the valence
+// outright — attempt the half-delivery refinement of case 3 before
+// accepting the flip. If the whole walk stays univalent, keep the
+// longest minimizing prefix (Section 3.5's regime).
+type Stepwise struct {
+	Est      *Estimator
+	PerRound int
+
+	// StepsInspected counts classification calls (cost accounting).
+	StepsInspected int
+}
+
+var _ sim.Adversary = (*Stepwise)(nil)
+
+// NewStepwise builds the Section 3.4 adversary for an n-process system.
+func NewStepwise(n int, seed uint64) *Stepwise {
+	return &Stepwise{
+		Est:      NewEstimator(n, seed),
+		PerRound: core.RoundBudget(n),
+	}
+}
+
+// Name implements sim.Adversary.
+func (a *Stepwise) Name() string { return "valency-stepwise" }
+
+// Clone implements sim.Adversary.
+func (a *Stepwise) Clone() sim.Adversary {
+	c := *a
+	return &c
+}
+
+// Plan implements sim.Adversary.
+func (a *Stepwise) Plan(v *sim.View) []sim.CrashPlan {
+	perRound := a.PerRound
+	if perRound > v.Budget {
+		perRound = v.Budget
+	}
+	if perRound <= 0 {
+		return nil
+	}
+
+	// Step 0: full delivery.
+	base, ok := a.classify(v, nil)
+	if !ok || !base.Class.Univalent() {
+		return nil // bivalent or null-valent: pass all messages
+	}
+
+	// The execution is univalent; walk the senders carrying the valence's
+	// value (failing 1-senders minimizes Pr[1] from a 1-valent state).
+	target := 0
+	if base.Class == ZeroValent {
+		target = 1
+	}
+	victims := sendersWithBit(v, 1-target)
+	victims = append(victims, sendersWithBit(v, target)...) // fall back to the rest
+
+	plan := []sim.CrashPlan{}
+	current := base
+	for _, victim := range victims {
+		if len(plan) >= perRound {
+			break
+		}
+		trial := append(append([]sim.CrashPlan(nil), plan...), sim.CrashPlan{Victim: victim})
+		est, ok := a.classify(v, trial)
+		if !ok {
+			continue
+		}
+		switch {
+		case !est.Class.Univalent():
+			// Case 1: stop failing the rest, stay in this state.
+			return trial
+		case est.Class != current.Class:
+			// Case 2/3: failing this victim flips the valence. Try the
+			// half-delivery refinement before accepting the flip.
+			half := halfMask(v)
+			refined := append(append([]sim.CrashPlan(nil), plan...),
+				sim.CrashPlan{Victim: victim, Deliver: half})
+			if est2, ok2 := a.classify(v, refined); ok2 && !est2.Class.Univalent() {
+				return refined
+			}
+			// The paper's case 2: "we shall not fail this process and
+			// send all its messages" — keep the prefix without it.
+			return plan
+		default:
+			// Still the same valence: keep implementing the strategy.
+			plan = trial
+			current = est
+		}
+	}
+	return plan
+}
+
+// classify applies the plan on a clone and classifies the successor.
+func (a *Stepwise) classify(v *sim.View, plan []sim.CrashPlan) (*Estimate, bool) {
+	a.StepsInspected++
+	c := v.Exec.Clone()
+	if err := c.FinishRound(plan); err != nil {
+		return nil, false
+	}
+	est, err := a.Est.Classify(c, v.Round)
+	if err != nil {
+		return nil, false
+	}
+	return est, true
+}
+
+// sendersWithBit lists this round's plain senders carrying the bit.
+func sendersWithBit(v *sim.View, bit int) []int {
+	var out []int
+	for i := 0; i < v.N; i++ {
+		if !v.Sending[i] || wire.IsFlood(v.Payloads[i]) {
+			continue
+		}
+		if wire.Bit(v.Payloads[i]) == bit {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// halfMask covers the lower-id half of the live processes.
+func halfMask(v *sim.View) *sim.BitSet {
+	mask := sim.NewBitSet(v.N)
+	cnt, want := 0, v.AliveCount()/2
+	for i := 0; i < v.N && cnt < want; i++ {
+		if v.Alive[i] {
+			mask.Set(i)
+			cnt++
+		}
+	}
+	return mask
+}

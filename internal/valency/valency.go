@@ -1,0 +1,166 @@
+// Package valency implements Section 3 of the paper: the probabilistic
+// valency classification of executions (bivalent / 0-valent / 1-valent /
+// null-valent, Section 3.2) and the adaptive lower-bound adversary built
+// on it (Sections 3.3–3.6).
+//
+// The paper's adversary knows min r(α) and max r(α) — the extreme
+// probabilities of deciding 1 over every continuation adversary in the
+// class B (those failing at most 4·sqrt(n·log n)+1 processes per round).
+// That quantity is not computable exactly, so, per the substitution
+// documented in DESIGN.md, this package estimates it by Monte-Carlo:
+// clone the execution, reseed the processes' coins, and roll it out to
+// completion under a pool of representative continuation adversaries.
+// The empirical minimum and maximum of Pr[decide 1] feed the paper's
+// thresholds 1/sqrt(n) − k/n and 1 − 1/sqrt(n) + k/n.
+package valency
+
+import (
+	"fmt"
+
+	"synran/internal/adversary"
+	"synran/internal/core"
+	"synran/internal/rng"
+	"synran/internal/sim"
+)
+
+// Class is the Section 3.2 classification of an execution state.
+type Class int
+
+// Classification values follow the paper's table.
+const (
+	Bivalent Class = iota + 1
+	ZeroValent
+	OneValent
+	NullValent
+)
+
+// String renders the class name.
+func (c Class) String() string {
+	switch c {
+	case Bivalent:
+		return "bivalent"
+	case ZeroValent:
+		return "0-valent"
+	case OneValent:
+		return "1-valent"
+	case NullValent:
+		return "null-valent"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Univalent reports whether the class is 0-valent or 1-valent.
+func (c Class) Univalent() bool { return c == ZeroValent || c == OneValent }
+
+// Estimate is the outcome of a Monte-Carlo valency estimation.
+type Estimate struct {
+	Class Class
+	// MinP and MaxP are the empirical min r(α) and max r(α): the extreme
+	// probabilities of deciding 1 over the adversary pool.
+	MinP, MaxP float64
+	// MeanExtraRounds is the average number of additional rounds the
+	// rollouts ran before halting — the lower-bound adversary's
+	// tie-breaker when every continuation is univalent (Section 3.5: keep
+	// implementing the delaying strategy step by step).
+	MeanExtraRounds float64
+	// Rollouts is the total number of rollouts performed.
+	Rollouts int
+}
+
+// Estimator classifies execution states by rollout.
+type Estimator struct {
+	// Pool is the set of continuation adversary factories; defaults to
+	// {none, push0, push1, splitvote} with the paper's per-round cap.
+	Pool []func() sim.Adversary
+	// RolloutsPerAdversary is the number of independent futures sampled
+	// per pool member (default 24).
+	RolloutsPerAdversary int
+	// Seed drives the rollout reseeding.
+	Seed uint64
+
+	counter uint64
+}
+
+// NewEstimator returns an estimator with the default pool for an
+// n-process system: the per-round cap is the paper's class-B budget.
+func NewEstimator(n int, seed uint64) *Estimator {
+	cap := core.RoundBudget(n)
+	return &Estimator{
+		Pool: []func() sim.Adversary{
+			func() sim.Adversary { return adversary.None{} },
+			func() sim.Adversary { return &adversary.PushTo{Value: 0, PerRound: cap} },
+			func() sim.Adversary { return &adversary.PushTo{Value: 1, PerRound: cap} },
+			func() sim.Adversary { return &adversary.SplitVote{} },
+		},
+		RolloutsPerAdversary: 24,
+		Seed:                 seed,
+	}
+}
+
+// Classify estimates the valency of the state of exec at the beginning
+// of round k (the paper's α_k), using the Section 3.2 thresholds
+// lo = 1/sqrt(n) − k/n and hi = 1 − 1/sqrt(n) + k/n. The execution is
+// not modified.
+func (e *Estimator) Classify(exec *sim.Execution, k int) (*Estimate, error) {
+	if len(e.Pool) == 0 {
+		return nil, fmt.Errorf("valency: empty adversary pool")
+	}
+	rolls := e.RolloutsPerAdversary
+	if rolls <= 0 {
+		rolls = 24
+	}
+	minP, maxP := 1.0, 0.0
+	total := 0
+	extraSum := 0.0
+	startRound := exec.Round()
+	for ai, factory := range e.Pool {
+		ones, decided := 0, 0
+		for j := 0; j < rolls; j++ {
+			c := exec.Clone()
+			e.counter++
+			c.ReseedProcesses(e.Seed ^ rng.New(uint64(ai)<<32|e.counter).Uint64())
+			res, err := c.Run(factory())
+			if err != nil {
+				// A rollout hitting MaxRounds means the continuation
+				// adversary pinned the protocol; treat as undecided and
+				// skip (it contributes to neither extreme).
+				continue
+			}
+			total++
+			decided++
+			extraSum += float64(res.HaltRounds - startRound)
+			if res.DecidedValue() == 1 {
+				ones++
+			}
+		}
+		if decided == 0 {
+			continue
+		}
+		p := float64(ones) / float64(decided)
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("valency: no rollout terminated")
+	}
+	n := exec.N()
+	lo := core.ValencyLow(n, k)
+	hi := core.ValencyHigh(n, k)
+	est := &Estimate{MinP: minP, MaxP: maxP, Rollouts: total, MeanExtraRounds: extraSum / float64(total)}
+	switch {
+	case minP < lo && maxP > hi:
+		est.Class = Bivalent
+	case minP < lo:
+		est.Class = ZeroValent
+	case maxP > hi:
+		est.Class = OneValent
+	default:
+		est.Class = NullValent
+	}
+	return est, nil
+}

@@ -1,0 +1,31 @@
+package wire
+
+import "testing"
+
+// FuzzPayloadRoundTrip checks that any payload interpreted by the
+// decoding helpers stays within the protocol's value domain.
+func FuzzPayloadRoundTrip(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(1))
+	f.Add(Flood(MaskBoth))
+	f.Add(int64(-5))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, p int64) {
+		b := Bit(p)
+		if b != 0 && b != 1 {
+			t.Fatalf("Bit(%d) = %d", p, b)
+		}
+		m := Mask(p)
+		if m&^MaskBoth != 0 {
+			t.Fatalf("Mask(%d) = %b leaks bits", p, m)
+		}
+		// Re-encoding is stable.
+		if IsFlood(p) {
+			if !IsFlood(Flood(m)) || Mask(Flood(m)) != m {
+				t.Fatalf("flood re-encode of %d unstable", p)
+			}
+		} else if Plain(b) != int64(b) {
+			t.Fatalf("plain re-encode of %d unstable", p)
+		}
+	})
+}

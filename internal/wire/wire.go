@@ -1,0 +1,45 @@
+// Package wire defines the message payload encoding shared by the
+// consensus protocols and the full-information adversaries (which must
+// be able to read every message in flight, per the model).
+//
+// Probabilistic-stage messages carry the bare bit b_i (0 or 1).
+// Deterministic-stage (FloodSet) messages carry the set of values the
+// sender has witnessed, as a 2-bit mask tagged with FloodTag so the two
+// kinds can coexist during the one-round stage handover that Lemma 4.3
+// of the paper analyzes.
+package wire
+
+// Payload layout constants.
+const (
+	// FloodTag marks deterministic-stage value-set messages.
+	FloodTag int64 = 1 << 2
+	// MaskZero is the value-set bit for 0.
+	MaskZero int64 = 1 << 0
+	// MaskOne is the value-set bit for 1.
+	MaskOne int64 = 1 << 1
+	// MaskBoth is the mixed value set {0, 1}.
+	MaskBoth = MaskZero | MaskOne
+)
+
+// Plain encodes a probabilistic-stage bit message.
+func Plain(b int) int64 { return int64(b & 1) }
+
+// Flood encodes a deterministic-stage value-set message.
+func Flood(mask int64) int64 { return FloodTag | (mask & MaskBoth) }
+
+// IsFlood reports whether a payload is a deterministic-stage message.
+func IsFlood(p int64) bool { return p&FloodTag != 0 }
+
+// Mask extracts the value-set mask from a flood payload.
+func Mask(p int64) int64 { return p & MaskBoth }
+
+// ValueMask maps a bit to its singleton value-set mask.
+func ValueMask(b int) int64 {
+	if b&1 == 1 {
+		return MaskOne
+	}
+	return MaskZero
+}
+
+// Bit extracts the bit of a plain payload.
+func Bit(p int64) int { return int(p & 1) }

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlainRoundTrip(t *testing.T) {
+	for _, b := range []int{0, 1} {
+		p := Plain(b)
+		if IsFlood(p) {
+			t.Fatalf("Plain(%d) is flood-tagged", b)
+		}
+		if Bit(p) != b {
+			t.Fatalf("Bit(Plain(%d)) = %d", b, Bit(p))
+		}
+	}
+}
+
+func TestFloodRoundTrip(t *testing.T) {
+	for _, mask := range []int64{MaskZero, MaskOne, MaskBoth} {
+		p := Flood(mask)
+		if !IsFlood(p) {
+			t.Fatalf("Flood(%b) not flood-tagged", mask)
+		}
+		if Mask(p) != mask {
+			t.Fatalf("Mask(Flood(%b)) = %b", mask, Mask(p))
+		}
+	}
+}
+
+func TestFloodClampsMask(t *testing.T) {
+	// Stray high bits in the mask argument must not leak into the payload.
+	p := Flood(0xFF)
+	if Mask(p) != MaskBoth {
+		t.Fatalf("Flood(0xFF) mask = %b, want %b", Mask(p), MaskBoth)
+	}
+}
+
+func TestValueMask(t *testing.T) {
+	if ValueMask(0) != MaskZero || ValueMask(1) != MaskOne {
+		t.Fatal("ValueMask mapping broken")
+	}
+}
+
+func TestPlainClampsBit(t *testing.T) {
+	f := func(b int) bool {
+		p := Plain(b)
+		return p == 0 || p == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+
+	"synran/internal/rng"
+)
+
+func TestUniform(t *testing.T) {
+	for _, v := range []int{0, 1} {
+		in := Uniform(5, v)
+		for i, x := range in {
+			if x != v {
+				t.Fatalf("Uniform(5,%d)[%d] = %d", v, i, x)
+			}
+		}
+	}
+}
+
+func TestHalfHalf(t *testing.T) {
+	in := HalfHalf(6)
+	ones := 0
+	for _, x := range in {
+		ones += x
+	}
+	if ones != 3 {
+		t.Fatalf("HalfHalf(6) has %d ones, want 3", ones)
+	}
+}
+
+func TestRandomBias(t *testing.T) {
+	in := Random(10000, 0.25, rng.New(1))
+	ones := 0
+	for _, x := range in {
+		ones += x
+	}
+	frac := float64(ones) / 10000
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Random(p=0.25) produced fraction %v", frac)
+	}
+}
+
+func TestChain(t *testing.T) {
+	ch := Chain(4)
+	if len(ch) != 5 {
+		t.Fatalf("Chain(4) length %d, want 5", len(ch))
+	}
+	for j, v := range ch {
+		ones := 0
+		for _, x := range v {
+			ones += x
+		}
+		if ones != j {
+			t.Fatalf("chain[%d] has %d ones", j, ones)
+		}
+	}
+	// Adjacent vectors differ in exactly one position.
+	for j := 1; j < len(ch); j++ {
+		diff := 0
+		for i := range ch[j] {
+			if ch[j][i] != ch[j-1][i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("chain step %d differs in %d positions", j, diff)
+		}
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range []string{"zeros", "ones", "half", "random"} {
+		in, err := Named(name, 8, 1)
+		if err != nil || len(in) != 8 {
+			t.Fatalf("Named(%q): %v len=%d", name, err, len(in))
+		}
+	}
+	if _, err := Named("bogus", 8, 1); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}

@@ -1,0 +1,222 @@
+// Package synran is a Go implementation of the system studied in
+// "A Tight Lower Bound for Randomized Synchronous Consensus"
+// (Bar-Joseph & Ben-Or, PODC 1998): the SynRan randomized synchronous
+// consensus protocol, the deterministic and symmetric-coin baselines,
+// a lock-step synchronous simulator with a full-information adaptive
+// fail-stop adversary, a library of adversary strategies including the
+// paper's valency-guided lower-bound adversary, one-round collective
+// coin-flipping games, and the benchmark harness that regenerates the
+// paper's quantitative claims.
+//
+// This root package is the stable facade: run a consensus instance with
+// Run, pick protocols and adversaries by name, and query the paper's
+// closed-form bounds. The building blocks live under internal/ (see
+// DESIGN.md for the system inventory).
+//
+//	res, err := synran.Run(synran.Spec{
+//	    N: 101, T: 100,
+//	    Inputs:    synran.HalfHalfInputs(101),
+//	    Protocol:  synran.ProtocolSynRan,
+//	    Adversary: synran.AdversarySplitVote,
+//	    Seed:      42,
+//	})
+package synran
+
+import (
+	"fmt"
+
+	"synran/internal/adversary"
+	"synran/internal/core"
+	"synran/internal/netsim"
+	"synran/internal/protocol/benor"
+	"synran/internal/protocol/earlystop"
+	"synran/internal/protocol/floodset"
+	"synran/internal/protocol/phaseking"
+	"synran/internal/sim"
+	"synran/internal/valency"
+	"synran/internal/workload"
+)
+
+// Result is the outcome of one execution; see sim.Result for fields.
+type Result = sim.Result
+
+// Observer receives engine events; see sim.Observer.
+type Observer = sim.Observer
+
+// TraceObserver prints a line per engine event; see sim.TraceObserver.
+type TraceObserver = sim.TraceObserver
+
+// Protocol names accepted by Spec.Protocol.
+const (
+	// ProtocolSynRan is the paper's protocol (Section 4).
+	ProtocolSynRan = "synran"
+	// ProtocolBenOr is the symmetric-coin baseline ([BO83] style).
+	ProtocolBenOr = "benor"
+	// ProtocolFloodSet is the deterministic t+1-round baseline.
+	ProtocolFloodSet = "floodset"
+	// ProtocolLeaderCoin is SynRan with a coordinator-style shared coin
+	// instead of private coins — O(1) against non-adaptive adversaries,
+	// fragile against adaptive ones (experiment E11).
+	ProtocolLeaderCoin = "leadercoin"
+	// ProtocolEarlyStop is the early-stopping deterministic baseline:
+	// min(f+2, t+1)-ish rounds with f actual crashes.
+	ProtocolEarlyStop = "earlystop"
+	// ProtocolPhaseKing is the deterministic Byzantine baseline
+	// (Berman–Garay–Perry, n > 4t, 2(t+1) rounds) — pair it with
+	// AdversaryEquivocator.
+	ProtocolPhaseKing = "phaseking"
+)
+
+// Adversary names accepted by Spec.Adversary.
+const (
+	// AdversaryNone never crashes anyone.
+	AdversaryNone = "none"
+	// AdversaryRandom crashes random processes with random partial
+	// delivery.
+	AdversaryRandom = "random"
+	// AdversarySplitVote is the adaptive attack analyzed by Theorem 2.
+	AdversarySplitVote = "splitvote"
+	// AdversaryMassCrash kills 70% of the 1-senders in round 2.
+	AdversaryMassCrash = "masscrash"
+	// AdversaryPush0 and AdversaryPush1 steer toward a fixed decision.
+	AdversaryPush0 = "push0"
+	AdversaryPush1 = "push1"
+	// AdversaryLowerBound is the paper's Section 3 valency-guided
+	// adversary (expensive: Monte-Carlo look-ahead; small n only).
+	AdversaryLowerBound = "lowerbound"
+	// AdversaryWaves is a NON-adaptive adversary: its whole crash
+	// schedule is committed from the seed before the run starts.
+	AdversaryWaves = "waves"
+	// AdversaryLeaderKiller splits coordinator broadcasts — combine with
+	// splitvote against ProtocolLeaderCoin (experiment E11).
+	AdversaryLeaderKiller = "leaderkiller"
+	// AdversaryEquivocator is Byzantine: it corrupts processes and sends
+	// conflicting values to different receivers (lock-step engine only).
+	AdversaryEquivocator = "equivocator"
+	// AdversaryStepwise is the faithful Section 3.4 message-by-message
+	// lower-bound strategy (even more look-ahead than lowerbound).
+	AdversaryStepwise = "stepwise"
+)
+
+// Spec configures one consensus execution.
+type Spec struct {
+	// N is the number of processes; T the adversary's crash budget.
+	N, T int
+	// Inputs are the initial bits, one per process.
+	Inputs []int
+	// Protocol selects the implementation (default ProtocolSynRan).
+	Protocol string
+	// Adversary selects the fault strategy (default AdversaryNone).
+	Adversary string
+	// Seed makes the execution exactly reproducible.
+	Seed uint64
+	// MaxRounds overrides the engine's safety valve (0 = default).
+	MaxRounds int
+	// Live selects the goroutine-per-process runner instead of the
+	// lock-step engine (results are identical; see internal/netsim).
+	Live bool
+	// Observer, when set, receives engine events.
+	Observer Observer
+}
+
+// Run executes the spec and returns the result.
+func Run(spec Spec) (*Result, error) {
+	procs, err := NewProtocol(orDefault(spec.Protocol, ProtocolSynRan), spec.N, spec.T, spec.Inputs, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := NewAdversary(orDefault(spec.Adversary, AdversaryNone), spec.N, spec.T, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{N: spec.N, T: spec.T, MaxRounds: spec.MaxRounds, Observer: spec.Observer}
+	if spec.Live {
+		if spec.Adversary == AdversaryLowerBound || spec.Adversary == AdversaryStepwise ||
+			spec.Adversary == AdversaryEquivocator {
+			return nil, fmt.Errorf("synran: adversary %q needs the lock-step engine", spec.Adversary)
+		}
+		return netsim.Run(cfg, procs, spec.Inputs, adv, spec.Seed)
+	}
+	exec, err := sim.NewExecution(cfg, procs, spec.Inputs, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(adv)
+}
+
+// NewProtocol builds a process vector by protocol name.
+func NewProtocol(name string, n, t int, inputs []int, seed uint64) ([]sim.Process, error) {
+	switch name {
+	case ProtocolSynRan:
+		return core.NewProcs(n, inputs, seed, core.Options{})
+	case ProtocolBenOr:
+		return benor.NewProcs(n, inputs, seed)
+	case ProtocolFloodSet:
+		return floodset.NewProcs(n, t, inputs)
+	case ProtocolLeaderCoin:
+		return core.NewProcs(n, inputs, seed, core.Options{LeaderCoin: true})
+	case ProtocolEarlyStop:
+		return earlystop.NewProcs(n, t, inputs)
+	case ProtocolPhaseKing:
+		return phaseking.NewProcs(n, t, inputs)
+	default:
+		return nil, fmt.Errorf("synran: unknown protocol %q (want %s|%s|%s|%s|%s)",
+			name, ProtocolSynRan, ProtocolBenOr, ProtocolFloodSet, ProtocolLeaderCoin, ProtocolEarlyStop)
+	}
+}
+
+// NewAdversary builds an adversary by name. The crash budget t is only
+// used by the non-adaptive waves adversary (its schedule is committed up
+// front).
+func NewAdversary(name string, n, t int, seed uint64) (sim.Adversary, error) {
+	switch name {
+	case AdversaryNone:
+		return adversary.None{}, nil
+	case AdversaryRandom:
+		return &adversary.Random{PerRound: 0.7, MaxPerRound: 2}, nil
+	case AdversarySplitVote:
+		return &adversary.SplitVote{}, nil
+	case AdversaryMassCrash:
+		return &adversary.MassCrash{AtRound: 2, Fraction: 0.7, PreferValue: 1}, nil
+	case AdversaryPush0:
+		return &adversary.PushTo{Value: 0}, nil
+	case AdversaryPush1:
+		return &adversary.PushTo{Value: 1}, nil
+	case AdversaryLowerBound:
+		return valency.NewLowerBound(n, seed), nil
+	case AdversaryStepwise:
+		return valency.NewStepwise(n, seed), nil
+	case AdversaryWaves:
+		return adversary.NewWaves(n, t, seed), nil
+	case AdversaryLeaderKiller:
+		return adversary.NewCombo(adversary.LeaderKiller{}, &adversary.SplitVote{}), nil
+	case AdversaryEquivocator:
+		return &adversary.Equivocator{Corruptions: t}, nil
+	default:
+		return nil, fmt.Errorf("synran: unknown adversary %q", name)
+	}
+}
+
+// UniformInputs returns n copies of bit v.
+func UniformInputs(n, v int) []int { return workload.Uniform(n, v) }
+
+// HalfHalfInputs returns the maximally split input vector.
+func HalfHalfInputs(n int) []int { return workload.HalfHalf(n) }
+
+// UpperBoundRounds is the Theorem 3 upper-bound shape
+// t / sqrt(n·log(2 + t/sqrt n)); see internal/core.
+func UpperBoundRounds(n, t int) float64 { return core.UpperBoundRounds(n, t) }
+
+// LowerBoundRounds is the Theorem 1 lower-bound shape
+// t / (4·sqrt(n·log n) + 1); see internal/core.
+func LowerBoundRounds(n, t int) float64 { return core.LowerBoundRounds(n, t) }
+
+// DetThreshold is the deterministic-stage trigger sqrt(n / log n).
+func DetThreshold(n int) float64 { return core.DetThreshold(n) }
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -17,7 +17,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/netsim/ ./internal/async/
+	$(GO) test -race -short ./...
 
 cover:
 	$(GO) test -cover ./...

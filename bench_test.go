@@ -1,6 +1,7 @@
 package synran
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -60,6 +61,36 @@ func BenchmarkE12IteratedGames(b *testing.B)  { benchExperiment(b, "E12") }
 func BenchmarkE13SharedCoin(b *testing.B)     { benchExperiment(b, "E13") }
 func BenchmarkE14Byzantine(b *testing.B)      { benchExperiment(b, "E14") }
 func BenchmarkE15Asynchrony(b *testing.B)     { benchExperiment(b, "E15") }
+
+// BenchmarkTrialsSerialVsParallel measures the wall-clock win of the
+// deterministic trial pool on real experiment tables: the same quick
+// E3 and E6 runs at 1, 2, 4, and 8 workers. The tables are
+// byte-identical at every width (enforced by the experiments package's
+// worker-invariance test); only elapsed time may differ. Expect ≥2× on
+// 4+ cores for serial vs parallel.
+func BenchmarkTrialsSerialVsParallel(b *testing.B) {
+	for _, id := range []string{"E3", "E6"} {
+		var ex experiments.Experiment
+		for _, e := range experiments.All() {
+			if e.ID == id {
+				ex = e
+			}
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers-%d", id, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := ex.Run(experiments.Config{Quick: true, Seed: 42, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := res.Table.Render(io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 // meanRounds runs SynRan b.N times and reports the mean halt rounds as a
 // custom metric — the unit the ablation benches compare.

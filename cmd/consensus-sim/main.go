@@ -29,6 +29,7 @@ func main() {
 	flag.BoolVar(&opts.Digest, "digest", false, "print the execution digest (single trial only)")
 	flag.StringVar(&opts.TraceFile, "tracefile", "", "write a JSON event trace to this file (single trial only)")
 	flag.BoolVar(&opts.Live, "live", false, "use the goroutine-per-process runner")
+	flag.IntVar(&opts.Workers, "workers", 0, "multi-trial worker pool size (0 = all cores; summary is identical at any count)")
 	flag.Parse()
 
 	if err := cli.ConsensusSim(opts, os.Stdout); err != nil {

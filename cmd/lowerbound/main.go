@@ -32,12 +32,14 @@ func run() error {
 		seed     = flag.Uint64("seed", 7, "random seed")
 		rollouts = flag.Int("rollouts", 16, "Monte-Carlo rollouts per pool adversary")
 		stepwise = flag.Bool("stepwise", false, "use the faithful Section 3.4 message-by-message strategy")
+		workers  = flag.Int("workers", 0, "rollout worker pool size (0 = all cores; classifications are identical at any count)")
 	)
 	flag.Parse()
 	t := *n - 1
 
 	est := valency.NewEstimator(*n, *seed)
 	est.RolloutsPerAdversary = *rollouts
+	est.Workers = *workers
 
 	fmt.Printf("searching the Lemma 3.5 input chain for a non-univalent initial state (n=%d, t=%d)...\n", *n, t)
 	factory := func(inputs []int, s uint64) ([]sim.Process, error) {
@@ -67,10 +69,12 @@ func run() error {
 	if *stepwise {
 		sw := valency.NewStepwise(*n, *seed)
 		sw.Est.RolloutsPerAdversary = *rollouts
+		sw.Est.Workers = *workers
 		lb = sw
 	} else {
 		cand := valency.NewLowerBound(*n, *seed)
 		cand.Est.RolloutsPerAdversary = *rollouts
+		cand.Est.Workers = *workers
 		lb = cand
 	}
 

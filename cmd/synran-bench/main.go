@@ -24,6 +24,7 @@ func main() {
 	flag.StringVar(&opts.Only, "only", "", "comma-separated experiment ids (e.g. E3,E7)")
 	flag.BoolVar(&opts.CSV, "csv", false, "emit CSV instead of aligned tables")
 	flag.BoolVar(&opts.Markdown, "markdown", false, "emit GitHub-flavored markdown tables")
+	flag.IntVar(&opts.Workers, "workers", 0, "trial worker pool size (0 = all cores; tables are identical at any count)")
 	flag.Parse()
 
 	if err := cli.Bench(opts, os.Stdout, os.Stderr); err != nil {

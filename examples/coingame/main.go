@@ -44,7 +44,7 @@ func run() error {
 			if t > n {
 				t = n
 			}
-			rep, err := coinflip.Control(g, t, trials, seed)
+			rep, err := coinflip.Control(g, t, trials, 0, seed)
 			if err != nil {
 				return err
 			}
@@ -64,11 +64,11 @@ func run() error {
 		fmt.Sprintf("iterated majority, n = %d players × %d rounds", g.N, g.R),
 		"budget t", "Pr[force 0]", "Pr[force 1]")
 	for _, t := range []int{0, 8, 2 * 16 * g.R} {
-		p0, _, err := coinflip.IteratedControl(g, 0, t, trials, seed)
+		p0, _, err := coinflip.IteratedControl(g, 0, t, trials, 0, seed)
 		if err != nil {
 			return err
 		}
-		p1, _, err := coinflip.IteratedControl(g, 1, t, trials, seed+1)
+		p1, _, err := coinflip.IteratedControl(g, 1, t, trials, 0, seed+1)
 		if err != nil {
 			return err
 		}

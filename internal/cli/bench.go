@@ -15,12 +15,15 @@ type BenchOptions struct {
 	Only     string // comma-separated experiment ids, empty = all
 	CSV      bool
 	Markdown bool
+	// Workers bounds the trial worker pool (0 = all cores). Tables are
+	// byte-identical at every worker count.
+	Workers int
 }
 
 // Bench runs the selected experiments, writing tables to out and
 // progress lines to errw. It returns an error listing failed claims.
 func Bench(opts BenchOptions, out, errw io.Writer) error {
-	cfg := experiments.Config{Quick: opts.Quick, Seed: opts.Seed}
+	cfg := experiments.Config{Quick: opts.Quick, Seed: opts.Seed, Workers: opts.Workers}
 	want := map[string]bool{}
 	if opts.Only != "" {
 		for _, id := range strings.Split(opts.Only, ",") {

@@ -13,6 +13,7 @@ import (
 	"synran/internal/sim"
 	"synran/internal/stats"
 	"synran/internal/trace"
+	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
@@ -28,6 +29,10 @@ type SimOptions struct {
 	Digest    bool
 	TraceFile string
 	Live      bool
+	// Workers bounds the multi-trial worker pool (0 = all cores). The
+	// summary is identical at every worker count: trial i always runs at
+	// seed Seed+i and results aggregate in index order.
+	Workers int
 }
 
 // ConsensusSim is the command core of cmd/consensus-sim.
@@ -115,23 +120,40 @@ func simOnce(opts SimOptions, w io.Writer) error {
 }
 
 func simMany(opts SimOptions, w io.Writer) error {
+	type outcome struct {
+		rounds   float64
+		crashes  float64
+		decided  int
+		violated bool
+	}
+	outs, err := trials.Run(opts.Workers, opts.Trials, func(i int) (outcome, error) {
+		spec, err := buildSpec(opts, opts.Seed+uint64(i))
+		if err != nil {
+			return outcome{}, err
+		}
+		res, err := synran.Run(spec)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{
+			rounds:   float64(res.HaltRounds),
+			crashes:  float64(res.Crashes),
+			decided:  res.DecidedValue(),
+			violated: !res.Agreement || !res.Validity,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
 	rounds := make([]float64, 0, opts.Trials)
 	crashes := make([]float64, 0, opts.Trials)
 	decided := map[int]int{}
 	violations := 0
-	for i := 0; i < opts.Trials; i++ {
-		spec, err := buildSpec(opts, opts.Seed+uint64(i))
-		if err != nil {
-			return err
-		}
-		res, err := synran.Run(spec)
-		if err != nil {
-			return err
-		}
-		rounds = append(rounds, float64(res.HaltRounds))
-		crashes = append(crashes, float64(res.Crashes))
-		decided[res.DecidedValue()]++
-		if !res.Agreement || !res.Validity {
+	for _, o := range outs {
+		rounds = append(rounds, o.rounds)
+		crashes = append(crashes, o.crashes)
+		decided[o.decided]++
+		if o.violated {
 			violations++
 		}
 	}

@@ -116,7 +116,7 @@ func TestParityOneCrashControls(t *testing.T) {
 	// Parity is the degenerate game: one crash controls it whenever a 1
 	// exists, i.e. with probability 1 - 2^-n per target.
 	g := Parity{N: 16}
-	rep, err := Control(g, 1, 4000, 11)
+	rep, err := Control(g, 1, 4000, 2, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestCorollary22MajorityControl(t *testing.T) {
 			// adversary trivially controls by hiding everyone.
 			budget = n
 		}
-		rep, err := Control(g, budget, 2000, uint64(n))
+		rep, err := Control(g, budget, 2000, 2, uint64(n))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func TestSmallBudgetDoesNotControlMajority(t *testing.T) {
 	// With t = 1 and large n the majority game cannot be controlled: the
 	// margin |ones-zeros| exceeds 1 with probability ~ 1 - O(1/sqrt(n)).
 	g := Majority{N: 1024}
-	rep, err := Control(g, 1, 2000, 7)
+	rep, err := Control(g, 1, 2000, 2, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestLeaderControl(t *testing.T) {
 	// Leader with k=4: hiding a prefix of expected length k reaches any
 	// target; budget 40 on 64 players controls every outcome w.h.p.
 	g := Leader{N: 64, K: 4}
-	rep, err := Control(g, 40, 2000, 13)
+	rep, err := Control(g, 40, 2000, 2, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,10 +182,10 @@ func TestLeaderControl(t *testing.T) {
 }
 
 func TestControlValidation(t *testing.T) {
-	if _, err := Control(Majority{N: 4}, 2, 0, 1); err == nil {
+	if _, err := Control(Majority{N: 4}, 2, 0, 2, 1); err == nil {
 		t.Fatal("trials=0 must be rejected")
 	}
-	if _, err := Control(Majority{N: 4}, 9, 10, 1); err == nil {
+	if _, err := Control(Majority{N: 4}, 9, 10, 2, 1); err == nil {
 		t.Fatal("t>n must be rejected")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"synran/internal/rng"
+	"synran/internal/trials"
 )
 
 // ControlReport summarizes a Monte-Carlo control analysis of one game
@@ -25,30 +26,45 @@ type ControlReport struct {
 // t-adversary can bias a fresh draw of the game to v. The games' exact
 // BiasPlan adversaries make this an exact Monte-Carlo estimate of
 // Pr(y ∉ U^v).
-func Control(g Game, t, trials int, seed uint64) (*ControlReport, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("coinflip: trials = %d, want > 0", trials)
+//
+// Trials fan out over a workers-wide pool (0 = all cores); trial i draws
+// from the split child Stream(seed).Split(i), so the report is identical
+// for every worker count.
+func Control(g Game, t, nTrials, workers int, seed uint64) (*ControlReport, error) {
+	if nTrials <= 0 {
+		return nil, fmt.Errorf("coinflip: trials = %d, want > 0", nTrials)
 	}
 	if t < 0 || t > g.Players() {
 		return nil, fmt.Errorf("coinflip: t = %d out of [0, %d]", t, g.Players())
 	}
-	r := rng.New(seed)
+	parent := rng.New(seed)
 	k := g.Outcomes()
-	wins := make([]int, k)
-	for i := 0; i < trials; i++ {
+	perTrial, err := trials.Run(workers, nTrials, func(i int) ([]bool, error) {
+		r := parent.Split(uint64(i))
 		vals := g.Sample(r)
+		won := make([]bool, k)
 		for v := 0; v < k; v++ {
-			if _, ok := g.BiasPlan(vals, v, t); ok {
+			_, won[v] = g.BiasPlan(vals, v, t)
+		}
+		return won, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	wins := make([]int, k)
+	for _, won := range perTrial {
+		for v, ok := range won {
+			if ok {
 				wins[v]++
 			}
 		}
 	}
 	rep := &ControlReport{
-		Game: g.Name(), N: g.Players(), K: k, T: t, Trials: trials,
+		Game: g.Name(), N: g.Players(), K: k, T: t, Trials: nTrials,
 		ForceProb: make([]float64, k),
 	}
 	for v := 0; v < k; v++ {
-		rep.ForceProb[v] = float64(wins[v]) / float64(trials)
+		rep.ForceProb[v] = float64(wins[v]) / float64(nTrials)
 		if rep.ForceProb[v] >= rep.BestProb {
 			rep.BestProb = rep.ForceProb[v]
 			rep.BestOutcome = v

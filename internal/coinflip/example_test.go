@@ -11,7 +11,7 @@ import (
 // optimal biasing adversary.
 func ExampleControl() {
 	g := coinflip.MajorityDefaultZero{N: 64}
-	rep, err := coinflip.Control(g, 64, 2000, 1)
+	rep, err := coinflip.Control(g, 64, 2000, 0, 1)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"synran/internal/rng"
+	"synran/internal/trials"
 )
 
 // IteratedMajority is the multi-round collective coin-flipping game of
@@ -124,28 +125,40 @@ func PlayIterated(g IteratedMajority, target, budget int, r *rng.Stream) (*Itera
 }
 
 // IteratedControl estimates the probability that the greedy adversary
-// with the given total budget forces the target outcome, over trials
-// independent plays.
-func IteratedControl(g IteratedMajority, target, budget, trials int, seed uint64) (float64, float64, error) {
-	if trials <= 0 {
-		return 0, 0, fmt.Errorf("coinflip: trials = %d, want > 0", trials)
+// with the given total budget forces the target outcome, over nTrials
+// independent plays fanned out over a workers-wide pool (0 = all
+// cores). Play i draws from the split child Stream(seed).Split(i), so
+// the estimate is identical for every worker count.
+func IteratedControl(g IteratedMajority, target, budget, nTrials, workers int, seed uint64) (float64, float64, error) {
+	if nTrials <= 0 {
+		return 0, 0, fmt.Errorf("coinflip: trials = %d, want > 0", nTrials)
 	}
-	r := rng.New(seed)
+	parent := rng.New(seed)
+	type play struct {
+		won    bool
+		halted int
+	}
+	plays, err := trials.Run(workers, nTrials, func(i int) (play, error) {
+		out, err := PlayIterated(g, target, budget, parent.Split(uint64(i)))
+		if err != nil {
+			return play{}, err
+		}
+		return play{won: out.Outcome == target, halted: out.Halted}, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
 	wins := 0
 	totalHalted := 0
-	for i := 0; i < trials; i++ {
-		out, err := PlayIterated(g, target, budget, r)
-		if err != nil {
-			return 0, 0, err
-		}
-		if out.Outcome == target {
+	for _, p := range plays {
+		if p.won {
 			wins++
-			totalHalted += out.Halted
+			totalHalted += p.halted
 		}
 	}
 	meanCost := 0.0
 	if wins > 0 {
 		meanCost = float64(totalHalted) / float64(wins)
 	}
-	return float64(wins) / float64(trials), meanCost, nil
+	return float64(wins) / float64(nTrials), meanCost, nil
 }

@@ -63,7 +63,7 @@ func TestIteratedAspnesBudgetControls(t *testing.T) {
 		g := IteratedMajority{N: n, R: RoundsDefault(n)}
 		budget := int(2 * math.Sqrt(float64(n)) * float64(g.R))
 		for _, target := range []int{0, 1} {
-			p, cost, err := IteratedControl(g, target, budget, 2000, uint64(n))
+			p, cost, err := IteratedControl(g, target, budget, 2000, 2, uint64(n))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,7 +79,7 @@ func TestIteratedAspnesBudgetControls(t *testing.T) {
 
 func TestIteratedTinyBudgetFails(t *testing.T) {
 	g := IteratedMajority{N: 1024, R: RoundsDefault(1024)}
-	p, _, err := IteratedControl(g, 1, 3, 2000, 9)
+	p, _, err := IteratedControl(g, 1, 3, 2000, 2, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestIteratedCostScalesLikeSqrtNLogN(t *testing.T) {
 	for _, n := range []int{64, 1024} {
 		g := IteratedMajority{N: n, R: RoundsDefault(n)}
 		budget := int(4 * math.Sqrt(float64(n)) * float64(g.R))
-		_, cost, err := IteratedControl(g, 1, budget, 1500, uint64(n)+5)
+		_, cost, err := IteratedControl(g, 1, budget, 1500, 2, uint64(n)+5)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -78,7 +78,7 @@ func TestThresholdOneSidedDownward(t *testing.T) {
 
 func TestThresholdControlReport(t *testing.T) {
 	g := Threshold{N: 256, K: 4}
-	rep, err := Control(g, 256, 2000, 5)
+	rep, err := Control(g, 256, 2000, 2, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

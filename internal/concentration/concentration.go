@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"synran/internal/rng"
+	"synran/internal/trials"
 )
 
 // DeviationLowerBound returns Lemma 4.4's lower bound
@@ -90,15 +91,18 @@ func DeviationExact(n int, t float64) float64 {
 }
 
 // DeviationEmpirical estimates the same probability by simulation:
-// trials batches of n fair coins.
-func DeviationEmpirical(n int, t float64, trials int, seed uint64) (float64, error) {
-	if trials <= 0 {
-		return 0, fmt.Errorf("concentration: trials = %d, want > 0", trials)
+// nTrials batches of n fair coins, fanned out over a workers-wide pool
+// (0 = all cores). Batch i draws its coins from the split child
+// Stream(seed).Split(i), so the estimate is identical for every worker
+// count.
+func DeviationEmpirical(n int, t float64, nTrials, workers int, seed uint64) (float64, error) {
+	if nTrials <= 0 {
+		return 0, fmt.Errorf("concentration: trials = %d, want > 0", nTrials)
 	}
-	r := rng.New(seed)
+	parent := rng.New(seed)
 	thresh := float64(n)/2 + t*math.Sqrt(float64(n))
-	hits := 0
-	for i := 0; i < trials; i++ {
+	results, err := trials.Run(workers, nTrials, func(i int) (bool, error) {
+		r := parent.Split(uint64(i))
 		ones := 0
 		// Draw 64 coins at a time.
 		for drawn := 0; drawn < n; drawn += 64 {
@@ -109,11 +113,18 @@ func DeviationEmpirical(n int, t float64, trials int, seed uint64) (float64, err
 			}
 			ones += popcount(w)
 		}
-		if float64(ones) >= thresh {
+		return float64(ones) >= thresh, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	hits := 0
+	for _, hit := range results {
+		if hit {
 			hits++
 		}
 	}
-	return float64(hits) / float64(trials), nil
+	return float64(hits) / float64(nTrials), nil
 }
 
 func popcount(x uint64) int {

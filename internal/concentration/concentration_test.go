@@ -86,7 +86,7 @@ func TestCorollary45(t *testing.T) {
 func TestDeviationEmpiricalMatchesExact(t *testing.T) {
 	const n = 256
 	for _, tv := range []float64{0, 0.5, 1.0} {
-		emp, err := DeviationEmpirical(n, tv, 20000, 7)
+		emp, err := DeviationEmpirical(n, tv, 20000, 2, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func TestDeviationEmpiricalMatchesExact(t *testing.T) {
 }
 
 func TestDeviationEmpiricalValidation(t *testing.T) {
-	if _, err := DeviationEmpirical(16, 0, 0, 1); err == nil {
+	if _, err := DeviationEmpirical(16, 0, 0, 2, 1); err == nil {
 		t.Fatal("trials=0 must be rejected")
 	}
 }

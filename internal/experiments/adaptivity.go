@@ -7,6 +7,7 @@ import (
 	"synran/internal/core"
 	"synran/internal/sim"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/wire"
 	"synran/internal/workload"
 )
@@ -71,9 +72,27 @@ func (s *stabilizationObserver) OnCrash(int, int, int)  {}
 func (s *stabilizationObserver) OnDecide(int, int, int) {}
 func (s *stabilizationObserver) OnHalt(int, int)        {}
 
+// settleHalt is one observed trial of the settle-vs-halt experiments
+// (E11, E13).
+type settleHalt struct {
+	settle float64
+	halt   float64
+}
+
+// summarizeSettleHalt folds per-trial settle/halt observations.
+func summarizeSettleHalt(outs []settleHalt) (stats.Summary, stats.Summary) {
+	settle := make([]float64, 0, len(outs))
+	halt := make([]float64, 0, len(outs))
+	for _, o := range outs {
+		settle = append(settle, o.settle)
+		halt = append(halt, o.halt)
+	}
+	return stats.Summarize(settle), stats.Summarize(halt)
+}
+
 func E11AdaptivityGap(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{32, 128}, []int{32, 128, 512})
-	reps := trials(cfg, 8, 30)
+	reps := trialCount(cfg, 8, 30)
 	tb := stats.NewTable("E11: adaptive vs non-adaptive adversaries (Section 1.2)",
 		"protocol", "adversary", "n", "t", "mean settle rounds", "mean halt rounds")
 	res := &Result{ID: "E11", Table: tb}
@@ -104,12 +123,10 @@ func E11AdaptivityGap(cfg Config) (*Result, error) {
 	for _, n := range ns {
 		t := n - 1
 		for _, c := range cells {
-			// Built inline rather than via measureRounds because the
+			// Built on trials.Run rather than measureRounds because the
 			// non-adaptive schedule depends on (n, t, seed) and the
 			// stabilization observer must be attached per run.
-			settle := make([]float64, 0, reps)
-			halt := make([]float64, 0, reps)
-			for i := 0; i < reps; i++ {
+			outs, err := trials.Run(cfg.Workers, reps, func(i int) (settleHalt, error) {
 				seed := cfg.Seed + uint64(n*100+i)
 				obs := &stabilizationObserver{}
 				run, err := core.Run(core.RunSpec{
@@ -121,16 +138,20 @@ func E11AdaptivityGap(cfg Config) (*Result, error) {
 					Observer:  obs,
 				})
 				if err != nil {
-					return nil, err
+					return settleHalt{}, err
 				}
 				if !run.Agreement || !run.Validity {
-					return nil, fmt.Errorf("safety violated: %s vs %s n=%d", c.proto, c.adv, n)
+					return settleHalt{}, fmt.Errorf("safety violated: %s vs %s n=%d", c.proto, c.adv, n)
 				}
-				settle = append(settle, float64(obs.lastSplit+1))
-				halt = append(halt, float64(run.HaltRounds))
+				return settleHalt{
+					settle: float64(obs.lastSplit + 1),
+					halt:   float64(run.HaltRounds),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
-			ss := stats.Summarize(settle)
-			hs := stats.Summarize(halt)
+			ss, hs := summarizeSettleHalt(outs)
 			tb.AddRow(c.proto, c.adv, n, t, ss.Mean, hs.Mean)
 			key := c.proto + "/" + c.adv
 			means[key] = append(means[key], ss.Mean)

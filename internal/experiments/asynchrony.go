@@ -6,6 +6,7 @@ import (
 
 	"synran/internal/async"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
@@ -25,7 +26,7 @@ import (
 //     total-coin-flip bound.
 func E15Asynchrony(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{4, 8}, []int{4, 8, 12})
-	reps := trials(cfg, 6, 12)
+	reps := trialCount(cfg, 6, 12)
 	tb := stats.NewTable("E15: the asynchronous contrast (FLP / Aspnes, Section 1.2)",
 		"coin", "scheduler", "n", "t", "terminated", "mean phases", "mean flips")
 	res := &Result{ID: "E15", Table: tb}
@@ -48,30 +49,32 @@ func E15Asynchrony(cfg Config) (*Result, error) {
 		}
 		fifoFlips, splitterFlips := -1.0, -1.0
 		for ci, c := range cells {
-			terminated := 0
-			var phases, flips []float64
-			for i := 0; i < reps; i++ {
+			type outcome struct {
+				terminated bool
+				phases     float64
+				flips      float64
+			}
+			outs, err := trials.Run(cfg.Workers, reps, func(i int) (outcome, error) {
 				seed := cfg.Seed + uint64(n*1000+ci*100+i)
 				inputs := workload.HalfHalf(n)
 				procs, err := async.NewBenOrProcs(n, t, inputs, c.mode, seed)
 				if err != nil {
-					return nil, err
+					return outcome{}, err
 				}
 				exec, err := async.NewExecution(async.Config{N: n, T: t, MaxSteps: c.cap}, procs, inputs, seed)
 				if err != nil {
-					return nil, err
+					return outcome{}, err
 				}
 				run, err := exec.Run(c.mk())
 				if err != nil {
 					if errors.Is(err, async.ErrMaxSteps) {
-						continue // non-termination: counted by omission
+						return outcome{}, nil // non-termination: counted by omission
 					}
-					return nil, err
+					return outcome{}, err
 				}
 				if !run.Agreement || !run.Validity {
-					return nil, fmt.Errorf("async safety violated: %s n=%d", c.label, n)
+					return outcome{}, fmt.Errorf("async safety violated: %s n=%d", c.label, n)
 				}
-				terminated++
 				maxPhase, totalFlips := 0, 0
 				for _, p := range procs {
 					b := p.(*async.BenOr)
@@ -80,8 +83,20 @@ func E15Asynchrony(cfg Config) (*Result, error) {
 					}
 					totalFlips += b.Flips()
 				}
-				phases = append(phases, float64(maxPhase))
-				flips = append(flips, float64(totalFlips))
+				return outcome{terminated: true, phases: float64(maxPhase), flips: float64(totalFlips)}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			terminated := 0
+			var phases, flips []float64
+			for _, o := range outs {
+				if !o.terminated {
+					continue
+				}
+				terminated++
+				phases = append(phases, o.phases)
+				flips = append(flips, o.flips)
 			}
 			ps, fs := stats.Summarize(phases), stats.Summarize(flips)
 			schedName := c.mk().Name()

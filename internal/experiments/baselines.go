@@ -9,6 +9,7 @@ import (
 	"synran/internal/protocol/floodset"
 	"synran/internal/sim"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
@@ -28,7 +29,7 @@ func E5Baselines(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		n = 64
 	}
-	reps := trials(cfg, 6, 25)
+	reps := trialCount(cfg, 6, 25)
 	tb := stats.NewTable(fmt.Sprintf("E5: baselines at n = %d", n),
 		"protocol", "t", "adversary", "mean rounds", "violations")
 	res := &Result{ID: "E5", Table: tb}
@@ -37,7 +38,7 @@ func E5Baselines(cfg Config) (*Result, error) {
 	var synRounds, floodRounds float64
 	for _, t := range ts {
 		// FloodSet: deterministic, exactly t+2 engine rounds.
-		fRounds, fViol, err := runFloodSet(n, t, reps, cfg.Seed)
+		fRounds, fViol, err := runFloodSet(n, t, reps, cfg.Workers, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -46,7 +47,7 @@ func E5Baselines(cfg Config) (*Result, error) {
 		// Early-stopping deterministic variant: min(f+2, t+2)-ish rounds
 		// with f actual crashes — the fair deterministic comparison when
 		// the adversary does not spend its budget.
-		eQuiet, eViol, err := runEarlyStop(n, t, reps, adversary.None{}, cfg.Seed)
+		eQuiet, eViol, err := runEarlyStop(n, t, reps, cfg.Workers, adversary.None{}, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +67,7 @@ func E5Baselines(cfg Config) (*Result, error) {
 		}
 
 		// SynRan under splitvote.
-		sum, _, err := measureRounds(n, t, reps, core.Options{},
+		sum, _, err := measureRounds(n, t, reps, cfg.Workers, core.Options{}, workload.HalfHalf,
 			func() sim.Adversary { return &adversary.SplitVote{} }, cfg.Seed+uint64(t))
 		if err != nil {
 			return nil, err
@@ -78,10 +79,14 @@ func E5Baselines(cfg Config) (*Result, error) {
 	}
 
 	// Symmetric-coin ablation: mass crash of 70% of the 1-senders in
-	// round 2 on all-1 inputs.
-	symViol, symRuns := 0, 0
-	synViol := 0
-	for i := 0; i < reps; i++ {
+	// round 2 on all-1 inputs. One trial runs both coin variants at the
+	// same seed so the ablation stays a paired comparison.
+	type ablation struct {
+		symViolated bool
+		synViolated bool
+	}
+	abl, err := trials.Run(cfg.Workers, reps, func(i int) (ablation, error) {
+		var a ablation
 		for _, symmetric := range []bool{false, true} {
 			res2, err := core.Run(core.RunSpec{
 				N: n, T: n - 1,
@@ -91,16 +96,28 @@ func E5Baselines(cfg Config) (*Result, error) {
 				Adversary: &adversary.MassCrash{AtRound: 2, Fraction: 0.7, PreferValue: 1},
 			})
 			if err != nil {
-				return nil, err
+				return ablation{}, err
 			}
 			if symmetric {
-				symRuns++
-				if !res2.Validity {
-					symViol++
-				}
-			} else if !res2.Validity || !res2.Agreement {
-				synViol++
+				a.symViolated = !res2.Validity
+			} else {
+				a.synViolated = !res2.Validity || !res2.Agreement
 			}
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	symViol, symRuns := 0, 0
+	synViol := 0
+	for _, a := range abl {
+		symRuns++
+		if a.symViolated {
+			symViol++
+		}
+		if a.synViolated {
+			synViol++
 		}
 	}
 	tb.AddRow("synran (one-side bias)", n-1, "masscrash-70%", 0.0, synViol)
@@ -125,54 +142,77 @@ func E5Baselines(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runEarlyStop measures the early-stopping deterministic baseline.
-func runEarlyStop(n, t, reps int, adv sim.Adversary, seed uint64) (stats.Summary, int, error) {
-	rounds := make([]float64, 0, reps)
+// baselineOutcome is one deterministic-baseline trial's result.
+type baselineOutcome struct {
+	rounds   float64
+	violated bool
+}
+
+// summarizeBaseline folds per-trial outcomes into (rounds, violations).
+func summarizeBaseline(outs []baselineOutcome) (stats.Summary, int) {
+	rounds := make([]float64, 0, len(outs))
 	violations := 0
-	for i := 0; i < reps; i++ {
+	for _, o := range outs {
+		if o.violated {
+			violations++
+		}
+		rounds = append(rounds, o.rounds)
+	}
+	return stats.Summarize(rounds), violations
+}
+
+// runEarlyStop measures the early-stopping deterministic baseline.
+func runEarlyStop(n, t, reps, workers int, adv sim.Adversary, seed uint64) (stats.Summary, int, error) {
+	outs, err := trials.Run(workers, reps, func(i int) (baselineOutcome, error) {
 		inputs := workload.HalfHalf(n)
 		procs, err := earlystop.NewProcs(n, t, inputs)
 		if err != nil {
-			return stats.Summary{}, 0, err
+			return baselineOutcome{}, err
 		}
 		exec, err := sim.NewExecution(sim.Config{N: n, T: t}, procs, inputs, seed+uint64(i))
 		if err != nil {
-			return stats.Summary{}, 0, err
+			return baselineOutcome{}, err
 		}
 		res, err := exec.Run(adv.Clone())
 		if err != nil {
-			return stats.Summary{}, 0, err
+			return baselineOutcome{}, err
 		}
-		if !res.Agreement || !res.Validity {
-			violations++
-		}
-		rounds = append(rounds, float64(res.HaltRounds))
+		return baselineOutcome{
+			rounds:   float64(res.HaltRounds),
+			violated: !res.Agreement || !res.Validity,
+		}, nil
+	})
+	if err != nil {
+		return stats.Summary{}, 0, err
 	}
-	return stats.Summarize(rounds), violations, nil
+	sum, violations := summarizeBaseline(outs)
+	return sum, violations, nil
 }
 
 // runFloodSet measures FloodSet under the split-vote adversary.
-func runFloodSet(n, t, reps int, seed uint64) (stats.Summary, int, error) {
-	rounds := make([]float64, 0, reps)
-	violations := 0
-	for i := 0; i < reps; i++ {
+func runFloodSet(n, t, reps, workers int, seed uint64) (stats.Summary, int, error) {
+	outs, err := trials.Run(workers, reps, func(i int) (baselineOutcome, error) {
 		inputs := workload.HalfHalf(n)
 		procs, err := floodset.NewProcs(n, t, inputs)
 		if err != nil {
-			return stats.Summary{}, 0, err
+			return baselineOutcome{}, err
 		}
 		exec, err := sim.NewExecution(sim.Config{N: n, T: t}, procs, inputs, seed+uint64(i))
 		if err != nil {
-			return stats.Summary{}, 0, err
+			return baselineOutcome{}, err
 		}
 		res, err := exec.Run(&adversary.SplitVote{})
 		if err != nil {
-			return stats.Summary{}, 0, err
+			return baselineOutcome{}, err
 		}
-		if !res.Agreement || !res.Validity {
-			violations++
-		}
-		rounds = append(rounds, float64(res.HaltRounds))
+		return baselineOutcome{
+			rounds:   float64(res.HaltRounds),
+			violated: !res.Agreement || !res.Validity,
+		}, nil
+	})
+	if err != nil {
+		return stats.Summary{}, 0, err
 	}
-	return stats.Summarize(rounds), violations, nil
+	sum, violations := summarizeBaseline(outs)
+	return sum, violations, nil
 }

@@ -7,6 +7,7 @@ import (
 	"synran/internal/protocol/phaseking"
 	"synran/internal/sim"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
@@ -22,33 +23,46 @@ import (
 //     n > 4t, including with unanimous correct inputs (persistence).
 func E14Byzantine(cfg Config) (*Result, error) {
 	tsList := sizes(cfg, []int{1, 2}, []int{1, 2, 4, 8})
-	reps := trials(cfg, 5, 20)
+	reps := trialCount(cfg, 5, 20)
 	tb := stats.NewTable("E14: deterministic Byzantine agreement is Θ(t) rounds (Phase King, [GM93] context)",
 		"n", "t", "adversary", "mean rounds", "expected 2(t+1)+1", "violations")
 	res := &Result{ID: "E14", Table: tb}
 
 	for _, t := range tsList {
 		n := 4*t + 1
-		violations := 0
-		rounds := make([]float64, 0, reps)
-		for i := 0; i < reps; i++ {
+		type outcome struct {
+			rounds   float64
+			violated bool
+		}
+		outs, err := trials.Run(cfg.Workers, reps, func(i int) (outcome, error) {
 			inputs := workload.HalfHalf(n)
 			procs, err := phaseking.NewProcs(n, t, inputs)
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
 			exec, err := sim.NewExecution(sim.Config{N: n, T: t}, procs, inputs, cfg.Seed+uint64(t*100+i))
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
 			run, err := exec.Run(&adversary.Equivocator{Corruptions: t})
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
-			if !run.Agreement || !run.Validity {
+			return outcome{
+				rounds:   float64(run.HaltRounds),
+				violated: !run.Agreement || !run.Validity,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		violations := 0
+		rounds := make([]float64, 0, reps)
+		for _, o := range outs {
+			if o.violated {
 				violations++
 			}
-			rounds = append(rounds, float64(run.HaltRounds))
+			rounds = append(rounds, o.rounds)
 		}
 		sum := stats.Summarize(rounds)
 		want := float64(2*(t+1) + 1)

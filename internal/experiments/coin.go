@@ -16,7 +16,7 @@ import (
 // budget for contrast.
 func E1CoinControl(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{64, 256}, []int{64, 256, 1024, 4096})
-	tr := trials(cfg, 500, 4000)
+	tr := trialCount(cfg, 500, 4000)
 	tb := stats.NewTable("E1: one-round coin-game control (Corollary 2.2)",
 		"game", "n", "t", "budget", "best v", "Pr[force best]", "1-1/n", "controls")
 	res := &Result{ID: "E1", Table: tb}
@@ -35,7 +35,7 @@ func E1CoinControl(cfg Config) (*Result, error) {
 				{"cor2.2", clamp(core.CoinControlBudget(n, g.Outcomes()), n)},
 			}
 			for _, b := range budgets {
-				rep, err := coinflip.Control(g, b.t, tr, cfg.Seed+uint64(n)+uint64(b.t))
+				rep, err := coinflip.Control(g, b.t, tr, cfg.Workers, cfg.Seed+uint64(n)+uint64(b.t))
 				if err != nil {
 					return nil, err
 				}
@@ -61,18 +61,18 @@ func E1CoinControl(cfg Config) (*Result, error) {
 // can be pushed to 1 exactly when the unbiased outcome is already 1.
 func E2OneSidedBias(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{16, 64}, []int{16, 64, 256, 1024})
-	tr := trials(cfg, 1000, 8000)
+	tr := trialCount(cfg, 1000, 8000)
 	tb := stats.NewTable("E2: one-sided bias of majority-default-0 (Section 2.1)",
 		"n", "t", "Pr[force 0]", "Pr[force 1]", "Pr[outcome 1 unbiased]")
 	res := &Result{ID: "E2", Table: tb}
 
 	for _, n := range ns {
 		g := coinflip.MajorityDefaultZero{N: n}
-		rep, err := coinflip.Control(g, n, tr, cfg.Seed+uint64(n))
+		rep, err := coinflip.Control(g, n, tr, cfg.Workers, cfg.Seed+uint64(n))
 		if err != nil {
 			return nil, err
 		}
-		unbiased, err := unbiasedOutcomeProb(g, 1, tr, cfg.Seed+uint64(n)+7)
+		unbiased, err := unbiasedOutcomeProb(g, 1, tr, cfg.Workers, cfg.Seed+uint64(n)+7)
 		if err != nil {
 			return nil, err
 		}
@@ -98,8 +98,8 @@ func E2OneSidedBias(cfg Config) (*Result, error) {
 
 // unbiasedOutcomeProb estimates the probability the game yields v with
 // no adversary.
-func unbiasedOutcomeProb(g coinflip.Game, v, tr int, seed uint64) (float64, error) {
-	rep, err := coinflip.Control(g, 0, tr, seed)
+func unbiasedOutcomeProb(g coinflip.Game, v, tr, workers int, seed uint64) (float64, error) {
+	rep, err := coinflip.Control(g, 0, tr, workers, seed)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"synran/internal/adversary"
+	"synran/internal/core"
+	"synran/internal/sim"
+	"synran/internal/workload"
+)
+
+// renderAll runs the full quick suite at the given worker count and
+// returns the rendered tables.
+func renderAll(t *testing.T, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RunAll(Config{Quick: true, Seed: 42, Workers: workers}, &buf); err != nil {
+		t.Fatalf("RunAll(workers=%d): %v", workers, err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunAllWorkerInvariance is the harness's hard guarantee: every
+// experiment table is byte-identical whether trials run serially or on
+// an 8-wide pool, because all randomness derives from the trial index,
+// never from scheduling order.
+func TestRunAllWorkerInvariance(t *testing.T) {
+	serial := renderAll(t, 1)
+	pooled := renderAll(t, 8)
+	if !bytes.Equal(serial, pooled) {
+		t.Fatalf("quick suite differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- pooled ---\n%s",
+			firstDiffContext(serial, pooled), firstDiffContext(pooled, serial))
+	}
+	again := renderAll(t, 8)
+	if !bytes.Equal(pooled, again) {
+		t.Fatalf("two workers=8 runs differ:\n%s", firstDiffContext(pooled, again))
+	}
+}
+
+// firstDiffContext returns the line around the first byte where a and b
+// diverge, to keep the failure message readable.
+func firstDiffContext(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := bytes.LastIndexByte(a[:i], '\n') + 1
+	hi := bytes.IndexByte(a[i:], '\n')
+	if hi < 0 {
+		hi = len(a)
+	} else {
+		hi += i
+	}
+	return string(a[lo:hi])
+}
+
+// TestMeasureRoundsViolationAttribution drives measureRounds into a
+// guaranteed safety violation (the E5 ablation: symmetric coin, all-1
+// inputs, 70% mass crash of 1-senders) and checks that the error names
+// the right n, t, and rep — and that the attribution is identical at
+// every worker count, so a red CI run always points at the same trial.
+func TestMeasureRoundsViolationAttribution(t *testing.T) {
+	const n = 64
+	run := func(reps, workers int) string {
+		_, _, err := measureRounds(n, n-1, reps, workers,
+			core.Options{SymmetricCoin: true},
+			func(n int) []int { return workload.Uniform(n, 1) },
+			func() sim.Adversary {
+				return &adversary.MassCrash{AtRound: 2, Fraction: 0.7, PreferValue: 1}
+			}, 42)
+		if err == nil {
+			t.Fatalf("symmetric-coin ablation did not violate safety (reps=%d workers=%d)", reps, workers)
+		}
+		return err.Error()
+	}
+
+	// Every trial in this configuration violates validity, so a single
+	// rep must blame rep 0 with the exact n and t.
+	if got, want := run(1, 1), "safety violated at n=64 t=63 rep=0"; !strings.Contains(got, want) {
+		t.Fatalf("error %q does not contain %q", got, want)
+	}
+	// First-by-index determinism: a 6-rep batch blames the same trial at
+	// every worker count.
+	serial := run(6, 1)
+	for _, workers := range []int{2, 8} {
+		if pooled := run(6, workers); pooled != serial {
+			t.Fatalf("violation attribution depends on worker count: workers=1 %q, workers=%d %q",
+				serial, workers, pooled)
+		}
+	}
+}

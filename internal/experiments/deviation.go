@@ -15,7 +15,7 @@ import (
 // exact binomial tail and a Monte-Carlo estimate are reported.
 func E7Deviation(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{256, 1024}, []int{64, 256, 1024, 4096})
-	tr := trials(cfg, 4000, 20000)
+	tr := trialCount(cfg, 4000, 20000)
 	tb := stats.NewTable("E7: binomial lower deviation (Lemma 4.4 / Corollary 4.5)",
 		"n", "t (in sqrt(n) units)", "exact tail", "empirical", "lemma bound", "cor4.5 floor")
 	res := &Result{ID: "E7", Table: tb}
@@ -31,7 +31,7 @@ func E7Deviation(cfg Config) (*Result, error) {
 				continue
 			}
 			exact := concentration.DeviationExact(n, tv)
-			emp, err := concentration.DeviationEmpirical(n, tv, tr, cfg.Seed+uint64(n)+uint64(tv*100))
+			emp, err := concentration.DeviationEmpirical(n, tv, tr, cfg.Workers, cfg.Seed+uint64(n)+uint64(tv*100))
 			if err != nil {
 				return nil, err
 			}

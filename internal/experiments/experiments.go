@@ -20,6 +20,11 @@ type Config struct {
 	// Seed drives all randomness; identical seeds reproduce tables
 	// exactly.
 	Seed uint64
+	// Workers bounds the trial worker pool shared by every experiment
+	// (0 = all cores). Tables are byte-identical at every worker count:
+	// each trial derives its randomness from (Seed, trial index) alone,
+	// and internal/trials collects results in index order.
+	Workers int
 }
 
 // Claim is one checkable assertion extracted from an experiment run.
@@ -105,8 +110,8 @@ func sizes(cfg Config, quick, full []int) []int {
 	return full
 }
 
-// trials picks between quick and full trial counts.
-func trials(cfg Config, quick, full int) int {
+// trialCount picks between quick and full trial counts.
+func trialCount(cfg Config, quick, full int) int {
 	if cfg.Quick {
 		return quick
 	}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestQuickGoldenFile pins the quick suite's exact output: the parallel
+// harness must reproduce results/experiments-quick-seed42.txt byte for
+// byte. A diff here means either a deliberate change to an experiment
+// or the RNG discipline — refresh the file with
+//
+//	go run ./cmd/synran-bench -quick -seed 42 > results/experiments-quick-seed42.txt
+//
+// and review the diff like any other golden update.
+func TestQuickGoldenFile(t *testing.T) {
+	want, err := os.ReadFile("../../results/experiments-quick-seed42.txt")
+	if err != nil {
+		t.Fatalf("missing golden file (see comment for the refresh command): %v", err)
+	}
+	var got bytes.Buffer
+	if err := RunAll(Config{Quick: true, Seed: 42, Workers: 8}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("quick suite output diverged from the golden file at line %q\n(refresh: go run ./cmd/synran-bench -quick -seed 42 > results/experiments-quick-seed42.txt)",
+			firstDiffContext(got.Bytes(), want))
+	}
+}

@@ -17,7 +17,7 @@ import (
 // budget 2·sqrt(n)·log2(n), and a constant budget (contrast).
 func E12IteratedGames(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{64, 256}, []int{64, 256, 1024, 4096})
-	tr := trials(cfg, 600, 3000)
+	tr := trialCount(cfg, 600, 3000)
 	tb := stats.NewTable("E12: multi-round coin-flipping control (Aspnes budget, Section 1.2)",
 		"n", "rounds", "budget", "target", "Pr[force]", "mean halts", "1-1/n")
 	res := &Result{ID: "E12", Table: tb}
@@ -35,7 +35,7 @@ func E12IteratedGames(cfg Config) (*Result, error) {
 		}
 		for _, bc := range budgets {
 			for target := 0; target <= 1; target++ {
-				p, cost, err := coinflip.IteratedControl(g, target, bc.b, tr, cfg.Seed+uint64(n)+uint64(bc.b))
+				p, cost, err := coinflip.IteratedControl(g, target, bc.b, tr, cfg.Workers, cfg.Seed+uint64(n)+uint64(bc.b))
 				if err != nil {
 					return nil, err
 				}

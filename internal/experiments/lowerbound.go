@@ -7,6 +7,7 @@ import (
 	"synran/internal/core"
 	"synran/internal/sim"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/valency"
 	"synran/internal/workload"
 )
@@ -24,17 +25,19 @@ import (
 // the fault-free baseline. EXPERIMENTS.md discusses this honestly.
 func E6LowerBound(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{8, 12}, []int{8, 12, 16, 20})
-	reps := trials(cfg, 3, 8)
+	reps := trialCount(cfg, 3, 8)
 	tb := stats.NewTable("E6: valency lower-bound adversary (Theorem 1)",
 		"n", "t", "baseline rounds", "forced rounds", "crashes", "floor t/(4·sqrt(n log n)+1)")
 	res := &Result{ID: "E6", Table: tb}
 
 	for _, n := range ns {
 		t := n - 1
-		base := make([]float64, 0, reps)
-		forced := make([]float64, 0, reps)
-		crashes := make([]float64, 0, reps)
-		for i := 0; i < reps; i++ {
+		type pair struct {
+			base    float64
+			forced  float64
+			crashes float64
+		}
+		outs, err := trials.Run(cfg.Workers, reps, func(i int) (pair, error) {
 			seed := cfg.Seed + uint64(n*1000+i)
 			inputs := workload.HalfHalf(n)
 
@@ -42,24 +45,38 @@ func E6LowerBound(cfg Config) (*Result, error) {
 				N: n, T: t, Inputs: inputs, Seed: seed, Adversary: adversary.None{},
 			})
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
-			base = append(base, float64(r0.HaltRounds))
 
 			lb := valency.NewLowerBound(n, seed)
 			lb.Est.RolloutsPerAdversary = 12
+			lb.Est.Workers = 1 // the outer trial pool already saturates the cores
 			r1, err := core.Run(core.RunSpec{
 				N: n, T: t, Inputs: inputs, Seed: seed, Adversary: lb,
 				MaxRounds: 50 * n,
 			})
 			if err != nil {
-				return nil, err
+				return pair{}, err
 			}
 			if !r1.Agreement || !r1.Validity {
-				return nil, fmt.Errorf("lower-bound adversary broke safety at n=%d", n)
+				return pair{}, fmt.Errorf("lower-bound adversary broke safety at n=%d", n)
 			}
-			forced = append(forced, float64(r1.HaltRounds))
-			crashes = append(crashes, float64(r1.Crashes))
+			return pair{
+				base:    float64(r0.HaltRounds),
+				forced:  float64(r1.HaltRounds),
+				crashes: float64(r1.Crashes),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		base := make([]float64, 0, reps)
+		forced := make([]float64, 0, reps)
+		crashes := make([]float64, 0, reps)
+		for _, o := range outs {
+			base = append(base, o.base)
+			forced = append(forced, o.forced)
+			crashes = append(crashes, o.crashes)
 		}
 		bs, fs, cs := stats.Summarize(base), stats.Summarize(forced), stats.Summarize(crashes)
 		floor := core.LowerBoundRounds(n, t)
@@ -87,16 +104,16 @@ func E6LowerBound(cfg Config) (*Result, error) {
 // report the mean crashes per active block against the bound at p = n.
 func E8AdversaryCost(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{128, 256}, []int{128, 256, 512, 1024})
-	reps := trials(cfg, 6, 20)
+	reps := trialCount(cfg, 6, 20)
 	tb := stats.NewTable("E8: adversary crashes per 3-round block (Theorem 2)",
 		"n", "t", "mean crashes/block", "blocks", "bound sqrt(n log n)/16", "ratio")
 	res := &Result{ID: "E8", Table: tb}
 
 	for _, n := range ns {
 		t := n - 1
-		var perBlock []float64
-		blocks := 0
-		for i := 0; i < reps; i++ {
+		// Each trial returns its own run's block totals; flattening in
+		// index order keeps the histogram worker-count invariant.
+		totals, err := trials.Run(cfg.Workers, reps, func(i int) ([]int, error) {
 			hist := &sim.CrashHistogram{}
 			_, err := core.Run(core.RunSpec{
 				N: n, T: t,
@@ -108,7 +125,15 @@ func E8AdversaryCost(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, b := range hist.BlockTotals(3) {
+			return hist.BlockTotals(3), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var perBlock []float64
+		blocks := 0
+		for _, bt := range totals {
+			for _, b := range bt {
 				perBlock = append(perBlock, float64(b))
 				blocks++
 			}

@@ -7,31 +7,46 @@ import (
 	"synran/internal/core"
 	"synran/internal/sim"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
-// measureRounds runs SynRan repeatedly and returns the halt-round
-// statistics and crash statistics.
-func measureRounds(n, t, reps int, opts core.Options, mkAdv func() sim.Adversary, seed uint64) (stats.Summary, stats.Summary, error) {
-	rounds := make([]float64, 0, reps)
-	crashes := make([]float64, 0, reps)
-	for i := 0; i < reps; i++ {
+// measureRounds runs SynRan repeatedly — reps trials fanned out over a
+// workers-wide pool — and returns the halt-round statistics and crash
+// statistics. Trial i seeds from (seed, i) alone, so the summaries are
+// identical for every worker count. mkInputs builds a fresh input vector
+// per trial (every current workload is a pure function of n, so trials
+// remain index-deterministic).
+func measureRounds(n, t, reps, workers int, opts core.Options, mkInputs func(n int) []int, mkAdv func() sim.Adversary, seed uint64) (stats.Summary, stats.Summary, error) {
+	type outcome struct {
+		rounds  float64
+		crashes float64
+	}
+	outs, err := trials.Run(workers, reps, func(i int) (outcome, error) {
 		res, err := core.Run(core.RunSpec{
 			N: n, T: t,
-			Inputs:    workload.HalfHalf(n),
+			Inputs:    mkInputs(n),
 			Opts:      opts,
-			Seed:      seed + uint64(i)*7919,
+			Seed:      trials.Seed(seed, i),
 			Adversary: mkAdv(),
 		})
 		if err != nil {
-			return stats.Summary{}, stats.Summary{}, err
+			return outcome{}, err
 		}
 		if !res.Agreement || !res.Validity {
-			return stats.Summary{}, stats.Summary{}, fmt.Errorf(
+			return outcome{}, fmt.Errorf(
 				"safety violated at n=%d t=%d rep=%d", n, t, i)
 		}
-		rounds = append(rounds, float64(res.HaltRounds))
-		crashes = append(crashes, float64(res.Crashes))
+		return outcome{float64(res.HaltRounds), float64(res.Crashes)}, nil
+	})
+	if err != nil {
+		return stats.Summary{}, stats.Summary{}, err
+	}
+	rounds := make([]float64, 0, reps)
+	crashes := make([]float64, 0, reps)
+	for _, o := range outs {
+		rounds = append(rounds, o.rounds)
+		crashes = append(crashes, o.crashes)
 	}
 	return stats.Summarize(rounds), stats.Summarize(crashes), nil
 }
@@ -42,7 +57,7 @@ func measureRounds(n, t, reps int, opts core.Options, mkAdv func() sim.Adversary
 // bounded as n grows.
 func E3ScaleN(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{32, 64, 128}, []int{32, 64, 128, 256, 512, 1024})
-	reps := trials(cfg, 8, 30)
+	reps := trialCount(cfg, 8, 30)
 	tb := stats.NewTable("E3: SynRan rounds vs n at t = n-1 (Theorems 2/3)",
 		"n", "adversary", "mean rounds", "p90", "max", "bound Θ(t/sqrt(n log(2+t/sqrt n)))", "ratio")
 	res := &Result{ID: "E3", Table: tb}
@@ -63,7 +78,7 @@ func E3ScaleN(cfg Config) (*Result, error) {
 		t := n - 1
 		bound := core.UpperBoundRounds(n, t)
 		for _, c := range cases {
-			sum, _, err := measureRounds(n, t, reps, core.Options{}, c.mk, cfg.Seed+uint64(n))
+			sum, _, err := measureRounds(n, t, reps, cfg.Workers, core.Options{}, workload.HalfHalf, c.mk, cfg.Seed+uint64(n))
 			if err != nil {
 				return nil, err
 			}
@@ -117,7 +132,7 @@ func E4ScaleT(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		n = 128
 	}
-	reps := trials(cfg, 8, 30)
+	reps := trialCount(cfg, 8, 30)
 	ts := []int{0, isqrt(n), n / 8, n / 4, n / 2, 3 * n / 4, n - 1}
 	tb := stats.NewTable(fmt.Sprintf("E4: SynRan rounds vs t at n = %d (Theorem 3)", n),
 		"t", "mean rounds", "p90", "bound", "ratio")
@@ -125,7 +140,7 @@ func E4ScaleT(cfg Config) (*Result, error) {
 
 	var small, large float64
 	for _, t := range ts {
-		sum, _, err := measureRounds(n, t, reps, core.Options{},
+		sum, _, err := measureRounds(n, t, reps, cfg.Workers, core.Options{}, workload.HalfHalf,
 			func() sim.Adversary { return &adversary.SplitVote{} }, cfg.Seed+uint64(t)*13)
 		if err != nil {
 			return nil, err

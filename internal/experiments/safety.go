@@ -8,6 +8,7 @@ import (
 	"synran/internal/rng"
 	"synran/internal/sim"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
@@ -18,59 +19,82 @@ import (
 // failures are the paper's motivation).
 func E9Safety(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{1, 2, 5, 16, 33}, []int{1, 2, 3, 5, 9, 16, 33, 64, 100})
-	seedsPer := trials(cfg, 3, 10)
+	seedsPer := trialCount(cfg, 3, 10)
 	tb := stats.NewTable("E9: t-resilience sweep (Agreement / Validity / Termination)",
 		"variant", "runs", "agreement fails", "validity fails", "termination fails")
 	res := &Result{ID: "E9", Table: tb}
 
 	type counts struct{ runs, agr, val, term int }
+	// One sweep cell = one (n, t, seed index) triple; each cell runs the
+	// four workloads against its rotating adversary pick. The random
+	// workload's coins come from a per-cell split child (keyed by the
+	// cell's position in the enumeration), so cells are independent and
+	// the sweep can fan out across workers without the shared-stream
+	// ordering the serial loop relied on.
+	type cell struct{ n, t, s int }
+	var cellsList []cell
+	for _, n := range ns {
+		for _, t := range []int{0, n / 2, n - 1, n} {
+			if t < 0 {
+				continue
+			}
+			for s := 0; s < seedsPer; s++ {
+				cellsList = append(cellsList, cell{n, t, s})
+			}
+		}
+	}
 	sweep := func(symmetric bool) (counts, error) {
-		var c counts
-		r := rng.New(cfg.Seed ^ 0x9afe)
-		for _, n := range ns {
-			tsList := []int{0, n / 2, n - 1, n}
-			for _, t := range tsList {
-				if t < 0 {
+		workloadRoot := rng.New(cfg.Seed ^ 0x9afe)
+		perCell, err := trials.Run(cfg.Workers, len(cellsList), func(ci int) (counts, error) {
+			var c counts
+			n, t, s := cellsList[ci].n, cellsList[ci].t, cellsList[ci].s
+			seed := cfg.Seed + uint64(n*10000+t*100+s)
+			wr := workloadRoot.Split(uint64(ci))
+			inputsList := [][]int{
+				workload.Uniform(n, 0),
+				workload.Uniform(n, 1),
+				workload.HalfHalf(n),
+				workload.Random(n, 0.5, wr),
+			}
+			advs := []sim.Adversary{
+				adversary.None{},
+				&adversary.Random{PerRound: 0.8, MaxPerRound: 3},
+				&adversary.SplitVote{},
+				&adversary.MassCrash{AtRound: 2, Fraction: 0.7, PreferValue: 1},
+				&adversary.PushTo{Value: 0},
+				&adversary.PushTo{Value: 1},
+			}
+			for wi, inputs := range inputsList {
+				adv := advs[(s+wi)%len(advs)]
+				run, err := core.Run(core.RunSpec{
+					N: n, T: t, Inputs: inputs,
+					Opts:      core.Options{SymmetricCoin: symmetric},
+					Seed:      seed + uint64(wi),
+					Adversary: adv,
+				})
+				c.runs++
+				if err != nil {
+					c.term++
 					continue
 				}
-				for s := 0; s < seedsPer; s++ {
-					seed := cfg.Seed + uint64(n*10000+t*100+s)
-					inputsList := [][]int{
-						workload.Uniform(n, 0),
-						workload.Uniform(n, 1),
-						workload.HalfHalf(n),
-						workload.Random(n, 0.5, r),
-					}
-					advs := []sim.Adversary{
-						adversary.None{},
-						&adversary.Random{PerRound: 0.8, MaxPerRound: 3},
-						&adversary.SplitVote{},
-						&adversary.MassCrash{AtRound: 2, Fraction: 0.7, PreferValue: 1},
-						&adversary.PushTo{Value: 0},
-						&adversary.PushTo{Value: 1},
-					}
-					for wi, inputs := range inputsList {
-						adv := advs[(s+wi)%len(advs)]
-						run, err := core.Run(core.RunSpec{
-							N: n, T: t, Inputs: inputs,
-							Opts:      core.Options{SymmetricCoin: symmetric},
-							Seed:      seed + uint64(wi),
-							Adversary: adv,
-						})
-						c.runs++
-						if err != nil {
-							c.term++
-							continue
-						}
-						if !run.Agreement {
-							c.agr++
-						}
-						if !run.Validity {
-							c.val++
-						}
-					}
+				if !run.Agreement {
+					c.agr++
+				}
+				if !run.Validity {
+					c.val++
 				}
 			}
+			return c, nil
+		})
+		if err != nil {
+			return counts{}, err
+		}
+		var c counts
+		for _, pc := range perCell {
+			c.runs += pc.runs
+			c.agr += pc.agr
+			c.val += pc.val
+			c.term += pc.term
 		}
 		return c, nil
 	}

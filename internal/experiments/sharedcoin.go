@@ -6,6 +6,7 @@ import (
 	"synran/internal/adversary"
 	"synran/internal/core"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
@@ -24,7 +25,7 @@ import (
 // under the same adversary.
 func E13SharedCoin(cfg Config) (*Result, error) {
 	ns := sizes(cfg, []int{32, 128}, []int{32, 128, 512})
-	reps := trials(cfg, 8, 30)
+	reps := trialCount(cfg, 8, 30)
 	tb := stats.NewTable("E13: Rabin-style common coin escapes the lower bound (Section 1)",
 		"coin", "n", "t", "mean settle rounds", "mean halt rounds")
 	res := &Result{ID: "E13", Table: tb}
@@ -43,9 +44,7 @@ func E13SharedCoin(cfg Config) (*Result, error) {
 	for _, n := range ns {
 		t := n - 1
 		for _, c := range cells {
-			settle := make([]float64, 0, reps)
-			halt := make([]float64, 0, reps)
-			for i := 0; i < reps; i++ {
+			outs, err := trials.Run(cfg.Workers, reps, func(i int) (settleHalt, error) {
 				seed := cfg.Seed + uint64(n*100+i)
 				obs := &stabilizationObserver{}
 				run, err := core.Run(core.RunSpec{
@@ -57,15 +56,20 @@ func E13SharedCoin(cfg Config) (*Result, error) {
 					Observer:  obs,
 				})
 				if err != nil {
-					return nil, err
+					return settleHalt{}, err
 				}
 				if !run.Agreement || !run.Validity {
-					return nil, fmt.Errorf("safety violated: %s n=%d", c.name, n)
+					return settleHalt{}, fmt.Errorf("safety violated: %s n=%d", c.name, n)
 				}
-				settle = append(settle, float64(obs.lastSplit+1))
-				halt = append(halt, float64(run.HaltRounds))
+				return settleHalt{
+					settle: float64(obs.lastSplit + 1),
+					halt:   float64(run.HaltRounds),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
-			ss, hs := stats.Summarize(settle), stats.Summarize(halt)
+			ss, hs := summarizeSettleHalt(outs)
 			tb.AddRow(c.name, n, t, ss.Mean, hs.Mean)
 			means[c.name] = append(means[c.name], ss.Mean)
 		}

@@ -67,6 +67,92 @@ func TestSplitDoesNotAdvanceParent(t *testing.T) {
 	}
 }
 
+// TestSplitPrefixesNeverCollide is the property the parallel trial
+// harness leans on: distinct trial keys must yield streams whose first
+// k outputs differ pairwise, or two trials would share randomness. We
+// fingerprint the k-output prefix of every child and require all
+// fingerprints (and the raw first outputs) to be distinct across a
+// large key sample, including adversarial key patterns (sequential,
+// strided by the harness's 7919 prime, high-bit, bit-flipped parent
+// seed).
+func TestSplitPrefixesNeverCollide(t *testing.T) {
+	const k = 8
+	const keysPerPattern = 2000
+	patterns := []struct {
+		name string
+		key  func(i int) uint64
+	}{
+		{"sequential", func(i int) uint64 { return uint64(i) }},
+		{"strided-7919", func(i int) uint64 { return uint64(i) * 7919 }},
+		{"high-bit", func(i int) uint64 { return uint64(i) | 1<<63 }},
+		{"parent-xor", func(i int) uint64 { return uint64(i) ^ 0x9e3779b97f4a7c15 }},
+	}
+	for _, pat := range patterns {
+		parent := New(42)
+		prefixes := make(map[[k]uint64]uint64, keysPerPattern)
+		firsts := make(map[uint64]uint64, keysPerPattern)
+		for i := 0; i < keysPerPattern; i++ {
+			key := pat.key(i)
+			c := parent.Split(key)
+			var p [k]uint64
+			for j := range p {
+				p[j] = c.Uint64()
+			}
+			if prev, dup := prefixes[p]; dup {
+				t.Fatalf("%s: keys %d and %d produced identical %d-output prefixes", pat.name, prev, key, k)
+			}
+			prefixes[p] = key
+			if prev, dup := firsts[p[0]]; dup {
+				t.Fatalf("%s: keys %d and %d agree on their first output", pat.name, prev, key)
+			}
+			firsts[p[0]] = key
+		}
+	}
+}
+
+// TestSplitIsPureQuick is the property form of
+// TestSplitDoesNotAdvanceParent: for any (seed, key) pair, Split leaves
+// the parent's future outputs untouched and is reproducible.
+func TestSplitIsPureQuick(t *testing.T) {
+	f := func(seed, key uint64) bool {
+		a, b := New(seed), New(seed)
+		c1 := a.Split(key)
+		c2 := a.Split(key)
+		for i := 0; i < 8; i++ {
+			if c1.Uint64() != c2.Uint64() {
+				return false
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitChildDiffersFromParentStream guards against a Split that
+// simply hands back the parent's own sequence under another name.
+func TestSplitChildDiffersFromParentStream(t *testing.T) {
+	for _, key := range []uint64{0, 1, 42, 1 << 40} {
+		parent := New(9)
+		child := parent.Split(key)
+		same := 0
+		for i := 0; i < 100; i++ {
+			if parent.Uint64() == child.Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Fatalf("Split(%d) tracked the parent stream on %d/100 outputs", key, same)
+		}
+	}
+}
+
 func TestCloneReplays(t *testing.T) {
 	a := New(3)
 	for i := 0; i < 17; i++ {

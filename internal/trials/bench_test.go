@@ -1,0 +1,49 @@
+package trials
+
+import (
+	"fmt"
+	"testing"
+
+	"synran/internal/rng"
+)
+
+// simTrial is a stand-in for one Monte-Carlo consensus trial: enough
+// arithmetic per trial that scheduling overhead is amortized, all of it
+// derived from the trial index.
+func simTrial(i int) (float64, error) {
+	r := rng.New(7).Split(uint64(i))
+	acc := 0.0
+	for k := 0; k < 20000; k++ {
+		acc += r.Float64()
+	}
+	return acc, nil
+}
+
+// BenchmarkRunWorkers measures pool throughput at several worker counts
+// on a CPU-bound batch; compare ns/op across sub-benchmarks for the
+// parallel speedup on your machine.
+func BenchmarkRunWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(w, 64, simTrial); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunOverhead measures per-trial pool overhead with an empty
+// trial body: the cost of claiming an index and storing a result.
+func BenchmarkRunOverhead(b *testing.B) {
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(w, 1024, func(i int) (int, error) { return i, nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package trials
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"synran/internal/rng"
+)
+
+// TestStressManySmallTrials hammers the pool with many tiny batches so
+// `go test -race` exercises the claim counter, the result slice writes,
+// and the shutdown path under real contention. Each batch's results are
+// checked against the serial run of the same trial function.
+func TestStressManySmallTrials(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for iter := 0; iter < iters; iter++ {
+		base := uint64(iter)
+		fn := func(i int) (uint64, error) { return trialValue(base, i), nil }
+		n := 1 + (iter*37)%97
+		want, err := Run(1, n, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(8, n, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: out[%d] differs", iter, i)
+			}
+		}
+	}
+}
+
+// TestStressCancellation races many concurrent failures against result
+// collection: every trial with index divisible by 7 fails, so several
+// workers observe errors nearly simultaneously. The reported error must
+// always be trial 0's, and no partial results may leak.
+func TestStressCancellation(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for iter := 0; iter < iters; iter++ {
+		var ran atomic.Int64
+		out, err := Run(8, 500, func(i int) (int, error) {
+			ran.Add(1)
+			if i%7 == 0 {
+				return 0, fmt.Errorf("trial %d failed", i)
+			}
+			return i, nil
+		})
+		if out != nil {
+			t.Fatalf("iter %d: partial results returned with error", iter)
+		}
+		if err == nil || err.Error() != "trial 0 failed" {
+			t.Fatalf("iter %d: got %v, want trial 0's error", iter, err)
+		}
+	}
+}
+
+// TestStressSplitStreamsAcrossWorkers runs trials that each build a
+// split child of a shared parent stream — the exact pattern Control and
+// the estimator pools use. Split must be safe for concurrent readers of
+// the same parent; -race verifies it performs no writes to parent state.
+func TestStressSplitStreamsAcrossWorkers(t *testing.T) {
+	parent := rng.New(99)
+	sum := func(i int) (uint64, error) {
+		r := parent.Split(uint64(i))
+		var s uint64
+		for k := 0; k < 16; k++ {
+			s += r.Uint64()
+		}
+		return s, nil
+	}
+	want, err := Run(1, 300, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(8, 300, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("split stream %d not order-independent", i)
+		}
+	}
+}
+
+// TestStressErrorsDoNotDeadlock exercises the error path with every
+// trial failing: the pool must drain and return promptly.
+func TestStressErrorsDoNotDeadlock(t *testing.T) {
+	boom := errors.New("all fail")
+	for iter := 0; iter < 50; iter++ {
+		_, err := Run(8, 256, func(i int) (int, error) { return 0, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v", err)
+		}
+	}
+}

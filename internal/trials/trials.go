@@ -1,0 +1,122 @@
+// Package trials is the deterministic parallel Monte-Carlo trial runner
+// used by every experiment in this repository. It fans N independent
+// trials out to a bounded worker pool and collects the results in index
+// order, under one hard contract: **worker-count invariance** — the
+// returned slice (and any error) is byte-for-byte identical whether the
+// batch runs on 1 worker or 64.
+//
+// The contract holds because parallelism is confined to scheduling; all
+// randomness must come from the trial index. A trial function must
+// derive every random choice from (baseSeed, i) alone — the repository
+// discipline is either the additive stride trials.Seed(base, i) or a
+// per-trial rng child via Stream.Split(uint64(i)), both of which are
+// independent of execution order. A trial function must not touch
+// shared mutable state.
+//
+// Error semantics are deterministic too: if one or more trials fail, Run
+// returns the error of the failing trial with the smallest index, and
+// stops claiming new trials as soon as any failure is observed. Because
+// indices are claimed in ascending order, the smallest failing index is
+// always among the claimed trials, so the returned error does not depend
+// on the worker count either.
+package trials
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a configured worker count: values <= 0 select
+// runtime.NumCPU(), anything else is returned unchanged. Exposed so
+// CLIs and experiment configs share one convention ("0 = all cores").
+func DefaultWorkers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.NumCPU()
+}
+
+// Seed is the canonical per-trial seed derivation used by the experiment
+// suite's additive discipline: base + i·7919 (7919 is the 1000th prime;
+// the stride keeps sibling trials' SplitMix64 seed inits far apart).
+func Seed(base uint64, i int) uint64 {
+	return base + uint64(i)*7919
+}
+
+// Run executes fn(i) for every i in [0, n) on a pool of workers
+// goroutines (workers <= 0 means runtime.NumCPU()) and returns the
+// results in index order. fn must derive all randomness from i and must
+// not share mutable state across trials; under that contract the output
+// is identical for every worker count.
+//
+// On failure, the remaining unclaimed trials are cancelled and the error
+// of the smallest failing index is returned with a nil slice.
+func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := DefaultWorkers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w == 1 {
+		// Serial fast path: no goroutines, same semantics as the pool
+		// (ascending claim order, first failure wins and cancels the rest).
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next atomic.Int64 // next index to claim
+		stop atomic.Bool  // set on first observed failure
+
+		mu       sync.Mutex
+		firstIdx = n // smallest failing index seen so far
+		firstErr error
+
+		wg sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					// Cancel the unclaimed tail. Trials already in flight
+					// finish; one of them may hold a smaller failing index,
+					// and the min-index rule above keeps the outcome
+					// deterministic regardless of which failure lands first.
+					stop.Store(true)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package trials
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"synran/internal/rng"
+)
+
+// trialValue computes a value that depends only on the trial index,
+// through the same split discipline the experiments use.
+func trialValue(base uint64, i int) uint64 {
+	r := rng.New(base).Split(uint64(i))
+	return r.Uint64() ^ r.Uint64()
+}
+
+func TestRunCollectsInIndexOrder(t *testing.T) {
+	out, err := Run(4, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("got %d results, want 100", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunWorkerCountInvariance(t *testing.T) {
+	const n = 257
+	want, err := Run(1, n, func(i int) (uint64, error) { return trialValue(42, i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8, 64, 0} {
+		got, err := Run(w, n, func(i int) (uint64, error) { return trialValue(42, i), nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	out, err := Run(8, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("n=0: got (%v, %v), want (nil, nil)", out, err)
+	}
+	out, err = Run(8, 1, func(i int) (int, error) { return 7, nil })
+	if err != nil || len(out) != 1 || out[0] != 7 {
+		t.Fatalf("n=1: got (%v, %v)", out, err)
+	}
+}
+
+func TestRunFirstErrorByIndex(t *testing.T) {
+	// Trials 3 and 7 both fail; every worker count must report trial 3.
+	fail := func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("trial %d failed", i)
+		}
+		return i, nil
+	}
+	for _, w := range []int{1, 2, 4, 16} {
+		out, err := Run(w, 64, fail)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", w)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: expected nil results on error", w)
+		}
+		if got := err.Error(); got != "trial 3 failed" {
+			t.Fatalf("workers=%d: got error %q, want %q", w, got, "trial 3 failed")
+		}
+	}
+}
+
+func TestRunErrorIsNotWrapped(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Run(4, 16, func(i int) (int, error) {
+		if i == 5 {
+			return 0, sentinel
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the sentinel error itself", err)
+	}
+}
+
+func TestRunErrorCancelsRemainingTrials(t *testing.T) {
+	// Trial 0 fails immediately; the others are slow. With cancellation,
+	// only the trials claimed before the failure propagates can run, so
+	// far fewer than n trials execute.
+	const n, workers = 64, 4
+	var started atomic.Int64
+	_, err := Run(workers, n, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if got := started.Load(); got >= n/2 {
+		t.Fatalf("%d of %d trials started; cancellation did not stop the batch", got, n)
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Run(workers, 50, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent trials, want <= %d", p, workers)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(0); got != runtime.NumCPU() {
+		t.Fatalf("DefaultWorkers(0) = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+	if got := DefaultWorkers(-3); got != runtime.NumCPU() {
+		t.Fatalf("DefaultWorkers(-3) = %d, want NumCPU", got)
+	}
+	if got := DefaultWorkers(5); got != 5 {
+		t.Fatalf("DefaultWorkers(5) = %d, want 5", got)
+	}
+}
+
+func TestSeedStride(t *testing.T) {
+	if Seed(42, 0) != 42 {
+		t.Fatalf("Seed(42, 0) = %d", Seed(42, 0))
+	}
+	if Seed(42, 3) != 42+3*7919 {
+		t.Fatalf("Seed(42, 3) = %d", Seed(42, 3))
+	}
+	// The stride must keep a large batch of sibling seeds distinct.
+	seen := map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		s := Seed(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate seed %d at trial %d", s, i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRunPanicMessageNamesTrial(t *testing.T) {
+	// A panicking trial is a bug in the trial function; it must not be
+	// swallowed. We only check it propagates (in any goroutine a panic
+	// would abort the test binary, so exercise the serial path).
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the trial panic to propagate")
+		}
+		if !strings.Contains(fmt.Sprint(r), "kaboom") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	_, _ = Run(1, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return 0, nil
+	})
+}

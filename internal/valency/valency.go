@@ -21,6 +21,7 @@ import (
 	"synran/internal/core"
 	"synran/internal/rng"
 	"synran/internal/sim"
+	"synran/internal/trials"
 )
 
 // Class is the Section 3.2 classification of an execution state.
@@ -76,6 +77,10 @@ type Estimator struct {
 	// RolloutsPerAdversary is the number of independent futures sampled
 	// per pool member (default 24).
 	RolloutsPerAdversary int
+	// Workers bounds the rollout worker pool (0 = all cores). Rollout
+	// seeds depend only on the rollout index, so estimates are identical
+	// for every worker count.
+	Workers int
 	// Seed drives the rollout reseeding.
 	Seed uint64
 
@@ -114,23 +119,50 @@ func (e *Estimator) Classify(exec *sim.Execution, k int) (*Estimate, error) {
 	total := 0
 	extraSum := 0.0
 	startRound := exec.Round()
-	for ai, factory := range e.Pool {
+	// Rollouts fan out over the worker pool. Each rollout's reseed value
+	// is a function of its flat index alone (the serial implementation
+	// bumped e.counter once per rollout in (ai, j) order; the arithmetic
+	// below reproduces those exact counter values), so the estimate is
+	// byte-identical at any worker count.
+	type rollout struct {
+		decided bool
+		one     bool
+		extra   float64
+	}
+	counterBase := e.counter
+	rollouts, rerr := trials.Run(e.Workers, len(e.Pool)*rolls, func(idx int) (rollout, error) {
+		ai := idx / rolls
+		c := exec.Clone()
+		counter := counterBase + uint64(idx) + 1
+		c.ReseedProcesses(e.Seed ^ rng.New(uint64(ai)<<32|counter).Uint64())
+		res, err := c.Run(e.Pool[ai]())
+		if err != nil {
+			// A rollout hitting MaxRounds means the continuation
+			// adversary pinned the protocol; treat as undecided and
+			// skip (it contributes to neither extreme).
+			return rollout{}, nil
+		}
+		return rollout{
+			decided: true,
+			one:     res.DecidedValue() == 1,
+			extra:   float64(res.HaltRounds - startRound),
+		}, nil
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	e.counter = counterBase + uint64(len(e.Pool)*rolls)
+	for ai := range e.Pool {
 		ones, decided := 0, 0
 		for j := 0; j < rolls; j++ {
-			c := exec.Clone()
-			e.counter++
-			c.ReseedProcesses(e.Seed ^ rng.New(uint64(ai)<<32|e.counter).Uint64())
-			res, err := c.Run(factory())
-			if err != nil {
-				// A rollout hitting MaxRounds means the continuation
-				// adversary pinned the protocol; treat as undecided and
-				// skip (it contributes to neither extreme).
+			r := rollouts[ai*rolls+j]
+			if !r.decided {
 				continue
 			}
 			total++
 			decided++
-			extraSum += float64(res.HaltRounds - startRound)
-			if res.DecidedValue() == 1 {
+			extraSum += r.extra
+			if r.one {
 				ones++
 			}
 		}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments experiments-quick examples clean
+.PHONY: all build test test-short race cover bench bench-json bench-check experiments experiments-quick examples clean
 
 all: build test
 
@@ -26,6 +26,19 @@ cover:
 # substrate micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The snapshot-engine benchmarks recorded as a machine-readable JSON
+# artifact (the checked-in baseline CI gates against).
+BENCH_SNAPSHOT = CloneVsCloneInto|ValencyEstimate|StepwiseRound
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_SNAPSHOT)' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+# Re-run the snapshot benches once and fail if the arena estimator's
+# allocs/op regressed more than 20% against the checked-in baseline.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_SNAPSHOT)' -benchtime=1x -benchmem . | \
+		$(GO) run ./cmd/benchjson -out /dev/null \
+		-baseline BENCH_sim.json -check BenchmarkValencyEstimate/arena -tolerance 0.20
 
 # Regenerate every experiment table at full size (minutes) or quick size
 # (seconds). Exit status is non-zero if any paper claim fails.

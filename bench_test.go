@@ -215,3 +215,118 @@ func BenchmarkExecutionClone(b *testing.B) {
 		_ = exec.Clone()
 	}
 }
+
+// BenchmarkCloneVsCloneInto is the tentpole's before/after: a fresh
+// deep copy per snapshot (clone) vs refilling a recycled shell
+// (cloneinto) vs the arena that manages the shells (arena, the path
+// the valency rollouts use). Steady-state cloneinto/arena should be
+// near zero allocs/op.
+func BenchmarkCloneVsCloneInto(b *testing.B) {
+	const n = 64
+	inputs := workload.HalfHalf(n)
+	mkExec := func(b *testing.B) *sim.Execution {
+		b.Helper()
+		procs, err := core.NewProcs(n, inputs, 1, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exec, err := sim.NewExecution(sim.Config{N: n, T: n / 2}, procs, inputs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return exec
+	}
+	b.Run("clone", func(b *testing.B) {
+		exec := mkExec(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = exec.Clone()
+		}
+	})
+	b.Run("cloneinto", func(b *testing.B) {
+		exec := mkExec(b)
+		dst := exec.Clone() // warm shell: steady-state reuse is the metric
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = exec.CloneInto(dst)
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		exec := mkExec(b)
+		arena := &sim.SnapshotArena{}
+		arena.Release(arena.Snapshot(exec)) // warm the fleet
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := arena.Snapshot(exec)
+			arena.Release(c)
+		}
+	})
+}
+
+// BenchmarkValencyEstimate measures one full Monte-Carlo valency
+// classification (the lower-bound adversary's inner loop) on the
+// pre-arena Clone path vs the arena snapshot path. Workers=1 keeps
+// allocs/op deterministic; results are identical either way (the
+// UseClone flag only switches the copy mechanism).
+func BenchmarkValencyEstimate(b *testing.B) {
+	const n = 16
+	inputs := workload.HalfHalf(n)
+	for _, mode := range []struct {
+		name     string
+		useClone bool
+	}{{"clone", true}, {"arena", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			procs, err := core.NewProcs(n, inputs, 1, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec, err := sim.NewExecution(sim.Config{N: n, T: n - 1}, procs, inputs, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est := valency.NewEstimator(n, 7)
+			est.Workers = 1
+			est.RolloutsPerAdversary = 8
+			est.UseClone = mode.useClone
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Classify(exec, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStepwiseRound measures one Plan call of the Section 3.4
+// step-by-step adversary against a live mid-round view — the heaviest
+// consumer of snapshots (every inspected step classifies a successor
+// state, each classification fanning out rollouts).
+func BenchmarkStepwiseRound(b *testing.B) {
+	const n = 12
+	inputs := workload.HalfHalf(n)
+	procs, err := core.NewProcs(n, inputs, 3, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: n - 1}, procs, inputs, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := exec.StepPhaseA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := valency.NewStepwise(n, 7)
+	sw.Est.Workers = 1
+	sw.Est.RolloutsPerAdversary = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sw.Plan(v)
+	}
+}

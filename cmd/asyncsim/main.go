@@ -19,15 +19,21 @@ import (
 
 func main() {
 	var opts cli.AsyncOptions
+	common := cli.CommonFlags{Seed: 1}
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers)
 	flag.IntVar(&opts.N, "n", 7, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default (n-1)/2; Ben-Or needs t < n/2)")
 	flag.StringVar(&opts.Scheduler, "scheduler", "fifo", "scheduler: fifo|random|splitter")
 	flag.StringVar(&opts.Coin, "coin", "random", "coin: random|parity (parity = deterministic, FLP)")
 	flag.StringVar(&opts.Workload, "workload", "half", "inputs: zeros|ones|half|random")
-	flag.Uint64Var(&opts.Seed, "seed", 1, "random seed")
 	flag.IntVar(&opts.Trials, "trials", 1, "number of runs")
 	flag.IntVar(&opts.MaxSteps, "maxsteps", 0, "delivery cap (0 = default)")
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "asyncsim:", err)
+		os.Exit(2)
+	}
+	opts.Seed, opts.Workers = common.Seed, common.Workers
 
 	if err := cli.AsyncSim(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "asyncsim:", err)

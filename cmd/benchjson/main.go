@@ -1,0 +1,86 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// the JSON benchmark artifact, and optionally gates on an allocation
+// baseline — the tool behind `make bench-json` and the CI bench smoke
+// job.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchjson -out BENCH_sim.json
+//	go test -bench=ValencyEstimate -benchtime=1x -benchmem . | \
+//	    benchjson -out /tmp/cur.json -baseline BENCH_sim.json \
+//	    -check BenchmarkValencyEstimate/arena -tolerance 0.20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"synran/internal/benchfmt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out       = flag.String("out", "BENCH_sim.json", "output JSON file (- for stdout)")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against (optional)")
+		check     = flag.String("check", "", "benchmark name whose allocs/op is gated against the baseline")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional allocs/op regression (0.20 = +20%)")
+	)
+	flag.Parse()
+
+	rep, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+
+	if *out == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+	}
+
+	if *check != "" {
+		if *baseline == "" {
+			return fmt.Errorf("-check requires -baseline")
+		}
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		base, err := benchfmt.ReadJSON(bf)
+		if err != nil {
+			return err
+		}
+		if err := benchfmt.CheckAllocs(base, rep, *check, *tolerance); err != nil {
+			return err
+		}
+		cur := rep.Find(*check)
+		fmt.Fprintf(os.Stderr, "benchjson: %s ok at %.0f allocs/op (baseline %.0f, tolerance +%.0f%%)\n",
+			*check, cur.AllocsPerOp, base.Find(*check).AllocsPerOp, *tolerance*100)
+	}
+	return nil
+}

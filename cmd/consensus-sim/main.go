@@ -18,19 +18,24 @@ import (
 
 func main() {
 	var opts cli.SimOptions
+	common := cli.CommonFlags{Seed: 1}
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers)
 	flag.IntVar(&opts.N, "n", 64, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default n-1)")
 	flag.StringVar(&opts.Protocol, "protocol", "synran", "protocol: synran|benor|floodset|leadercoin|earlystop|phaseking")
 	flag.StringVar(&opts.Adversary, "adversary", "splitvote", "adversary: none|random|splitvote|masscrash|push0|push1|waves|leaderkiller|equivocator|lowerbound|stepwise")
 	flag.StringVar(&opts.Workload, "workload", "half", "inputs: zeros|ones|half|random")
-	flag.Uint64Var(&opts.Seed, "seed", 1, "random seed (reproducible)")
 	flag.IntVar(&opts.Trials, "trials", 1, "number of runs (seed, seed+1, ...)")
 	flag.BoolVar(&opts.Trace, "trace", false, "print a per-round trace (single trial only)")
 	flag.BoolVar(&opts.Digest, "digest", false, "print the execution digest (single trial only)")
 	flag.StringVar(&opts.TraceFile, "tracefile", "", "write a JSON event trace to this file (single trial only)")
 	flag.BoolVar(&opts.Live, "live", false, "use the goroutine-per-process runner")
-	flag.IntVar(&opts.Workers, "workers", 0, "multi-trial worker pool size (0 = all cores; summary is identical at any count)")
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+		os.Exit(2)
+	}
+	opts.Seed, opts.Workers = common.Seed, common.Workers
 
 	if err := cli.ConsensusSim(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "consensus-sim:", err)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"synran/internal/cli"
 	"synran/internal/core"
 	"synran/internal/sim"
 	"synran/internal/valency"
@@ -27,14 +28,18 @@ func main() {
 }
 
 func run() error {
+	common := cli.CommonFlags{Seed: 7}
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers)
 	var (
 		n        = flag.Int("n", 10, "number of processes (look-ahead is exponential-ish; keep small)")
-		seed     = flag.Uint64("seed", 7, "random seed")
 		rollouts = flag.Int("rollouts", 16, "Monte-Carlo rollouts per pool adversary")
 		stepwise = flag.Bool("stepwise", false, "use the faithful Section 3.4 message-by-message strategy")
-		workers  = flag.Int("workers", 0, "rollout worker pool size (0 = all cores; classifications are identical at any count)")
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		return err
+	}
+	seed, workers := &common.Seed, &common.Workers
 	t := *n - 1
 
 	est := valency.NewEstimator(*n, *seed)

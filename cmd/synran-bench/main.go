@@ -19,13 +19,17 @@ import (
 
 func main() {
 	var opts cli.BenchOptions
-	flag.BoolVar(&opts.Quick, "quick", false, "reduced sizes and trial counts")
-	flag.Uint64Var(&opts.Seed, "seed", 42, "random seed (tables are reproducible)")
+	common := cli.CommonFlags{Seed: 42}
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick)
 	flag.StringVar(&opts.Only, "only", "", "comma-separated experiment ids (e.g. E3,E7)")
 	flag.BoolVar(&opts.CSV, "csv", false, "emit CSV instead of aligned tables")
 	flag.BoolVar(&opts.Markdown, "markdown", false, "emit GitHub-flavored markdown tables")
-	flag.IntVar(&opts.Workers, "workers", 0, "trial worker pool size (0 = all cores; tables are identical at any count)")
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "synran-bench:", err)
+		os.Exit(2)
+	}
+	opts.Seed, opts.Workers, opts.Quick = common.Seed, common.Workers, common.Quick
 
 	if err := cli.Bench(opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "synran-bench:", err)

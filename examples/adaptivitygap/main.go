@@ -27,22 +27,22 @@ type settleObserver struct {
 
 func (s *settleObserver) OnRound(r int, v *sim.View) {
 	ones, zeros := 0, 0
-	for i := range v.Sending {
-		if !v.Sending[i] {
+	for i := 0; i < v.N; i++ {
+		if !v.IsSending(i) {
 			continue
 		}
-		if wire.IsFlood(v.Payloads[i]) {
-			if wire.Mask(v.Payloads[i]) == wire.MaskBoth {
+		if wire.IsFlood(v.Payload(i)) {
+			if wire.Mask(v.Payload(i)) == wire.MaskBoth {
 				ones++
 				zeros++
-			} else if wire.Mask(v.Payloads[i]) == wire.MaskOne {
+			} else if wire.Mask(v.Payload(i)) == wire.MaskOne {
 				ones++
 			} else {
 				zeros++
 			}
 			continue
 		}
-		if wire.Bit(v.Payloads[i]) == 1 {
+		if wire.Bit(v.Payload(i)) == 1 {
 			ones++
 		} else {
 			zeros++

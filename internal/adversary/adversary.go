@@ -142,11 +142,11 @@ func (a *MassCrash) Plan(v *sim.View) []sim.CrashPlan {
 	// First pass: preferred-value senders; second pass: anyone alive.
 	for pass := 0; pass < 2 && len(plans) < want; pass++ {
 		for i := 0; i < v.N && len(plans) < want; i++ {
-			if !v.Alive[i] || planned(plans, i) {
+			if !v.IsAlive(i) || planned(plans, i) {
 				continue
 			}
 			if pass == 0 && a.PreferValue >= 0 {
-				if !v.Sending[i] || int(v.Payloads[i]&1) != a.PreferValue {
+				if !v.IsSending(i) || int(v.Payload(i)&1) != a.PreferValue {
 					continue
 				}
 			}
@@ -161,7 +161,7 @@ func (a *MassCrash) Plan(v *sim.View) []sim.CrashPlan {
 func pickRandomAlive(v *sim.View, plans []sim.CrashPlan) int {
 	var candidates []int
 	for i := 0; i < v.N; i++ {
-		if v.Alive[i] && !planned(plans, i) {
+		if v.IsAlive(i) && !planned(plans, i) {
 			candidates = append(candidates, i)
 		}
 	}

@@ -9,27 +9,29 @@ import (
 )
 
 // viewFor builds a synthetic adversary view with the given sender
-// payload vector (all processes alive and sending).
+// payload vector (all processes alive, sending, and uncorrupted).
 func viewFor(payloads []int64, budget int, seed uint64) *sim.View {
 	n := len(payloads)
 	alive := make([]bool, n)
 	halted := make([]bool, n)
+	corrupt := make([]bool, n)
 	sending := make([]bool, n)
 	for i := range alive {
 		alive[i] = true
 		sending[i] = true
 	}
-	return &sim.View{
+	return sim.NewView(sim.ViewState{
 		Round:    1,
 		N:        n,
 		T:        budget,
 		Budget:   budget,
 		Alive:    alive,
 		Halted:   halted,
+		Corrupt:  corrupt,
 		Sending:  sending,
 		Payloads: payloads,
 		Rng:      rng.New(seed),
-	}
+	})
 }
 
 func bitsPayloads(ones, zeros int) []int64 {
@@ -145,7 +147,7 @@ func TestSplitVoteTrimsOvershoot(t *testing.T) {
 		t.Fatalf("planned %d crashes, want 3 (trim 9 ones to band top 6)", len(plans))
 	}
 	for _, p := range plans {
-		if v.Payloads[p.Victim]&1 != 1 {
+		if v.Payload(p.Victim)&1 != 1 {
 			t.Fatalf("victim %d is not a 1-sender", p.Victim)
 		}
 		if p.Deliver != nil {
@@ -179,7 +181,7 @@ func TestSplitVoteRescuesZeroSweep(t *testing.T) {
 		t.Fatalf("planned %d crashes, want all 8 zero-senders", len(plans))
 	}
 	for _, p := range plans {
-		if v.Payloads[p.Victim]&1 != 0 {
+		if v.Payload(p.Victim)&1 != 0 {
 			t.Fatalf("victim %d is not a 0-sender", p.Victim)
 		}
 		if p.Deliver == nil {

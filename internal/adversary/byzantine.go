@@ -45,10 +45,10 @@ func (a *Equivocator) Forge(v *sim.View) []sim.Forgery {
 	var forgeries []sim.Forgery
 	corrupted := 0
 	for i := 0; i < v.N && corrupted < want; i++ {
-		if !v.Alive[i] {
+		if !v.IsAlive(i) {
 			continue
 		}
-		if !v.Corrupt[i] && v.Budget-len(forgeriesNew(forgeries, v)) <= 0 {
+		if !v.IsCorrupt(i) && v.Budget-len(forgeriesNew(forgeries, v)) <= 0 {
 			break
 		}
 		per := make([]int64, v.N)
@@ -66,7 +66,7 @@ func (a *Equivocator) Forge(v *sim.View) []sim.Forgery {
 func forgeriesNew(fs []sim.Forgery, v *sim.View) []sim.Forgery {
 	var fresh []sim.Forgery
 	for _, f := range fs {
-		if !v.Corrupt[f.Sender] {
+		if !v.IsCorrupt(f.Sender) {
 			fresh = append(fresh, f)
 		}
 	}

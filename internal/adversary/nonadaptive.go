@@ -119,17 +119,17 @@ func (LeaderKiller) Plan(v *sim.View) []sim.CrashPlan {
 	}
 	var senders []int
 	for i := 0; i < v.N; i++ {
-		if v.Sending[i] && !wire.IsFlood(v.Payloads[i]) {
+		if v.IsSending(i) && !wire.IsFlood(v.Payload(i)) {
 			senders = append(senders, i)
 		}
 	}
 	if len(senders) < 2 {
 		return nil
 	}
-	leadBit := wire.Bit(v.Payloads[senders[0]])
+	leadBit := wire.Bit(v.Payload(senders[0]))
 	cut := -1
 	for k := 1; k < len(senders); k++ {
-		if wire.Bit(v.Payloads[senders[k]]) != leadBit {
+		if wire.Bit(v.Payload(senders[k])) != leadBit {
 			cut = k
 			break
 		}
@@ -145,7 +145,7 @@ func (LeaderKiller) Plan(v *sim.View) []sim.CrashPlan {
 	half := sim.NewBitSet(v.N)
 	cnt, want := 0, v.AliveCount()/2
 	for i := v.N - 1; i >= 0 && cnt < want; i-- {
-		if v.Alive[i] {
+		if v.IsAlive(i) {
 			half.Set(i)
 			cnt++
 		}

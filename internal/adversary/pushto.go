@@ -51,10 +51,10 @@ func (a *PushTo) Plan(v *sim.View) []sim.CrashPlan {
 	opposite := 1 - a.Value
 	var plans []sim.CrashPlan
 	for i := 0; i < v.N && len(plans) < limit; i++ {
-		if !v.Sending[i] || wire.IsFlood(v.Payloads[i]) {
+		if !v.IsSending(i) || wire.IsFlood(v.Payload(i)) {
 			continue
 		}
-		if wire.Bit(v.Payloads[i]) == opposite {
+		if wire.Bit(v.Payload(i)) == opposite {
 			plans = append(plans, sim.CrashPlan{Victim: i})
 		}
 	}

@@ -16,7 +16,7 @@ func TestPushToCrashesOppositeSenders(t *testing.T) {
 			t.Fatalf("target %d: planned %d crashes, want all 3 opposite senders", target, len(plans))
 		}
 		for _, p := range plans {
-			if wire.Bit(v.Payloads[p.Victim]) == target {
+			if wire.Bit(v.Payload(p.Victim)) == target {
 				t.Fatalf("target %d: crashed a same-value sender %d", target, p.Victim)
 			}
 		}
@@ -86,7 +86,6 @@ func TestNamesAndClones(t *testing.T) {
 func TestEquivocatorForgesWithinBudget(t *testing.T) {
 	a := &Equivocator{Corruptions: 2}
 	v := viewFor(bitsPayloads(3, 3), 2, 1)
-	v.Corrupt = make([]bool, v.N)
 	fs := a.Forge(v)
 	if len(fs) != 2 {
 		t.Fatalf("forged %d, want 2", len(fs))
@@ -109,7 +108,6 @@ func TestEquivocatorDefaultsToFullBudget(t *testing.T) {
 	a := &Equivocator{}
 	v := viewFor(bitsPayloads(4, 4), 3, 1)
 	v.T = 3
-	v.Corrupt = make([]bool, v.N)
 	if fs := a.Forge(v); len(fs) != 3 {
 		t.Fatalf("forged %d, want the full budget 3", len(fs))
 	}

@@ -138,7 +138,7 @@ func (a *SplitVote) splitGroup(v *sim.View) *sim.BitSet {
 	mask := sim.NewBitSet(v.N)
 	got := 0
 	for i := 0; i < v.N && got < want; i++ {
-		if v.Alive[i] {
+		if v.IsAlive(i) {
 			mask.Set(i)
 			got++
 		}
@@ -160,7 +160,7 @@ func (a *SplitVote) rescue(v *sim.View, zeroSenders []int) []sim.CrashPlan {
 	}
 	var survivors []int
 	for i := 0; i < v.N; i++ {
-		if v.Alive[i] && !v.Halted[i] && !victim[i] {
+		if v.IsAlive(i) && !v.IsHalted(i) && !victim[i] {
 			survivors = append(survivors, i)
 		}
 	}
@@ -182,7 +182,7 @@ func (a *SplitVote) commonBase(v *sim.View) int {
 	counts := make(map[int]int)
 	bestBase, bestCount := 0, 0
 	for i := 0; i < v.N; i++ {
-		if !v.Alive[i] || v.Halted[i] {
+		if !v.IsAlive(i) || v.IsHalted(i) {
 			continue
 		}
 		b := a.bases[i]
@@ -208,12 +208,12 @@ func (a *SplitVote) updateBases(v *sim.View, plans []sim.CrashPlan) {
 		}
 	}
 	for j := 0; j < v.N; j++ {
-		if !v.Alive[j] || v.Halted[j] {
+		if !v.IsAlive(j) || v.IsHalted(j) {
 			continue
 		}
 		n := 1 // own value
 		for i := 0; i < v.N; i++ {
-			if i == j || !v.Sending[i] {
+			if i == j || !v.IsSending(i) {
 				continue
 			}
 			if mask, crashed := masks[i]; crashed {
@@ -230,10 +230,10 @@ func (a *SplitVote) updateBases(v *sim.View, plans []sim.CrashPlan) {
 // senderSets partitions this round's senders by broadcast value.
 func senderSets(v *sim.View) (oneSenders, zeroSenders []int, flood int) {
 	for i := 0; i < v.N; i++ {
-		if !v.Sending[i] {
+		if !v.IsSending(i) {
 			continue
 		}
-		p := v.Payloads[i]
+		p := v.Payload(i)
 		if wire.IsFlood(p) {
 			flood++
 			continue

@@ -7,6 +7,7 @@ import (
 
 	"synran/internal/async"
 	"synran/internal/stats"
+	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
@@ -19,6 +20,19 @@ type AsyncOptions struct {
 	Seed      uint64
 	Trials    int
 	MaxSteps  int
+	// Workers bounds the multi-trial worker pool (0 = all cores). The
+	// summary is identical at every worker count: trial i always runs at
+	// seed Seed+i and results aggregate in index order.
+	Workers int
+}
+
+// asyncTrial is one run's observations, aggregated in index order.
+type asyncTrial struct {
+	timeout bool
+	decided int
+	steps   float64
+	phase   float64
+	flips   float64
 }
 
 // AsyncSim is the command core of cmd/asyncsim.
@@ -46,8 +60,52 @@ func AsyncSim(opts AsyncOptions, w io.Writer) error {
 			return nil, fmt.Errorf("unknown scheduler %q (want fifo|random|splitter)", opts.Scheduler)
 		}
 	}
+	if _, err := mkSched(); err != nil {
+		return err // validate before fanning out
+	}
 	if opts.Trials <= 0 {
 		opts.Trials = 1
+	}
+
+	outs, err := trials.Run(opts.Workers, opts.Trials, func(i int) (asyncTrial, error) {
+		runSeed := opts.Seed + uint64(i)
+		inputs, err := workload.Named(opts.Workload, opts.N, runSeed)
+		if err != nil {
+			return asyncTrial{}, err
+		}
+		procs, err := async.NewBenOrProcs(opts.N, opts.T, inputs, mode, runSeed)
+		if err != nil {
+			return asyncTrial{}, err
+		}
+		exec, err := async.NewExecution(async.Config{
+			N: opts.N, T: opts.T, MaxSteps: opts.MaxSteps,
+		}, procs, inputs, runSeed)
+		if err != nil {
+			return asyncTrial{}, err
+		}
+		sched, _ := mkSched()
+		res, err := exec.Run(sched)
+		if err != nil {
+			if errors.Is(err, async.ErrMaxSteps) {
+				return asyncTrial{timeout: true}, nil
+			}
+			return asyncTrial{}, err
+		}
+		if !res.Agreement || !res.Validity {
+			return asyncTrial{}, fmt.Errorf("safety violated on seed %d", runSeed)
+		}
+		out := asyncTrial{decided: res.DecidedValue(), steps: float64(res.Steps)}
+		for _, p := range procs {
+			b := p.(*async.BenOr)
+			if ph := float64(b.Phase()); ph > out.phase {
+				out.phase = ph
+			}
+			out.flips += float64(b.Flips())
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
 	}
 
 	var (
@@ -55,49 +113,15 @@ func AsyncSim(opts AsyncOptions, w io.Writer) error {
 		timeouts                 int
 		decided                  = map[int]int{}
 	)
-	for i := 0; i < opts.Trials; i++ {
-		runSeed := opts.Seed + uint64(i)
-		inputs, err := workload.Named(opts.Workload, opts.N, runSeed)
-		if err != nil {
-			return err
+	for _, o := range outs {
+		if o.timeout {
+			timeouts++
+			continue
 		}
-		procs, err := async.NewBenOrProcs(opts.N, opts.T, inputs, mode, runSeed)
-		if err != nil {
-			return err
-		}
-		exec, err := async.NewExecution(async.Config{
-			N: opts.N, T: opts.T, MaxSteps: opts.MaxSteps,
-		}, procs, inputs, runSeed)
-		if err != nil {
-			return err
-		}
-		sched, err := mkSched()
-		if err != nil {
-			return err
-		}
-		res, err := exec.Run(sched)
-		if err != nil {
-			if errors.Is(err, async.ErrMaxSteps) {
-				timeouts++
-				continue
-			}
-			return err
-		}
-		if !res.Agreement || !res.Validity {
-			return fmt.Errorf("safety violated on seed %d", runSeed)
-		}
-		decided[res.DecidedValue()]++
-		stepsSeen = append(stepsSeen, float64(res.Steps))
-		maxPhase, totalFlips := 0, 0
-		for _, p := range procs {
-			b := p.(*async.BenOr)
-			if b.Phase() > maxPhase {
-				maxPhase = b.Phase()
-			}
-			totalFlips += b.Flips()
-		}
-		phases = append(phases, float64(maxPhase))
-		flips = append(flips, float64(totalFlips))
+		decided[o.decided]++
+		stepsSeen = append(stepsSeen, o.steps)
+		phases = append(phases, o.phase)
+		flips = append(flips, o.flips)
 	}
 
 	fmt.Fprintf(w, "async benor: n=%d t=%d coin=%s scheduler=%s workload=%s trials=%d\n",

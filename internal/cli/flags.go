@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+)
+
+// CommonFlags unifies the flags every command in this repository
+// shares, so -seed, -workers, and -quick carry the same name, usage
+// string, and validation in consensus-sim, synran-bench, lowerbound,
+// and asyncsim.
+//
+// Defaults come from the struct's values at Register time: each command
+// fills in its canonical defaults first (consensus-sim and asyncsim
+// seed 1, synran-bench seed 42, lowerbound seed 7) and then registers.
+type CommonFlags struct {
+	// Seed drives all randomness; every command's output is reproducible
+	// at a fixed seed.
+	Seed uint64
+	// Workers bounds the trial/rollout worker pool. 0 selects all cores;
+	// results are identical at every worker count (the repository's
+	// worker-count invariance contract).
+	Workers int
+	// Quick selects reduced sizes and trial counts.
+	Quick bool
+}
+
+// Flag selects which of the shared flags a command registers.
+type Flag uint
+
+const (
+	// FlagSeed registers -seed.
+	FlagSeed Flag = 1 << iota
+	// FlagWorkers registers -workers.
+	FlagWorkers
+	// FlagQuick registers -quick.
+	FlagQuick
+)
+
+// Register installs the selected flags on fs, using the struct's
+// current values as defaults.
+func (c *CommonFlags) Register(fs *flag.FlagSet, mask Flag) {
+	if mask&FlagSeed != 0 {
+		fs.Uint64Var(&c.Seed, "seed", c.Seed, "random seed (output is reproducible at a fixed seed)")
+	}
+	if mask&FlagWorkers != 0 {
+		fs.IntVar(&c.Workers, "workers", c.Workers, "worker pool size (0 = all cores; results are identical at any count)")
+	}
+	if mask&FlagQuick != 0 {
+		fs.BoolVar(&c.Quick, "quick", c.Quick, "reduced sizes and trial counts")
+	}
+}
+
+// Validate checks the parsed values, returning the uniform error
+// message commands print before exiting.
+func (c *CommonFlags) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 selects all cores), got %d", c.Workers)
+	}
+	return nil
+}

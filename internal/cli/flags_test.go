@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCommonFlagsRegisterDefaultsAndParse(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c := CommonFlags{Seed: 42}
+	c.Register(fs, FlagSeed|FlagWorkers|FlagQuick)
+
+	// Defaults come from the struct's values at Register time.
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 || c.Workers != 0 || c.Quick {
+		t.Fatalf("defaults: %+v", c)
+	}
+
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	c2 := CommonFlags{Seed: 7}
+	c2.Register(fs2, FlagSeed|FlagWorkers|FlagQuick)
+	if err := fs2.Parse([]string{"-seed", "99", "-workers", "4", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Seed != 99 || c2.Workers != 4 || !c2.Quick {
+		t.Fatalf("parsed: %+v", c2)
+	}
+}
+
+func TestCommonFlagsMaskSelectsFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var c CommonFlags
+	c.Register(fs, FlagSeed|FlagWorkers)
+	if fs.Lookup("seed") == nil || fs.Lookup("workers") == nil {
+		t.Fatal("selected flags not registered")
+	}
+	if fs.Lookup("quick") != nil {
+		t.Fatal("-quick registered without FlagQuick")
+	}
+}
+
+func TestCommonFlagsUsageStringsAreUniform(t *testing.T) {
+	// Two commands registering the same flag must present the same usage
+	// text — that is the point of sharing CommonFlags.
+	usage := func() (string, string) {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		var c CommonFlags
+		c.Register(fs, FlagSeed|FlagWorkers)
+		return fs.Lookup("seed").Usage, fs.Lookup("workers").Usage
+	}
+	s1, w1 := usage()
+	s2, w2 := usage()
+	if s1 != s2 || w1 != w2 {
+		t.Fatal("usage strings differ between registrations")
+	}
+	if !strings.Contains(w1, "identical at any count") {
+		t.Fatalf("-workers usage must state the invariance contract, got %q", w1)
+	}
+}
+
+func TestCommonFlagsValidate(t *testing.T) {
+	if err := (&CommonFlags{Workers: -1}).Validate(); err == nil {
+		t.Fatal("negative -workers accepted")
+	} else if !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("error must name the flag, got %q", err)
+	}
+	for _, w := range []int{0, 1, 64} {
+		if err := (&CommonFlags{Workers: w}).Validate(); err != nil {
+			t.Fatalf("workers=%d rejected: %v", w, err)
+		}
+	}
+}
+
+// TestAsyncSimWorkerInvariance pins the satellite change that moved
+// asyncsim's trial loop onto the trials pool: the printed summary must
+// be byte-identical at every worker count.
+func TestAsyncSimWorkerInvariance(t *testing.T) {
+	run := func(workers int) string {
+		var sb strings.Builder
+		err := AsyncSim(AsyncOptions{
+			N: 5, T: -1, Scheduler: "fifo", Coin: "random",
+			Workload: "half", Seed: 3, Trials: 8, Workers: workers,
+		}, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 0} {
+		if got := run(w); got != want {
+			t.Fatalf("workers=%d output differs:\n%s\nvs workers=1:\n%s", w, got, want)
+		}
+	}
+}

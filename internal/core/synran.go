@@ -179,6 +179,28 @@ func (p *Proc) Clone() sim.Process {
 	return &c
 }
 
+// CopyFrom implements sim.ProcessCopier: overwrite this process with a
+// deep copy of src, reusing the receiver's rng and history storage so
+// arena-backed snapshots (sim.CloneInto) allocate nothing per process.
+func (p *Proc) CopyFrom(src sim.Process) bool {
+	s, ok := src.(*Proc)
+	if !ok {
+		return false
+	}
+	stream, hist := p.rng, p.nHist
+	*p = *s
+	if stream == nil {
+		stream = s.rng.Clone()
+	} else {
+		stream.CopyFrom(s.rng)
+	}
+	p.rng = stream
+	p.nHist = append(hist[:0], s.nHist...)
+	return true
+}
+
+var _ sim.ProcessCopier = (*Proc)(nil)
+
 // histN returns N_i^r with the pseudocode's convention N^r = n for r <= 0.
 func (p *Proc) histN(r int) int {
 	if r <= 0 {

@@ -40,11 +40,11 @@ type stabilizationObserver struct {
 
 func (s *stabilizationObserver) OnRound(r int, v *sim.View) {
 	ones, zeros := 0, 0
-	for i := range v.Sending {
-		if !v.Sending[i] {
+	for i := 0; i < v.N; i++ {
+		if !v.IsSending(i) {
 			continue
 		}
-		p := v.Payloads[i]
+		p := v.Payload(i)
 		if wire.IsFlood(p) {
 			switch wire.Mask(p) {
 			case wire.MaskOne:

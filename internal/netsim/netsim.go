@@ -121,7 +121,7 @@ func Run(cfg sim.Config, procs []sim.Process, inputs []int, adv sim.Adversary, a
 		}
 
 		// Consult the adversary (no Exec: see package doc).
-		view := &sim.View{
+		view := sim.NewView(sim.ViewState{
 			Round:    r,
 			N:        n,
 			T:        cfg.T,
@@ -132,7 +132,7 @@ func Run(cfg sim.Config, procs []sim.Process, inputs []int, adv sim.Adversary, a
 			Payloads: payloads,
 			Procs:    procs,
 			Rng:      advRng,
-		}
+		})
 		if obs := cfg.Observer; obs != nil {
 			obs.OnRound(r, view)
 		}

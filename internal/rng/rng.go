@@ -35,6 +35,26 @@ func New(seed uint64) *Stream {
 	return &st
 }
 
+// Reseed reinitializes the stream in place from seed, exactly as New
+// would, without allocating. Arena-backed snapshots (sim.CloneInto /
+// Execution.Reset) use it to recycle stream storage across rollouts.
+func (r *Stream) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// CopyFrom overwrites the stream's state with src's, making the two
+// streams produce identical future outputs. It is the allocation-free
+// counterpart of Clone, used by the arena snapshot path.
+func (r *Stream) CopyFrom(src *Stream) {
+	r.s = src.s
+}
+
 // Split derives an independent child stream identified by key. Children
 // with distinct keys, and the parent, produce statistically independent
 // sequences; splitting does not advance the parent.

@@ -50,11 +50,40 @@ func (b *BitSet) Count() int {
 	return c
 }
 
+// ClearAll marks every index as absent, keeping the capacity.
+func (b *BitSet) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Reset resizes the set to capacity n and clears it, reusing the word
+// storage when it is large enough. This is the allocation-free
+// counterpart of NewBitSet used by the arena snapshot path.
+func (b *BitSet) Reset(n int) {
+	words := (n + 63) / 64
+	if cap(b.words) < words {
+		b.words = make([]uint64, words)
+	} else {
+		b.words = b.words[:words]
+	}
+	b.n = n
+	b.ClearAll()
+}
+
 // Clone returns a deep copy of the set.
 func (b *BitSet) Clone() *BitSet {
 	c := &BitSet{n: b.n, words: make([]uint64, len(b.words))}
 	copy(c.words, b.words)
 	return c
+}
+
+// CopyFrom overwrites the set with src's capacity and contents, reusing
+// the word storage when possible (clear-and-refill). It is the
+// allocation-free counterpart of Clone.
+func (b *BitSet) CopyFrom(src *BitSet) {
+	b.Reset(src.n)
+	copy(b.words, src.words)
 }
 
 // trim clears bits beyond the logical length so Count stays exact.

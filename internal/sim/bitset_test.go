@@ -75,3 +75,115 @@ func TestBitSetCountMatchesNaive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBitSetResetReusesStorage(t *testing.T) {
+	b := NewBitSet(200)
+	b.Fill()
+	words := &b.words[0]
+
+	// Shrinking reuses the words and clears every bit.
+	b.Reset(64)
+	if b.Len() != 64 || b.Count() != 0 {
+		t.Fatalf("after Reset(64): len=%d count=%d, want 64, 0", b.Len(), b.Count())
+	}
+	if &b.words[0] != words {
+		t.Fatal("Reset to a smaller capacity reallocated the word storage")
+	}
+	b.Set(63)
+	if !b.Get(63) || b.Count() != 1 {
+		t.Fatal("set/get broken after shrink")
+	}
+
+	// Growing beyond the old capacity allocates, but stays clear.
+	b.Reset(512)
+	if b.Len() != 512 || b.Count() != 0 {
+		t.Fatalf("after Reset(512): len=%d count=%d, want 512, 0", b.Len(), b.Count())
+	}
+}
+
+func TestBitSetCopyFromAcrossSizes(t *testing.T) {
+	for _, size := range []int{1, 63, 64, 65, 130, 300} {
+		src := NewBitSet(size)
+		for i := 0; i < size; i += 3 {
+			src.Set(i)
+		}
+		// A dirty destination of a different capacity, fully set.
+		dst := NewBitSet(97)
+		dst.Fill()
+		dst.CopyFrom(src)
+		if dst.Len() != src.Len() || dst.Count() != src.Count() {
+			t.Fatalf("size %d: len/count = %d/%d, want %d/%d",
+				size, dst.Len(), dst.Count(), src.Len(), src.Count())
+		}
+		for i := 0; i < size; i++ {
+			if dst.Get(i) != src.Get(i) {
+				t.Fatalf("size %d: bit %d = %v, want %v", size, i, dst.Get(i), src.Get(i))
+			}
+		}
+		// The copy must be deep: flipping dst leaves src alone.
+		if size > 3 {
+			dst.Set(1)
+			dst.Clear(3)
+			if !src.Get(3) || src.Get(1) {
+				t.Fatal("CopyFrom aliased the source's words")
+			}
+		}
+	}
+}
+
+func TestBitSetClearAllKeepsCapacity(t *testing.T) {
+	b := NewBitSet(130)
+	b.Fill()
+	b.ClearAll()
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("after ClearAll: len=%d count=%d, want 130, 0", b.Len(), b.Count())
+	}
+	b.Fill()
+	if b.Count() != 130 {
+		t.Fatalf("refill after ClearAll counted %d, want 130", b.Count())
+	}
+}
+
+// FuzzBitSetReuse round-trips arbitrary membership vectors through a
+// single reused BitSet (the arena delivery-mask pattern): each step
+// resizes via Reset, applies the ops, and cross-checks against a fresh
+// NewBitSet fed the same ops. Any stale bit surviving reuse diverges.
+func FuzzBitSetReuse(f *testing.F) {
+	f.Add(uint16(10), []byte{1, 2, 3})
+	f.Add(uint16(64), []byte{0, 63, 63})
+	f.Add(uint16(200), []byte{199, 0, 100, 100})
+	reused := NewBitSet(1)
+	f.Fuzz(func(t *testing.T, size uint16, ops []byte) {
+		n := int(size)%300 + 1
+		reused.Reset(n)
+		fresh := NewBitSet(n)
+		for _, op := range ops {
+			i := int(op) % n
+			if op&1 == 0 {
+				reused.Set(i)
+				fresh.Set(i)
+			} else {
+				reused.Clear(i)
+				fresh.Clear(i)
+			}
+		}
+		if reused.Len() != fresh.Len() || reused.Count() != fresh.Count() {
+			t.Fatalf("reused len/count %d/%d != fresh %d/%d",
+				reused.Len(), reused.Count(), fresh.Len(), fresh.Count())
+		}
+		for i := 0; i < n; i++ {
+			if reused.Get(i) != fresh.Get(i) {
+				t.Fatalf("bit %d: reused %v != fresh %v", i, reused.Get(i), fresh.Get(i))
+			}
+		}
+		// CopyFrom into a dirty shell must also match.
+		cp := NewBitSet(17)
+		cp.Fill()
+		cp.CopyFrom(fresh)
+		for i := 0; i < n; i++ {
+			if cp.Get(i) != fresh.Get(i) {
+				t.Fatalf("CopyFrom bit %d: %v != %v", i, cp.Get(i), fresh.Get(i))
+			}
+		}
+	})
+}

@@ -32,9 +32,9 @@ func (d *Digest) mix(words ...uint64) {
 // OnRound implements Observer.
 func (d *Digest) OnRound(r int, v *View) {
 	d.mix(0x01, uint64(r))
-	for i := range v.Sending {
-		if v.Sending[i] {
-			d.mix(uint64(i), uint64(v.Payloads[i])+1)
+	for i := 0; i < v.N; i++ {
+		if v.IsSending(i) {
+			d.mix(uint64(i), uint64(v.Payload(i))+1)
 		}
 	}
 }

@@ -16,10 +16,10 @@ var _ Observer = (*TraceObserver)(nil)
 // OnRound prints the round header with the Phase-A payload vector.
 func (t *TraceObserver) OnRound(r int, v *View) {
 	ones, sending := 0, 0
-	for i := range v.Sending {
-		if v.Sending[i] {
+	for i := 0; i < v.N; i++ {
+		if v.IsSending(i) {
 			sending++
-			if v.Payloads[i]&1 == 1 {
+			if v.Payload(i)&1 == 1 {
 				ones++
 			}
 		}

@@ -76,29 +76,109 @@ type CrashPlan struct {
 }
 
 // View is the full-information snapshot handed to the adversary after
-// Phase A of a round. All slices are live engine state and must be
-// treated as read-only; to experiment with hypothetical futures, clone
-// Exec and drive the clone.
+// Phase A of a round. It is safe by contract: per-process state is
+// exposed only through read-only accessor methods (IsAlive, Payload,
+// ...), never as raw slices, so adversaries cannot mutate engine state
+// and cannot accidentally retain live buffers — which is what lets the
+// engine reuse one View (and its backing arrays) across rounds and
+// snapshots. A View is valid only for the duration of the Plan / Forge /
+// OnRound call it is passed to; to experiment with hypothetical futures,
+// snapshot Exec (Clone, CloneInto, or a SnapshotArena) and drive the
+// snapshot.
 type View struct {
-	Round    int
-	N        int
-	T        int
-	Budget   int // crashes the adversary may still perform
-	Alive    []bool
-	Halted   []bool
-	Corrupt  []bool
-	Sending  []bool
-	Payloads []int64 // Phase-A outputs; meaningful where Sending is true
-	Procs    []Process
-	Exec     *Execution
-	Rng      *rng.Stream
+	Round  int
+	N      int
+	T      int
+	Budget int // crashes the adversary may still perform
+	// Exec is the live execution (full-information model: the adversary
+	// may inspect it, including Process state machines, but must only
+	// drive snapshots of it).
+	Exec *Execution
+	// Rng is the adversary's private random stream; draws advance it.
+	Rng *rng.Stream
+
+	alive    []bool
+	halted   []bool
+	corrupt  []bool
+	sending  []bool
+	payloads []int64 // Phase-A outputs; meaningful where sending is true
+	procs    []Process
+}
+
+// ViewState is the explicit form of a View, used by NewView. The engine
+// assembles its Views internally; NewView exists for alternative runners
+// (internal/netsim) and adversary unit tests that need synthetic views.
+type ViewState struct {
+	Round, N, T, Budget int
+	Alive               []bool
+	Halted              []bool
+	Corrupt             []bool
+	Sending             []bool
+	Payloads            []int64
+	Procs               []Process
+	Exec                *Execution
+	Rng                 *rng.Stream
+}
+
+// NewView assembles a View over the given state. The slices are aliased,
+// not copied: the caller must not mutate them while the View is in use.
+// Nil slices are read as all-false (all-zero for Payloads).
+func NewView(s ViewState) *View {
+	return &View{
+		Round:    s.Round,
+		N:        s.N,
+		T:        s.T,
+		Budget:   s.Budget,
+		Exec:     s.Exec,
+		Rng:      s.Rng,
+		alive:    s.Alive,
+		halted:   s.Halted,
+		corrupt:  s.Corrupt,
+		sending:  s.Sending,
+		payloads: s.Payloads,
+		procs:    s.Procs,
+	}
+}
+
+// IsAlive reports whether process i has not crashed. Read-only; never
+// aliases engine state beyond the View's validity window.
+func (v *View) IsAlive(i int) bool { return v.alive != nil && v.alive[i] }
+
+// IsHalted reports whether process i stopped voluntarily (halted
+// processes are alive and non-faulty).
+func (v *View) IsHalted(i int) bool { return v.halted != nil && v.halted[i] }
+
+// IsCorrupt reports whether process i has been corrupted by a Byzantine
+// adversary (always false in the fail-stop model).
+func (v *View) IsCorrupt(i int) bool { return v.corrupt != nil && v.corrupt[i] }
+
+// IsSending reports whether process i broadcasts a message this round.
+func (v *View) IsSending(i int) bool { return v.sending != nil && v.sending[i] }
+
+// Payload returns process i's Phase-A output for this round; it is
+// meaningful only where IsSending(i) is true.
+func (v *View) Payload(i int) int64 {
+	if v.payloads == nil {
+		return 0
+	}
+	return v.payloads[i]
+}
+
+// Proc exposes process i's state machine (full-information model). The
+// returned Process is LIVE engine state: adversaries may inspect it but
+// must not call Round on it — drive a snapshot of Exec instead.
+func (v *View) Proc(i int) Process {
+	if v.procs == nil {
+		return nil
+	}
+	return v.procs[i]
 }
 
 // AliveCount returns the number of non-crashed processes (halted
 // processes are alive: they stopped voluntarily and are non-faulty).
 func (v *View) AliveCount() int {
 	c := 0
-	for _, a := range v.Alive {
+	for _, a := range v.alive {
 		if a {
 			c++
 		}
@@ -128,10 +208,15 @@ type Observer interface {
 
 // Config describes one execution.
 type Config struct {
-	N         int      // number of processes
-	T         int      // adversary crash budget, 0 <= T <= N
-	MaxRounds int      // safety valve; 0 selects a generous default
-	Observer  Observer // optional
+	N         int // number of processes
+	T         int // adversary crash budget, 0 <= T <= N
+	MaxRounds int // safety valve; 0 selects a generous default
+	// Observer, when non-nil, receives this execution's engine events.
+	// Observers watch exactly one execution: snapshots (Clone, CloneInto,
+	// SnapshotArena) never carry the observer, so look-ahead rollouts of
+	// a cloned execution cannot re-fire callbacks for hypothetical
+	// futures. TestCloneDropsObserver pins this contract.
+	Observer Observer
 }
 
 // DefaultMaxRounds returns the round cap used when Config.MaxRounds is
@@ -218,81 +303,182 @@ type Execution struct {
 	decideRound int // first round after which all survivors had decided
 	haltRound   int
 	messages    int // deliveries so far
+
+	viewBuf View // reusable adversary view; rebuilt by view() each round
 }
 
 // NewExecution validates the configuration and assembles an execution.
 // procs[i] receives inputs[i]; advSeed seeds the stream exposed to the
 // adversary through View.Rng.
 func NewExecution(cfg Config, procs []Process, inputs []int, advSeed uint64) (*Execution, error) {
+	e := &Execution{}
+	if err := e.Reset(cfg, procs, inputs, advSeed); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset reinitializes the execution to round zero for a new run,
+// validating exactly as NewExecution would, but reusing every
+// per-process buffer (bools, payloads, inboxes, scratch, delivery masks,
+// the adversary rng) already owned by the receiver. Resetting a zero
+// Execution is equivalent to NewExecution. The previous procs slice is
+// replaced by the given one; all other state is overwritten in place.
+func (e *Execution) Reset(cfg Config, procs []Process, inputs []int, advSeed uint64) error {
 	n := cfg.N
 	if n <= 0 {
-		return nil, fmt.Errorf("sim: N = %d, want > 0", n)
+		return fmt.Errorf("sim: N = %d, want > 0", n)
 	}
 	if len(procs) != n {
-		return nil, fmt.Errorf("sim: %d processes for N = %d", len(procs), n)
+		return fmt.Errorf("sim: %d processes for N = %d", len(procs), n)
 	}
 	if len(inputs) != n {
-		return nil, fmt.Errorf("sim: %d inputs for N = %d", len(inputs), n)
+		return fmt.Errorf("sim: %d inputs for N = %d", len(inputs), n)
 	}
 	if cfg.T < 0 || cfg.T > n {
-		return nil, fmt.Errorf("sim: T = %d out of [0, %d]", cfg.T, n)
+		return fmt.Errorf("sim: T = %d out of [0, %d]", cfg.T, n)
 	}
 	for i, x := range inputs {
 		if x != 0 && x != 1 {
-			return nil, fmt.Errorf("sim: input[%d] = %d, want 0 or 1", i, x)
+			return fmt.Errorf("sim: input[%d] = %d, want 0 or 1", i, x)
 		}
 	}
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = DefaultMaxRounds(n)
 	}
-	e := &Execution{
-		cfg:         cfg,
-		procs:       procs,
-		inputs:      append([]int(nil), inputs...),
-		advRng:      rng.New(advSeed),
-		alive:       make([]bool, n),
-		halted:      make([]bool, n),
-		corrupt:     make([]bool, n),
-		decidedSeen: make([]bool, n),
-		payloads:    make([]int64, n),
-		sending:     make([]bool, n),
-		deliver:     make([]*BitSet, n),
-		inboxes:     make([][]Recv, n),
-		scratch:     make([][]Recv, n),
+	e.cfg = cfg
+	e.procs = procs
+	e.inputs = append(e.inputs[:0], inputs...)
+	if e.advRng == nil {
+		e.advRng = rng.New(advSeed)
+	} else {
+		e.advRng.Reseed(advSeed)
 	}
+	e.alive = resizeBools(e.alive, n)
+	e.halted = resizeBools(e.halted, n)
+	e.corrupt = resizeBools(e.corrupt, n)
+	e.decidedSeen = resizeBools(e.decidedSeen, n)
 	for i := range e.alive {
 		e.alive[i] = true
+		e.halted[i] = false
+		e.corrupt[i] = false
+		e.decidedSeen[i] = false
 	}
-	for i := range e.inboxes {
-		e.inboxes[i] = make([]Recv, 0, n)
-		e.scratch[i] = make([]Recv, 0, n)
+	e.crashed = 0
+	e.forged = nil
+	e.round = 0
+	e.phaseAOpen = false
+	e.payloads = resizeInt64s(e.payloads, n)
+	e.sending = resizeBools(e.sending, n)
+	for i := range e.payloads {
+		e.payloads[i] = 0
+		e.sending[i] = false
 	}
-	return e, nil
+	e.deliver = resizeMasks(e.deliver, n)
+	for i := range e.deliver {
+		e.deliver[i] = nil
+	}
+	e.inboxes = resizeRecvBufs(e.inboxes, n)
+	e.scratch = resizeRecvBufs(e.scratch, n)
+	for i := 0; i < n; i++ {
+		if e.inboxes[i] == nil {
+			e.inboxes[i] = make([]Recv, 0, n)
+		} else {
+			e.inboxes[i] = e.inboxes[i][:0]
+		}
+		if e.scratch[i] == nil {
+			e.scratch[i] = make([]Recv, 0, n)
+		} else {
+			e.scratch[i] = e.scratch[i][:0]
+		}
+	}
+	e.decideRound = 0
+	e.haltRound = 0
+	e.messages = 0
+	e.viewBuf = View{}
+	return nil
 }
 
-// N returns the number of processes.
+// resizeBools returns s with length n, reusing its storage when
+// possible. Contents are unspecified; callers overwrite every element.
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// resizeInt64s is resizeBools for payload vectors.
+func resizeInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// resizeMasks is resizeBools for delivery-mask vectors; grown tails keep
+// their previous *BitSet values (possibly nil) for later reuse.
+func resizeMasks(s []*BitSet, n int) []*BitSet {
+	if cap(s) < n {
+		grown := make([]*BitSet, n)
+		copy(grown, s)
+		return grown
+	}
+	return s[:n]
+}
+
+// resizeRecvBufs returns s with length n, keeping every existing inbox
+// buffer (and its capacity) so refills do not reallocate.
+func resizeRecvBufs(s [][]Recv, n int) [][]Recv {
+	if cap(s) < n {
+		grown := make([][]Recv, n)
+		copy(grown, s)
+		s = grown
+	} else {
+		s = s[:n]
+	}
+	return s
+}
+
+// Exported accessors follow one aliasing contract, which DESIGN.md's
+// model section documents: scalar accessors (N, T, Round, Budget, Alive,
+// Halted, Corrupt, Input) return values and never alias engine state;
+// slice-returning accessors (Inputs, Result) return fresh copies the
+// caller owns; Process is the single deliberate exception — it hands out
+// the LIVE state machine, because the full-information adversary is
+// entitled to inspect it.
+
+// N returns the number of processes. Read-only value.
 func (e *Execution) N() int { return e.cfg.N }
 
-// T returns the adversary's total crash budget.
+// T returns the adversary's total crash budget. Read-only value.
 func (e *Execution) T() int { return e.cfg.T }
 
-// Round returns the index of the last completed round.
+// Round returns the index of the last completed round. Read-only value.
 func (e *Execution) Round() int { return e.round }
 
 // Budget returns the number of faults (crashes plus corruptions) the
-// adversary may still introduce.
+// adversary may still introduce. Read-only value.
 func (e *Execution) Budget() int { return e.cfg.T - e.crashed - e.CorruptCount() }
 
-// Alive reports whether process p has not crashed.
+// Alive reports whether process p has not crashed. Read-only value.
 func (e *Execution) Alive(p int) bool { return e.alive[p] }
 
-// Halted reports whether process p stopped voluntarily.
+// Halted reports whether process p stopped voluntarily. Read-only value.
 func (e *Execution) Halted(p int) bool { return e.halted[p] }
 
-// Inputs returns a copy of the initial values.
+// Input returns process p's initial value without allocating.
+func (e *Execution) Input(p int) int { return e.inputs[p] }
+
+// Inputs returns a copy of the initial values. The caller owns the
+// returned slice; mutating it does not affect the execution. Use Input
+// for allocation-free single-element access.
 func (e *Execution) Inputs() []int { return append([]int(nil), e.inputs...) }
 
 // Process exposes process p's state machine (full-information model).
+// The returned Process is LIVE engine state, not a copy: callers may
+// inspect it but must not call Round on it — snapshot the execution and
+// drive the snapshot instead.
 func (e *Execution) Process(p int) Process { return e.procs[p] }
 
 // Done reports whether the execution has terminated: every correct
@@ -309,51 +495,100 @@ func (e *Execution) Done() bool {
 // Clone returns a deep copy of the execution, including mid-round Phase-A
 // state, process state machines, and the adversary rng stream. Driving
 // the clone does not affect the original; identical inputs produce
-// identical continuations.
+// identical continuations. The clone never carries the Observer: observers
+// watch one execution, not its hypothetical futures.
+//
+// Clone allocates a fresh Execution per call; repeated look-ahead
+// rollouts from the same base state should use CloneInto or a
+// SnapshotArena, which recycle the buffers instead.
 func (e *Execution) Clone() *Execution {
-	c := &Execution{
-		cfg:         e.cfg,
-		inputs:      append([]int(nil), e.inputs...),
-		advRng:      e.advRng.Clone(),
-		alive:       append([]bool(nil), e.alive...),
-		halted:      append([]bool(nil), e.halted...),
-		corrupt:     append([]bool(nil), e.corrupt...),
-		decidedSeen: append([]bool(nil), e.decidedSeen...),
-		crashed:     e.crashed,
-		round:       e.round,
-		phaseAOpen:  e.phaseAOpen,
-		payloads:    append([]int64(nil), e.payloads...),
-		sending:     append([]bool(nil), e.sending...),
-		deliver:     make([]*BitSet, len(e.deliver)),
-		inboxes:     make([][]Recv, len(e.inboxes)),
-		scratch:     make([][]Recv, len(e.scratch)),
-		decideRound: e.decideRound,
-		haltRound:   e.haltRound,
-		messages:    e.messages,
+	return e.CloneInto(nil)
+}
+
+// CloneInto overwrites dst with a deep copy of e, reusing every buffer
+// dst already owns (bool/payload vectors, inboxes, scratch, delivery
+// BitSets, the adversary rng, and — for processes implementing
+// ProcessCopier — the process state machines themselves). A nil dst
+// allocates a fresh Execution, making CloneInto(nil) identical to
+// Clone. It returns dst.
+//
+// The copy is semantically indistinguishable from Clone: all state is
+// overwritten, so a recycled dst produces byte-identical continuations
+// to a fresh clone regardless of what it previously held. Like Clone,
+// CloneInto drops the Observer. dst must not be the receiver itself.
+func (e *Execution) CloneInto(dst *Execution) *Execution {
+	if dst == nil {
+		dst = &Execution{}
 	}
-	c.cfg.Observer = nil // observers watch one execution, not its clones
-	c.procs = make([]Process, len(e.procs))
+	n := e.cfg.N
+	dst.cfg = e.cfg
+	dst.cfg.Observer = nil // observers watch one execution, not its clones
+	dst.inputs = append(dst.inputs[:0], e.inputs...)
+	if dst.advRng == nil {
+		dst.advRng = e.advRng.Clone()
+	} else {
+		dst.advRng.CopyFrom(e.advRng)
+	}
+	dst.alive = append(dst.alive[:0], e.alive...)
+	dst.halted = append(dst.halted[:0], e.halted...)
+	dst.corrupt = append(dst.corrupt[:0], e.corrupt...)
+	dst.decidedSeen = append(dst.decidedSeen[:0], e.decidedSeen...)
+	dst.crashed = e.crashed
+	dst.round = e.round
+	dst.phaseAOpen = e.phaseAOpen
+	dst.payloads = append(dst.payloads[:0], e.payloads...)
+	dst.sending = append(dst.sending[:0], e.sending...)
+	dst.decideRound = e.decideRound
+	dst.haltRound = e.haltRound
+	dst.messages = e.messages
+
+	if cap(dst.procs) < n {
+		grown := make([]Process, n)
+		copy(grown, dst.procs)
+		dst.procs = grown
+	} else {
+		dst.procs = dst.procs[:n]
+	}
 	for i, p := range e.procs {
-		c.procs[i] = p.Clone()
+		if d, ok := dst.procs[i].(ProcessCopier); ok && d.CopyFrom(p) {
+			continue
+		}
+		dst.procs[i] = p.Clone()
 	}
+
+	dst.forged = nil
 	if e.forged != nil {
-		c.forged = make(map[int]*Forgery, len(e.forged))
+		dst.forged = make(map[int]*Forgery, len(e.forged))
 		for k, f := range e.forged {
 			fc := *f
 			fc.PerReceiver = append([]int64(nil), f.PerReceiver...)
-			c.forged[k] = &fc
+			dst.forged[k] = &fc
 		}
 	}
-	for i, d := range e.deliver {
-		if d != nil {
-			c.deliver[i] = d.Clone()
+
+	dst.deliver = resizeMasks(dst.deliver, n)
+	for i := 0; i < n; i++ {
+		src := e.deliver[i]
+		if src == nil {
+			dst.deliver[i] = nil
+			continue
+		}
+		if dst.deliver[i] == nil {
+			dst.deliver[i] = src.Clone()
+		} else {
+			dst.deliver[i].CopyFrom(src)
 		}
 	}
-	for i := range e.inboxes {
-		c.inboxes[i] = append(make([]Recv, 0, cap(e.inboxes[i])), e.inboxes[i]...)
-		c.scratch[i] = make([]Recv, 0, cap(e.scratch[i]))
+
+	dst.inboxes = resizeRecvBufs(dst.inboxes, n)
+	dst.scratch = resizeRecvBufs(dst.scratch, n)
+	for i := 0; i < n; i++ {
+		dst.inboxes[i] = append(dst.inboxes[i][:0], e.inboxes[i]...)
+		dst.scratch[i] = dst.scratch[i][:0]
 	}
-	return c
+
+	dst.viewBuf = View{} // never alias the source's round buffers
+	return dst
 }
 
 // ReseedProcesses replaces every process's (and the adversary view's)
@@ -400,22 +635,27 @@ func (e *Execution) StepPhaseA() (*View, error) {
 	return e.view(r), nil
 }
 
-// view assembles the adversary's full-information snapshot for round r.
+// view assembles the adversary's full-information snapshot for round r
+// in the execution's reusable view buffer. The same View value (and the
+// engine slices it aliases) is recycled every round — which is safe
+// because View exposes state through read-only accessors and is only
+// valid for the duration of the adversary/observer call.
 func (e *Execution) view(r int) *View {
-	return &View{
+	e.viewBuf = View{
 		Round:    r,
 		N:        e.cfg.N,
 		T:        e.cfg.T,
 		Budget:   e.Budget(),
-		Alive:    e.alive,
-		Halted:   e.halted,
-		Corrupt:  e.corrupt,
-		Sending:  e.sending,
-		Payloads: e.payloads,
-		Procs:    e.procs,
 		Exec:     e,
 		Rng:      e.advRng,
+		alive:    e.alive,
+		halted:   e.halted,
+		corrupt:  e.corrupt,
+		sending:  e.sending,
+		payloads: e.payloads,
+		procs:    e.procs,
 	}
+	return &e.viewBuf
 }
 
 // FinishRound applies the adversary's crash plans and performs Phase B

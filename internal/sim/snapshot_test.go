@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+var errDiverged = errors.New("parallel snapshot rollout diverged from the fresh clone")
+
+// copierProc is a testProc that also implements ProcessCopier, so the
+// arena tests exercise the allocation-free copy path alongside the
+// Clone fallback.
+type copierProc struct {
+	testProc
+}
+
+func (p *copierProc) Clone() Process {
+	c := *p
+	c.recvLog = make([][]Recv, len(p.recvLog))
+	for i, l := range p.recvLog {
+		c.recvLog[i] = append([]Recv(nil), l...)
+	}
+	return &c
+}
+
+func (p *copierProc) CopyFrom(src Process) bool {
+	s, ok := src.(*copierProc)
+	if !ok {
+		return false
+	}
+	logs := p.recvLog
+	*p = *s
+	p.recvLog = logs[:0]
+	for _, l := range s.recvLog {
+		p.recvLog = append(p.recvLog, append([]Recv(nil), l...))
+	}
+	return true
+}
+
+var _ ProcessCopier = (*copierProc)(nil)
+
+func mkCopierProcs(n, decideAt, haltAt int, inputs []int) []Process {
+	ps := make([]Process, n)
+	for i := range ps {
+		ps[i] = &copierProc{testProc{input: inputs[i], decideAt: decideAt, haltAt: haltAt}}
+	}
+	return ps
+}
+
+// countObserver counts every callback it receives.
+type countObserver struct {
+	calls int
+}
+
+func (o *countObserver) OnRound(int, *View)     { o.calls++ }
+func (o *countObserver) OnCrash(int, int, int)  { o.calls++ }
+func (o *countObserver) OnDecide(int, int, int) { o.calls++ }
+func (o *countObserver) OnHalt(int, int)        { o.calls++ }
+
+// runToDigest drives e to completion under adv while hashing every
+// engine event, returning (digest, result). The observer is attached
+// package-internally so clones (which always drop the configured
+// observer) can still be digested.
+func runToDigest(t *testing.T, e *Execution, adv Adversary) (uint64, *Result) {
+	t.Helper()
+	d := NewDigest()
+	e.cfg.Observer = d
+	res, err := e.Run(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Sum(), res
+}
+
+func midRunExecution(t *testing.T, n int, procs []Process, inputs []int) *Execution {
+	t.Helper()
+	e, err := NewExecution(Config{N: n, T: n / 2}, procs, inputs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance a couple of rounds with a crash so the snapshot carries
+	// non-trivial mid-flight state (inboxes, dead process, spent budget).
+	mask := NewBitSet(n)
+	mask.Set(1)
+	adv := &planAdversary{plans: map[int][]CrashPlan{
+		2: {{Victim: 0, Deliver: mask}},
+	}}
+	for r := 0; r < 2; r++ {
+		v, err := e.StepPhaseA()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.FinishRound(adv.Plan(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestCloneIntoMatchesClone(t *testing.T) {
+	for name, mk := range map[string]func(n, d, h int, in []int) []Process{
+		"clone-fallback": mkProcs,
+		"process-copier": mkCopierProcs,
+	} {
+		t.Run(name, func(t *testing.T) {
+			const n = 10
+			inputs := uniformInputs(n, 1)
+			inputs[3], inputs[7] = 0, 0
+			base := midRunExecution(t, n, mk(n, 4, 5, inputs), inputs)
+
+			wantDigest, wantRes := runToDigest(t, base.Clone(), noneAdversary{})
+
+			// A dirty shell: previously held a larger execution driven to
+			// completion, so every buffer is sized differently and filled
+			// with stale state.
+			bigInputs := uniformInputs(16, 0)
+			big := midRunExecution(t, 16, mk(16, 3, 4, bigInputs), bigInputs)
+			if _, err := big.Run(noneAdversary{}); err != nil {
+				t.Fatal(err)
+			}
+
+			for i, dst := range []*Execution{nil, big} {
+				c := base.CloneInto(dst)
+				gotDigest, gotRes := runToDigest(t, c, noneAdversary{})
+				if gotDigest != wantDigest {
+					t.Fatalf("dst %d: CloneInto digest %016x != Clone digest %016x", i, gotDigest, wantDigest)
+				}
+				if gotRes.HaltRounds != wantRes.HaltRounds ||
+					gotRes.Survivors != wantRes.Survivors ||
+					gotRes.Agreement != wantRes.Agreement ||
+					gotRes.Crashes != wantRes.Crashes {
+					t.Fatalf("dst %d: results diverge: %+v vs %+v", i, gotRes, wantRes)
+				}
+			}
+
+			// The base itself must be untouched by the snapshots.
+			baseDigest, _ := runToDigest(t, base, noneAdversary{})
+			if baseDigest != wantDigest {
+				t.Fatalf("base diverged after CloneInto reads: %016x != %016x", baseDigest, wantDigest)
+			}
+		})
+	}
+}
+
+func TestCloneDropsObserver(t *testing.T) {
+	const n = 6
+	inputs := uniformInputs(n, 1)
+	obs := &countObserver{}
+	e, err := NewExecution(Config{N: n, T: 1, Observer: obs}, mkProcs(n, 2, 3, inputs), inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arena := &SnapshotArena{}
+	for _, c := range []*Execution{e.Clone(), e.CloneInto(nil), arena.Snapshot(e)} {
+		if _, err := c.Run(noneAdversary{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if obs.calls != 0 {
+		t.Fatalf("running clones fired %d observer callbacks; clones must never re-fire the base's observer", obs.calls)
+	}
+	if _, err := e.Run(noneAdversary{}); err != nil {
+		t.Fatal(err)
+	}
+	if obs.calls == 0 {
+		t.Fatal("the original execution stopped reporting to its observer")
+	}
+}
+
+func TestSnapshotArenaReuse(t *testing.T) {
+	const n = 8
+	inputs := uniformInputs(n, 1)
+	inputs[0] = 0
+	base := midRunExecution(t, n, mkCopierProcs(n, 3, 4, inputs), inputs)
+	wantDigest, _ := runToDigest(t, base.Clone(), noneAdversary{})
+
+	arena := &SnapshotArena{}
+	for i := 0; i < 50; i++ {
+		c := arena.Snapshot(base)
+		got, _ := runToDigest(t, c, noneAdversary{})
+		if got != wantDigest {
+			t.Fatalf("snapshot %d digest %016x != fresh clone %016x", i, got, wantDigest)
+		}
+		arena.Release(c)
+		if arena.Size() != 1 {
+			t.Fatalf("snapshot %d: arena holds %d shells, want 1", i, arena.Size())
+		}
+	}
+
+	// Release order is arbitrary and nil release is a no-op.
+	a, b := arena.Snapshot(base), arena.Snapshot(base)
+	arena.Release(nil)
+	arena.Release(b)
+	arena.Release(a)
+	if arena.Size() != 2 {
+		t.Fatalf("arena holds %d shells after two releases, want 2", arena.Size())
+	}
+}
+
+// TestSnapshotArenaParallelWorkers mirrors the valency estimator's
+// concurrency pattern under the race detector: many workers snapshot
+// the same base concurrently, each through its own arena. The base is
+// read-only during rollouts; each snapshot is private to its worker.
+func TestSnapshotArenaParallelWorkers(t *testing.T) {
+	const n = 12
+	inputs := uniformInputs(n, 1)
+	inputs[2], inputs[5] = 0, 0
+	base := midRunExecution(t, n, mkCopierProcs(n, 4, 5, inputs), inputs)
+	want := base.Clone()
+	wantRes, err := want.Run(noneAdversary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := &SnapshotArena{}
+			for i := 0; i < 25; i++ {
+				c := arena.Snapshot(base)
+				res, err := c.Run(noneAdversary{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.HaltRounds != wantRes.HaltRounds || res.Survivors != wantRes.Survivors {
+					errs <- errDiverged
+					return
+				}
+				arena.Release(c)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

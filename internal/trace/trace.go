@@ -46,10 +46,10 @@ func NewRecorder(n, t int, seed uint64) *Recorder {
 // OnRound implements sim.Observer.
 func (r *Recorder) OnRound(round int, v *sim.View) {
 	ev := Event{Kind: "round", Round: round, Alive: v.AliveCount()}
-	for i := range v.Sending {
-		if v.Sending[i] {
+	for i := 0; i < v.N; i++ {
+		if v.IsSending(i) {
 			ev.Sending++
-			if v.Payloads[i]&1 == 1 {
+			if v.Payload(i)&1 == 1 {
 				ev.Ones++
 			}
 		}

@@ -53,19 +53,30 @@ func Seed(base uint64, i int) uint64 {
 // On failure, the remaining unclaimed trials are cancelled and the error
 // of the smallest failing index is returned with a nil slice.
 func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return RunWorker(workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// RunWorker is Run with the executing worker's identity exposed: fn is
+// called as fn(worker, i) where worker ∈ [0, WorkerCount(workers, n))
+// and each worker value is owned by exactly one goroutine at a time.
+//
+// The worker id exists so trial functions can index into per-worker
+// scratch state — e.g. one sim.SnapshotArena per worker — without
+// synchronization. The determinism contract is unchanged and the id
+// must NOT leak into results: fn's return value must depend only on i.
+// (Which worker runs trial i varies with scheduling; anything derived
+// from the worker id would break worker-count invariance.)
+func RunWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	w := DefaultWorkers(workers)
-	if w > n {
-		w = n
-	}
+	w := WorkerCount(workers, n)
 	out := make([]T, n)
 	if w == 1 {
 		// Serial fast path: no goroutines, same semantics as the pool
 		// (ascending claim order, first failure wins and cancels the rest).
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := fn(0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -86,7 +97,7 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if stop.Load() {
@@ -96,7 +107,7 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				v, err := fn(i)
+				v, err := fn(worker, i)
 				if err != nil {
 					mu.Lock()
 					if i < firstIdx {
@@ -112,11 +123,26 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				}
 				out[i] = v
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// WorkerCount resolves the effective pool width Run/RunWorker will use
+// for a batch of n trials: DefaultWorkers(workers) clamped to n. Exposed
+// so callers sizing per-worker scratch state allocate exactly as many
+// slots as there are workers.
+func WorkerCount(workers, n int) int {
+	w := DefaultWorkers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }

@@ -194,3 +194,88 @@ func TestRunPanicMessageNamesTrial(t *testing.T) {
 		return 0, nil
 	})
 }
+
+func TestWorkerCount(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{1, 100, 1},
+		{4, 100, 4},
+		{4, 2, 2},  // clamped to the batch size
+		{8, 0, 1},  // degenerate batch still reports one slot
+		{-3, 1, 1}, // <=0 resolves to NumCPU, then clamps to n
+		{0, 1 << 30, runtime.NumCPU()},
+	}
+	for _, c := range cases {
+		if got := WorkerCount(c.workers, c.n); got != c.want {
+			t.Errorf("WorkerCount(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRunWorkerIDsAreExclusiveAndInRange(t *testing.T) {
+	const workers, n = 4, 200
+	w := WorkerCount(workers, n)
+	// Track concurrent holders of each worker id: each id must be owned
+	// by exactly one goroutine at a time, and ids stay in [0, w).
+	holders := make([]atomic.Int32, w)
+	_, err := RunWorker(workers, n, func(worker, i int) (int, error) {
+		if worker < 0 || worker >= w {
+			return 0, fmt.Errorf("worker id %d out of [0, %d)", worker, w)
+		}
+		if holders[worker].Add(1) != 1 {
+			return 0, fmt.Errorf("worker id %d held by two goroutines at once", worker)
+		}
+		time.Sleep(time.Microsecond)
+		holders[worker].Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkerSerialPathUsesWorkerZero(t *testing.T) {
+	out, err := RunWorker(1, 8, func(worker, i int) (int, error) {
+		if worker != 0 {
+			return 0, fmt.Errorf("serial path reported worker %d", worker)
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunWorkerInvarianceWithPerWorkerScratch(t *testing.T) {
+	// The intended pattern: per-worker scratch indexed by the worker id.
+	// Results must still be identical across worker counts.
+	const n = 64
+	run := func(workers int) []uint64 {
+		w := WorkerCount(workers, n)
+		scratch := make([][]uint64, w)
+		out, err := RunWorker(workers, n, func(worker, i int) (uint64, error) {
+			scratch[worker] = append(scratch[worker][:0], trialValue(99, i))
+			return scratch[worker][0], nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d (worker id leaked into results?)",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}

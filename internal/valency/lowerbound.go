@@ -29,6 +29,9 @@ type LowerBound struct {
 	PerRound int
 
 	rng *rng.Stream
+	// arena recycles the candidate-evaluation snapshots (one live at a
+	// time; candidates are scored sequentially).
+	arena sim.SnapshotArena
 	// Stats, exported for experiments.
 	RoundsPlanned int
 	KeptUndecided int
@@ -54,6 +57,7 @@ func (a *LowerBound) Clone() sim.Adversary {
 	if a.rng != nil {
 		c.rng = a.rng.Clone()
 	}
+	c.arena = sim.SnapshotArena{} // fleets are per-adversary, never shared
 	return &c
 }
 
@@ -106,9 +110,10 @@ func candScore(est *Estimate) float64 {
 }
 
 // evaluate classifies the state reached by applying cand to the open
-// round of a clone of the current execution.
+// round of an arena snapshot of the current execution.
 func (a *LowerBound) evaluate(v *sim.View, cand []sim.CrashPlan) (*Estimate, bool) {
-	c := v.Exec.Clone()
+	c := a.arena.Snapshot(v.Exec)
+	defer a.arena.Release(c)
 	if err := c.FinishRound(cand); err != nil {
 		return nil, false
 	}
@@ -147,7 +152,7 @@ func (a *LowerBound) candidates(v *sim.View, perRound int) [][]sim.CrashPlan {
 		half := sim.NewBitSet(v.N)
 		cnt := 0
 		for i := 0; i < v.N && cnt < v.AliveCount()/2; i++ {
-			if v.Alive[i] {
+			if v.IsAlive(i) {
 				half.Set(i)
 				cnt++
 			}
@@ -188,10 +193,10 @@ func planKey(plans []sim.CrashPlan) string {
 // senderIDsByValue partitions the round's plain-payload senders.
 func senderIDsByValue(v *sim.View) (ones, zeros []int) {
 	for i := 0; i < v.N; i++ {
-		if !v.Sending[i] || wire.IsFlood(v.Payloads[i]) {
+		if !v.IsSending(i) || wire.IsFlood(v.Payload(i)) {
 			continue
 		}
-		if wire.Bit(v.Payloads[i]) == 1 {
+		if wire.Bit(v.Payload(i)) == 1 {
 			ones = append(ones, i)
 		} else {
 			zeros = append(zeros, i)

@@ -29,6 +29,10 @@ type Stepwise struct {
 	Est      *Estimator
 	PerRound int
 
+	// arena recycles the per-step look-ahead snapshots (one live at a
+	// time; the walk classifies successor states sequentially).
+	arena sim.SnapshotArena
+
 	// StepsInspected counts classification calls (cost accounting).
 	StepsInspected int
 }
@@ -49,6 +53,7 @@ func (a *Stepwise) Name() string { return "valency-stepwise" }
 // Clone implements sim.Adversary.
 func (a *Stepwise) Clone() sim.Adversary {
 	c := *a
+	c.arena = sim.SnapshotArena{} // fleets are per-adversary, never shared
 	return &c
 }
 
@@ -113,10 +118,12 @@ func (a *Stepwise) Plan(v *sim.View) []sim.CrashPlan {
 	return plan
 }
 
-// classify applies the plan on a clone and classifies the successor.
+// classify applies the plan on an arena snapshot and classifies the
+// successor state.
 func (a *Stepwise) classify(v *sim.View, plan []sim.CrashPlan) (*Estimate, bool) {
 	a.StepsInspected++
-	c := v.Exec.Clone()
+	c := a.arena.Snapshot(v.Exec)
+	defer a.arena.Release(c)
 	if err := c.FinishRound(plan); err != nil {
 		return nil, false
 	}
@@ -131,10 +138,10 @@ func (a *Stepwise) classify(v *sim.View, plan []sim.CrashPlan) (*Estimate, bool)
 func sendersWithBit(v *sim.View, bit int) []int {
 	var out []int
 	for i := 0; i < v.N; i++ {
-		if !v.Sending[i] || wire.IsFlood(v.Payloads[i]) {
+		if !v.IsSending(i) || wire.IsFlood(v.Payload(i)) {
 			continue
 		}
-		if wire.Bit(v.Payloads[i]) == bit {
+		if wire.Bit(v.Payload(i)) == bit {
 			out = append(out, i)
 		}
 	}
@@ -146,7 +153,7 @@ func halfMask(v *sim.View) *sim.BitSet {
 	mask := sim.NewBitSet(v.N)
 	cnt, want := 0, v.AliveCount()/2
 	for i := 0; i < v.N && cnt < want; i++ {
-		if v.Alive[i] {
+		if v.IsAlive(i) {
 			mask.Set(i)
 			cnt++
 		}

@@ -83,8 +83,19 @@ type Estimator struct {
 	Workers int
 	// Seed drives the rollout reseeding.
 	Seed uint64
+	// UseClone disables the arena snapshot path and takes a fresh
+	// Execution.Clone per rollout instead. The results are identical;
+	// the flag exists so BenchmarkValencyEstimate can measure the
+	// pre-arena baseline (and CI can detect allocation regressions
+	// against it).
+	UseClone bool
 
 	counter uint64
+	// arenas recycle rollout executions, one arena per trials worker so
+	// parallel rollouts never contend. They persist across Classify
+	// calls: a Stepwise adversary classifying hundreds of successor
+	// states reuses the same fleet throughout.
+	arenas []*sim.SnapshotArena
 }
 
 // NewEstimator returns an estimator with the default pool for an
@@ -100,6 +111,15 @@ func NewEstimator(n int, seed uint64) *Estimator {
 		},
 		RolloutsPerAdversary: 24,
 		Seed:                 seed,
+	}
+}
+
+// growArenas ensures the estimator owns at least w rollout arenas.
+// Worker w only ever touches arenas[w], so parallel rollouts are
+// contention- and race-free by construction.
+func (e *Estimator) growArenas(w int) {
+	for len(e.arenas) < w {
+		e.arenas = append(e.arenas, &sim.SnapshotArena{})
 	}
 }
 
@@ -130,9 +150,20 @@ func (e *Estimator) Classify(exec *sim.Execution, k int) (*Estimate, error) {
 		extra   float64
 	}
 	counterBase := e.counter
-	rollouts, rerr := trials.Run(e.Workers, len(e.Pool)*rolls, func(idx int) (rollout, error) {
+	nRollouts := len(e.Pool) * rolls
+	e.growArenas(trials.WorkerCount(e.Workers, nRollouts))
+	rollouts, rerr := trials.RunWorker(e.Workers, nRollouts, func(worker, idx int) (rollout, error) {
 		ai := idx / rolls
-		c := exec.Clone()
+		// Snapshot the base state into this worker's arena (or Clone
+		// fresh when benchmarking the pre-arena baseline). Either way
+		// the copy is deep and the continuation byte-identical.
+		var c *sim.Execution
+		if e.UseClone {
+			c = exec.Clone()
+		} else {
+			c = e.arenas[worker].Snapshot(exec)
+			defer e.arenas[worker].Release(c)
+		}
 		counter := counterBase + uint64(idx) + 1
 		c.ReseedProcesses(e.Seed ^ rng.New(uint64(ai)<<32|counter).Uint64())
 		res, err := c.Run(e.Pool[ai]())

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check experiments experiments-quick examples clean
+.PHONY: all build test test-short race cover bench bench-json bench-check chaos experiments experiments-quick examples clean
 
 all: build test
 
@@ -39,6 +39,14 @@ bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_SNAPSHOT)' -benchtime=1x -benchmem . | \
 		$(GO) run ./cmd/benchjson -out /dev/null \
 		-baseline BENCH_sim.json -check BenchmarkValencyEstimate/arena -tolerance 0.20
+
+# Seeded chaos soak under the race detector: the fault injector, the
+# hardened synchronizer's safety/termination properties, and the
+# zero-fault equivalence proof, all with scheduling randomized by -race.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/netsim
+	$(GO) run ./cmd/consensus-sim -n 16 -t 7 -adversary none -seed 42 \
+		-chaos 'drop=0.05,dup=0.02,stall=0.05,maxstall=2ms,until=25' -faultbudget 5 -trials 8
 
 # Regenerate every experiment table at full size (minutes) or quick size
 # (seconds). Exit status is non-zero if any paper claim fails.

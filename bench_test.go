@@ -61,6 +61,7 @@ func BenchmarkE12IteratedGames(b *testing.B)  { benchExperiment(b, "E12") }
 func BenchmarkE13SharedCoin(b *testing.B)     { benchExperiment(b, "E13") }
 func BenchmarkE14Byzantine(b *testing.B)      { benchExperiment(b, "E14") }
 func BenchmarkE15Asynchrony(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16Chaos(b *testing.B)          { benchExperiment(b, "E16") }
 
 // BenchmarkTrialsSerialVsParallel measures the wall-clock win of the
 // deterministic trial pool on real experiment tables: the same quick

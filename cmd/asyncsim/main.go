@@ -20,7 +20,7 @@ import (
 func main() {
 	var opts cli.AsyncOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline)
 	flag.IntVar(&opts.N, "n", 7, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default (n-1)/2; Ben-Or needs t < n/2)")
 	flag.StringVar(&opts.Scheduler, "scheduler", "fifo", "scheduler: fifo|random|splitter")
@@ -34,6 +34,8 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Seed, opts.Workers = common.Seed, common.Workers
+	stop := cli.StartWatchdog(common.Deadline, os.Stderr, os.Exit)
+	defer stop()
 
 	if err := cli.AsyncSim(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "asyncsim:", err)

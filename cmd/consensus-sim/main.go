@@ -19,7 +19,7 @@ import (
 func main() {
 	var opts cli.SimOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline)
 	flag.IntVar(&opts.N, "n", 64, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default n-1)")
 	flag.StringVar(&opts.Protocol, "protocol", "synran", "protocol: synran|benor|floodset|leadercoin|earlystop|phaseking")
@@ -30,12 +30,16 @@ func main() {
 	flag.BoolVar(&opts.Digest, "digest", false, "print the execution digest (single trial only)")
 	flag.StringVar(&opts.TraceFile, "tracefile", "", "write a JSON event trace to this file (single trial only)")
 	flag.BoolVar(&opts.Live, "live", false, "use the goroutine-per-process runner")
+	flag.StringVar(&opts.Chaos, "chaos", "", "chaos fault schedule on the hardened live runner (e.g. drop=0.05,dup=0.02,stall=0.01,maxstall=5ms)")
+	flag.IntVar(&opts.FaultBudget, "faultbudget", 0, "crash-equivalent chaos faults to absorb (keep adversary crashes + budget <= t)")
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
 		os.Exit(2)
 	}
 	opts.Seed, opts.Workers = common.Seed, common.Workers
+	stop := cli.StartWatchdog(common.Deadline, os.Stderr, os.Exit)
+	defer stop()
 
 	if err := cli.ConsensusSim(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "consensus-sim:", err)

@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	common := cli.CommonFlags{Seed: 7}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline)
 	var (
 		n        = flag.Int("n", 10, "number of processes (look-ahead is exponential-ish; keep small)")
 		rollouts = flag.Int("rollouts", 16, "Monte-Carlo rollouts per pool adversary")
@@ -39,6 +39,8 @@ func run() error {
 	if err := common.Validate(); err != nil {
 		return err
 	}
+	stop := cli.StartWatchdog(common.Deadline, os.Stderr, os.Exit)
+	defer stop()
 	seed, workers := &common.Seed, &common.Workers
 	t := *n - 1
 

@@ -20,7 +20,7 @@ import (
 func main() {
 	var opts cli.BenchOptions
 	common := cli.CommonFlags{Seed: 42}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagDeadline)
 	flag.StringVar(&opts.Only, "only", "", "comma-separated experiment ids (e.g. E3,E7)")
 	flag.BoolVar(&opts.CSV, "csv", false, "emit CSV instead of aligned tables")
 	flag.BoolVar(&opts.Markdown, "markdown", false, "emit GitHub-flavored markdown tables")
@@ -30,6 +30,8 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Seed, opts.Workers, opts.Quick = common.Seed, common.Workers, common.Quick
+	stop := cli.StartWatchdog(common.Deadline, os.Stderr, os.Exit)
+	defer stop()
 
 	if err := cli.Bench(opts, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "synran-bench:", err)

@@ -99,6 +99,67 @@ func TestConsensusSimReportsValidityViolation(t *testing.T) {
 	}
 }
 
+func TestConsensusSimChaosSingleRun(t *testing.T) {
+	opts := defaultSimOpts()
+	opts.Adversary = "none"
+	opts.Chaos = "drop=0.05,stall=0.05,maxstall=2ms,until=20"
+	opts.FaultBudget = 4
+	var sb strings.Builder
+	if err := ConsensusSim(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"chaos         :", "faults        : dropped=", "agreement     : true"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestConsensusSimChaosDegradesWithReport(t *testing.T) {
+	// A schedule guaranteed to exceed a zero fault budget (every process
+	// panics in round 1) must fail with the typed error AND still print
+	// the fault accounting of the partial result.
+	opts := defaultSimOpts()
+	opts.Adversary = "none"
+	opts.Chaos = "panic=1"
+	opts.FaultBudget = 0
+	var sb strings.Builder
+	err := ConsensusSim(opts, &sb)
+	if err == nil {
+		t.Fatal("budget exhaustion must surface as an error")
+	}
+	for _, want := range []string{"chaos         :", "partial       : true"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestConsensusSimChaosTrials(t *testing.T) {
+	opts := defaultSimOpts()
+	opts.Adversary = "none"
+	opts.Chaos = "drop=0.03,until=15"
+	opts.FaultBudget = 4
+	opts.Trials = 4
+	var sb strings.Builder
+	if err := ConsensusSim(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"chaos    :", "degraded gracefully", "faults   : dropped="} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestConsensusSimRejectsBadChaosSpec(t *testing.T) {
+	opts := defaultSimOpts()
+	opts.Chaos = "bogus=1"
+	if err := ConsensusSim(opts, io.Discard); err == nil {
+		t.Fatal("bad chaos spec accepted")
+	}
+}
+
 func TestAsyncSimFIFO(t *testing.T) {
 	var sb strings.Builder
 	err := AsyncSim(AsyncOptions{

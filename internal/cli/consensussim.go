@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -29,6 +30,13 @@ type SimOptions struct {
 	Digest    bool
 	TraceFile string
 	Live      bool
+	// Chaos, when non-empty, runs on the hardened live runner with this
+	// fault schedule (chaos.ParseSpec syntax, e.g.
+	// "drop=0.05,dup=0.02,stall=0.01,maxstall=5ms").
+	Chaos string
+	// FaultBudget bounds the crash-equivalent chaos faults the hardened
+	// runner may absorb (see synran.Spec.FaultBudget).
+	FaultBudget int
 	// Workers bounds the multi-trial worker pool (0 = all cores). The
 	// summary is identical at every worker count: trial i always runs at
 	// seed Seed+i and results aggregate in index order.
@@ -51,13 +59,22 @@ func buildSpec(opts SimOptions, seed uint64) (synran.Spec, error) {
 	if err != nil {
 		return synran.Spec{}, err
 	}
-	return synran.Spec{
+	spec := synran.Spec{
 		N: opts.N, T: opts.T, Inputs: inputs,
 		Protocol:  opts.Protocol,
 		Adversary: opts.Adversary,
 		Seed:      seed,
 		Live:      opts.Live,
-	}, nil
+	}
+	if opts.Chaos != "" {
+		cfg, err := synran.ParseChaosSpec(opts.Chaos)
+		if err != nil {
+			return synran.Spec{}, err
+		}
+		spec.Chaos = &cfg
+		spec.FaultBudget = opts.FaultBudget
+	}
+	return spec, nil
 }
 
 func simOnce(opts SimOptions, w io.Writer) error {
@@ -84,10 +101,12 @@ func simOnce(opts SimOptions, w io.Writer) error {
 	if len(observers) > 0 {
 		spec.Observer = observers
 	}
-	res, err := synran.Run(spec)
-	if err != nil {
-		return err
+	res, runErr := synran.Run(spec)
+	if res == nil {
+		return runErr
 	}
+	// A non-nil result alongside an error is the hardened runner's
+	// graceful degradation: report what happened, then fail.
 
 	fmt.Fprintf(w, "protocol=%s adversary=%s n=%d t=%d workload=%s seed=%d\n",
 		opts.Protocol, opts.Adversary, opts.N, opts.T, opts.Workload, opts.Seed)
@@ -99,6 +118,18 @@ func simOnce(opts SimOptions, w io.Writer) error {
 	fmt.Fprintf(w, "validity      : %v\n", res.Validity)
 	fmt.Fprintf(w, "theory        : upper-bound shape %.2f rounds, lower-bound floor %.2f rounds\n",
 		synran.UpperBoundRounds(opts.N, opts.T), synran.LowerBoundRounds(opts.N, opts.T))
+	if spec.Chaos != nil {
+		f := res.Faults
+		fmt.Fprintf(w, "chaos         : %s (fault budget %d)\n", spec.Chaos.Spec(), opts.FaultBudget)
+		fmt.Fprintf(w, "faults        : dropped=%d duplicated=%d delayed=%d stalled=%d panics=%d demoted=%d (crash-equivalent %d)\n",
+			f.Dropped, f.Duplicated, f.Delayed, f.Stalled, f.Panics, f.Demoted, f.CrashEquivalent())
+		for _, note := range res.FaultNotes {
+			fmt.Fprintf(w, "    fault     : %s\n", note)
+		}
+	}
+	if res.Partial {
+		fmt.Fprintf(w, "partial       : true (run degraded before completion)\n")
+	}
 	if dg != nil {
 		fmt.Fprintf(w, "digest        : %s\n", dg)
 	}
@@ -113,6 +144,9 @@ func simOnce(opts SimOptions, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "trace written : %s (%d events)\n", opts.TraceFile, len(rec.Log().Events))
 	}
+	if runErr != nil {
+		return runErr
+	}
 	if !res.Agreement || !res.Validity {
 		return fmt.Errorf("safety violated (expected only for the symmetric baseline under mass crashes)")
 	}
@@ -125,6 +159,8 @@ func simMany(opts SimOptions, w io.Writer) error {
 		crashes  float64
 		decided  int
 		violated bool
+		degraded bool
+		faults   sim.Faults
 	}
 	outs, err := trials.Run(opts.Workers, opts.Trials, func(i int) (outcome, error) {
 		spec, err := buildSpec(opts, opts.Seed+uint64(i))
@@ -133,6 +169,12 @@ func simMany(opts SimOptions, w io.Writer) error {
 		}
 		res, err := synran.Run(spec)
 		if err != nil {
+			// Graceful degradation of the hardened runner is a counted
+			// outcome in chaos mode, not a harness failure.
+			if opts.Chaos != "" && res != nil && res.Partial &&
+				(errors.Is(err, synran.ErrFaultBudget) || errors.Is(err, sim.ErrMaxRounds)) {
+				return outcome{degraded: true, faults: res.Faults}, nil
+			}
 			return outcome{}, err
 		}
 		return outcome{
@@ -140,6 +182,7 @@ func simMany(opts SimOptions, w io.Writer) error {
 			crashes:  float64(res.Crashes),
 			decided:  res.DecidedValue(),
 			violated: !res.Agreement || !res.Validity,
+			faults:   res.Faults,
 		}, nil
 	})
 	if err != nil {
@@ -148,8 +191,19 @@ func simMany(opts SimOptions, w io.Writer) error {
 	rounds := make([]float64, 0, opts.Trials)
 	crashes := make([]float64, 0, opts.Trials)
 	decided := map[int]int{}
-	violations := 0
+	violations, degraded := 0, 0
+	var faults sim.Faults
 	for _, o := range outs {
+		faults.Dropped += o.faults.Dropped
+		faults.Duplicated += o.faults.Duplicated
+		faults.Delayed += o.faults.Delayed
+		faults.Stalled += o.faults.Stalled
+		faults.Panics += o.faults.Panics
+		faults.Demoted += o.faults.Demoted
+		if o.degraded {
+			degraded++
+			continue
+		}
 		rounds = append(rounds, o.rounds)
 		crashes = append(crashes, o.crashes)
 		decided[o.decided]++
@@ -164,6 +218,12 @@ func simMany(opts SimOptions, w io.Writer) error {
 	fmt.Fprintf(w, "crashes  : %s\n", stats.Summarize(crashes))
 	fmt.Fprintf(w, "decisions: 0 → %d, 1 → %d\n", decided[0], decided[1])
 	fmt.Fprintf(w, "safety   : %d violations\n", violations)
+	if opts.Chaos != "" {
+		fmt.Fprintf(w, "chaos    : %s (fault budget %d); %d of %d trials degraded gracefully\n",
+			opts.Chaos, opts.FaultBudget, degraded, opts.Trials)
+		fmt.Fprintf(w, "faults   : dropped=%d duplicated=%d delayed=%d stalled=%d panics=%d demoted=%d\n",
+			faults.Dropped, faults.Duplicated, faults.Delayed, faults.Stalled, faults.Panics, faults.Demoted)
+	}
 	fmt.Fprintf(w, "theory   : upper-bound shape %.2f rounds\n", synran.UpperBoundRounds(opts.N, opts.T))
 	if violations > 0 {
 		return fmt.Errorf("%d safety violations", violations)

@@ -3,6 +3,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"time"
 )
 
 // CommonFlags unifies the flags every command in this repository
@@ -23,6 +24,11 @@ type CommonFlags struct {
 	Workers int
 	// Quick selects reduced sizes and trial counts.
 	Quick bool
+	// Deadline bounds the command's total wall-clock time. 0 disables the
+	// guard; otherwise StartWatchdog makes the command exit with
+	// ExitCodeDeadline once the budget is spent, marking whatever was
+	// printed so far as a partial report.
+	Deadline time.Duration
 }
 
 // Flag selects which of the shared flags a command registers.
@@ -35,6 +41,8 @@ const (
 	FlagWorkers
 	// FlagQuick registers -quick.
 	FlagQuick
+	// FlagDeadline registers -deadline.
+	FlagDeadline
 )
 
 // Register installs the selected flags on fs, using the struct's
@@ -49,6 +57,9 @@ func (c *CommonFlags) Register(fs *flag.FlagSet, mask Flag) {
 	if mask&FlagQuick != 0 {
 		fs.BoolVar(&c.Quick, "quick", c.Quick, "reduced sizes and trial counts")
 	}
+	if mask&FlagDeadline != 0 {
+		fs.DurationVar(&c.Deadline, "deadline", c.Deadline, "wall-clock budget for the whole command (0 = unlimited; exceeded = exit 3 with a partial report)")
+	}
 }
 
 // Validate checks the parsed values, returning the uniform error
@@ -56,6 +67,9 @@ func (c *CommonFlags) Register(fs *flag.FlagSet, mask Flag) {
 func (c *CommonFlags) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 selects all cores), got %d", c.Workers)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("-deadline must be >= 0 (0 disables the guard), got %v", c.Deadline)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCommonFlagsRegisterDefaultsAndParse(t *testing.T) {
@@ -75,6 +76,36 @@ func TestCommonFlagsValidate(t *testing.T) {
 		if err := (&CommonFlags{Workers: w}).Validate(); err != nil {
 			t.Fatalf("workers=%d rejected: %v", w, err)
 		}
+	}
+	if err := (&CommonFlags{Deadline: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative -deadline accepted")
+	} else if !strings.Contains(err.Error(), "-deadline") {
+		t.Fatalf("error must name the flag, got %q", err)
+	}
+	if err := (&CommonFlags{Deadline: time.Minute}).Validate(); err != nil {
+		t.Fatalf("deadline=1m rejected: %v", err)
+	}
+}
+
+func TestCommonFlagsDeadlineRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var c CommonFlags
+	c.Register(fs, FlagSeed|FlagDeadline)
+	if fs.Lookup("deadline") == nil {
+		t.Fatal("-deadline not registered with FlagDeadline")
+	}
+	if err := fs.Parse([]string{"-deadline", "90s"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Deadline != 90*time.Second {
+		t.Fatalf("parsed deadline %v, want 90s", c.Deadline)
+	}
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	var c2 CommonFlags
+	c2.Register(fs2, FlagSeed|FlagWorkers)
+	if fs2.Lookup("deadline") != nil {
+		t.Fatal("-deadline registered without FlagDeadline")
 	}
 }
 

@@ -1,0 +1,40 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ExitCodeDeadline is the exit status of a command killed by the
+// -deadline wall-clock guard (distinct from 1 = command error and
+// 2 = flag error, so scripts can tell a timeout from a failure).
+const ExitCodeDeadline = 3
+
+// StartWatchdog arms the -deadline wall-clock guard: once d elapses, it
+// writes a one-line partial-report notice to w and calls exit with
+// ExitCodeDeadline. A non-positive d disables the guard. The returned
+// stop function disarms it (call it when the command finishes in time;
+// calling it more than once is safe).
+//
+// The exit func is injectable so tests can observe the firing without
+// killing the test binary; commands pass os.Exit.
+func StartWatchdog(d time.Duration, w io.Writer, exit func(int)) (stop func()) {
+	if d <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			fmt.Fprintf(w, "deadline: wall-clock budget %v exhausted; output so far is a partial report\n", d)
+			exit(ExitCodeDeadline)
+		case <-done:
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

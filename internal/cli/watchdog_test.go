@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchdogFiresOnDeadline(t *testing.T) {
+	var sb strings.Builder
+	fired := make(chan int, 1)
+	stop := StartWatchdog(10*time.Millisecond, &sb, func(code int) { fired <- code })
+	defer stop()
+	select {
+	case code := <-fired:
+		if code != ExitCodeDeadline {
+			t.Fatalf("exit code %d, want %d", code, ExitCodeDeadline)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+	if !strings.Contains(sb.String(), "partial report") {
+		t.Fatalf("deadline notice missing: %q", sb.String())
+	}
+}
+
+func TestWatchdogStoppedInTime(t *testing.T) {
+	fired := make(chan int, 1)
+	stop := StartWatchdog(30*time.Millisecond, io.Discard, func(code int) { fired <- code })
+	stop()
+	stop() // idempotent
+	select {
+	case <-fired:
+		t.Fatal("watchdog fired after stop")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	stop := StartWatchdog(0, io.Discard, func(int) { t.Error("disabled watchdog fired") })
+	stop()
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"synran/internal/adversary"
+	"synran/internal/chaos"
+	"synran/internal/core"
+	"synran/internal/netsim"
+	"synran/internal/protocol/benor"
+	"synran/internal/protocol/floodset"
+	"synran/internal/sim"
+	"synran/internal/stats"
+	"synran/internal/trials"
+	"synran/internal/workload"
+)
+
+// E16ChaosDegradation measures how termination degrades as the live
+// substrate omits messages — the engineering counterpart of the paper's
+// idealized §3.1 model, where message delivery within a round is an
+// axiom. The hardened runner (internal/netsim) converts every
+// unrecovered omission into a crash fault charged to an explicit budget,
+// so fail-stop semantics — and therefore the protocols' safety — must
+// survive any omission rate; what gives way is termination: demotions
+// consume the budget and runs start degrading into typed partial
+// results. Three claims per protocol:
+//
+//  1. At rate 0 the hardened runner is byte-identical to a fault-free
+//     execution: every trial completes and the fault counters stay zero.
+//  2. Safety (Agreement+Validity) holds at every rate — completed runs
+//     satisfy both, and even degraded partial results never contain two
+//     different decided values.
+//  3. At the top rate the substrate visibly bites: omissions are
+//     dropped, senders are demoted, and at least one run degrades.
+func E16ChaosDegradation(cfg Config) (*Result, error) {
+	n := 9
+	t := 3 // Ben-Or needs t < n/2; the fault budget is charged separately
+	rates := []float64{0, 0.05, 0.15, 0.30}
+	if cfg.Quick {
+		rates = []float64{0, 0.15, 0.30}
+	}
+	reps := trialCount(cfg, 4, 10)
+	tb := stats.NewTable("E16: termination degradation vs omission rate (chaos runner, Sec. 3.1 contrast)",
+		"protocol", "drop rate", "n", "t", "completed", "degraded", "mean rounds", "dropped", "demoted")
+	res := &Result{ID: "E16", Table: tb}
+
+	protocols := []struct {
+		name string
+		mk   func(seed uint64) ([]sim.Process, error)
+	}{
+		{"synran", func(seed uint64) ([]sim.Process, error) {
+			return core.NewProcs(n, workload.HalfHalf(n), seed, core.Options{})
+		}},
+		{"floodset", func(seed uint64) ([]sim.Process, error) {
+			return floodset.NewProcs(n, t, workload.HalfHalf(n))
+		}},
+		{"benor", func(seed uint64) ([]sim.Process, error) {
+			return benor.NewProcs(n, workload.HalfHalf(n), seed)
+		}},
+	}
+
+	safetyHolds := true
+	safetyGot := "no violation at any rate"
+	for pi, p := range protocols {
+		for ri, rate := range rates {
+			type outcome struct {
+				completed bool
+				rounds    float64
+				faults    sim.Faults
+			}
+			outs, err := trials.Run(cfg.Workers, reps, func(i int) (outcome, error) {
+				seed := cfg.Seed + uint64(pi*10000+ri*1000+i)
+				procs, err := p.mk(seed)
+				if err != nil {
+					return outcome{}, err
+				}
+				inj, err := chaos.New(seed, chaos.Config{Drop: rate})
+				if err != nil {
+					return outcome{}, err
+				}
+				run, err := netsim.RunChaos(sim.Config{N: n, T: t}, procs, workload.HalfHalf(n),
+					adversary.None{}, seed, netsim.Options{Injector: inj, FaultBudget: t})
+				if err != nil {
+					if !errors.Is(err, netsim.ErrFaultBudget) && !errors.Is(err, sim.ErrMaxRounds) {
+						return outcome{}, err
+					}
+					// Degraded gracefully: partial result, typed error. The
+					// survivors must still never disagree.
+					seen := -1
+					for j, ok := range run.Decided {
+						if !ok {
+							continue
+						}
+						if seen == -1 {
+							seen = run.Decisions[j]
+						} else if seen != run.Decisions[j] {
+							return outcome{}, fmt.Errorf("%s drop=%.2f seed=%d: partial result disagrees", p.name, rate, seed)
+						}
+					}
+					return outcome{faults: run.Faults}, nil
+				}
+				if !run.Agreement || !run.Validity {
+					return outcome{}, fmt.Errorf("%s drop=%.2f seed=%d: safety violated", p.name, rate, seed)
+				}
+				return outcome{completed: true, rounds: float64(run.HaltRounds), faults: run.Faults}, nil
+			})
+			if err != nil {
+				// A safety violation inside a trial is an experiment failure,
+				// not a harness error: surface it as the failed claim.
+				safetyHolds = false
+				safetyGot = err.Error()
+				continue
+			}
+			completed, degraded := 0, 0
+			var rounds []float64
+			var agg sim.Faults
+			for _, o := range outs {
+				agg.Dropped += o.faults.Dropped
+				agg.Demoted += o.faults.Demoted
+				agg.Panics += o.faults.Panics
+				if o.completed {
+					completed++
+					rounds = append(rounds, o.rounds)
+				} else {
+					degraded++
+				}
+			}
+			tb.AddRow(p.name, fmt.Sprintf("%.2f", rate), n, t,
+				fmt.Sprintf("%d/%d", completed, reps), degraded,
+				stats.Summarize(rounds).Mean, agg.Dropped, agg.Demoted)
+			switch {
+			case rate == 0:
+				res.Claims = append(res.Claims, Claim{
+					Name: fmt.Sprintf("%s: rate 0 is fault-free and always completes", p.name),
+					OK:   completed == reps && agg == (sim.Faults{}),
+					Got:  fmt.Sprintf("completed %d/%d, faults %+v", completed, reps, agg),
+				})
+			case rate == rates[len(rates)-1]:
+				res.Claims = append(res.Claims, Claim{
+					Name: fmt.Sprintf("%s: the top omission rate visibly bites", p.name),
+					OK:   agg.Dropped > 0 && agg.Demoted > 0,
+					Got:  fmt.Sprintf("dropped %d, demoted %d, degraded %d/%d", agg.Dropped, agg.Demoted, degraded, reps),
+				})
+			}
+		}
+	}
+	res.Claims = append(res.Claims, Claim{
+		Name: "safety holds at every omission rate (fail-stop conversion preserved)",
+		OK:   safetyHolds,
+		Got:  safetyGot,
+	})
+	tb.Note = "adversary none; fault budget = t; degraded runs end with a typed error and partial fault accounting"
+	return res, nil
+}

@@ -77,6 +77,7 @@ func All() []Experiment {
 		{"E13", "Rabin-style common coin escapes the lower bound (Sec. 1)", E13SharedCoin},
 		{"E14", "deterministic Byzantine agreement is Θ(t) rounds (Sec. 1 / [GM93])", E14Byzantine},
 		{"E15", "the asynchronous contrast: FLP and Aspnes (Sec. 1.2)", E15Asynchrony},
+		{"E16", "termination degradation vs omission rate (chaos runner)", E16ChaosDegradation},
 	}
 }
 

@@ -26,8 +26,8 @@ func runExp(t *testing.T, ex Experiment) *Result {
 
 func TestAllExperimentsListed(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(all))
+	if len(all) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, ex := range all {
@@ -59,6 +59,8 @@ func TestE13(t *testing.T) { runExp(t, All()[12]) }
 func TestE14(t *testing.T) { runExp(t, All()[13]) }
 
 func TestE15(t *testing.T) { runExp(t, All()[14]) }
+
+func TestE16(t *testing.T) { runExp(t, All()[15]) }
 
 func TestE6(t *testing.T) {
 	if testing.Short() {

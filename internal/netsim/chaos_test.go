@@ -1,0 +1,495 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"synran/internal/adversary"
+	"synran/internal/chaos"
+	"synran/internal/core"
+	"synran/internal/protocol/benor"
+	"synran/internal/protocol/floodset"
+	"synran/internal/sim"
+)
+
+func mustInjector(t *testing.T, seed uint64, cfg chaos.Config) *chaos.Injector {
+	t.Helper()
+	inj, err := chaos.New(seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// fastDeadlines keeps deadline-driven tests quick while leaving enough
+// slack that a loaded CI machine cannot miss a window spuriously.
+func fastDeadlines() Options {
+	return Options{RoundDeadline: 150 * time.Millisecond, Backoff: 20 * time.Millisecond, DeadlineMisses: 2}
+}
+
+func TestZeroFaultChaosDigestEqualsSequential(t *testing.T) {
+	// A zero-fault chaos config on the hardened runner (deadlines armed,
+	// injector consulted for every message and process) must stay
+	// byte-identical to the sequential lock-step engine.
+	for _, n := range []int{5, 16} {
+		for seed := uint64(0); seed < 4; seed++ {
+			inputs := halfInputs(n)
+
+			dSeq := sim.NewDigest()
+			procsA, err := core.NewProcs(n, inputs, seed, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec, err := sim.NewExecution(sim.Config{N: n, T: n / 2, Observer: dSeq}, procsA, inputs, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqRes, err := exec.Run(&adversary.Random{PerRound: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dChaos := sim.NewDigest()
+			procsB, err := core.NewProcs(n, inputs, seed, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := fastDeadlines()
+			opts.Injector = mustInjector(t, seed, chaos.Config{})
+			chaosRes, err := RunChaos(sim.Config{N: n, T: n / 2, Observer: dChaos}, procsB, inputs,
+				&adversary.Random{PerRound: 0.5}, seed, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if dSeq.Sum() != dChaos.Sum() {
+				t.Fatalf("n=%d seed=%d: digests differ: %s vs %s", n, seed, dSeq, dChaos)
+			}
+			if chaosRes.Faults != (sim.Faults{}) || chaosRes.Partial {
+				t.Fatalf("n=%d seed=%d: zero-fault run reported faults %+v partial=%v",
+					n, seed, chaosRes.Faults, chaosRes.Partial)
+			}
+			if seqRes.DecidedValue() != chaosRes.DecidedValue() ||
+				seqRes.HaltRounds != chaosRes.HaltRounds {
+				t.Fatalf("n=%d seed=%d: results differ: %+v vs %+v", n, seed, seqRes, chaosRes)
+			}
+		}
+	}
+}
+
+// panicky panics in every round at or after `at` (1 = immediately).
+type panicky struct{ at int }
+
+func (p *panicky) Round(round int, inbox []sim.Recv) (int64, bool) {
+	if round >= p.at {
+		panic("protocol bug: nil map write")
+	}
+	return 1, true
+}
+func (p *panicky) Decided() (int, bool) { return 0, false }
+func (p *panicky) Stopped() bool        { return false }
+func (p *panicky) Clone() sim.Process   { return &panicky{at: p.at} }
+
+func TestPanickingProcessYieldsErrorNotHang(t *testing.T) {
+	// Regression for the pre-hardening runner, which leaked the panic out
+	// of the process goroutine: the coordinator then blocked forever on
+	// the dead process's output channel and the defer close/Wait pair
+	// deadlocked. The hardened runner must convert the panic into a typed
+	// error with a partial result, promptly.
+	const n = 5
+	inputs := halfInputs(n)
+	procs, err := floodset.NewProcs(n, 2, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs[2] = &panicky{at: 2}
+
+	type outcome struct {
+		res *sim.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Run(sim.Config{N: n, T: 2}, procs, inputs, adversary.None{}, 7)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, ErrFaultBudget) {
+			t.Fatalf("err = %v, want ErrFaultBudget (zero budget, no chaos options)", o.err)
+		}
+		if o.res == nil || !o.res.Partial {
+			t.Fatalf("result = %+v, want non-nil partial", o.res)
+		}
+		if o.res.Faults.Panics != 0 {
+			t.Fatalf("unabsorbed panic must not be charged: %+v", o.res.Faults)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runner hung on a panicking process")
+	}
+}
+
+func TestPanicAbsorbedByFaultBudget(t *testing.T) {
+	// With budget for it, a panicking process becomes a crash fault and
+	// the survivors still reach consensus.
+	const n = 7
+	inputs := halfInputs(n)
+	procs, err := floodset.NewProcs(n, 2, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs[0] = &panicky{at: 1}
+	res, err := RunChaos(sim.Config{N: n, T: 2}, procs, inputs, adversary.None{}, 7,
+		Options{FaultBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Panics != 1 || res.Partial {
+		t.Fatalf("faults %+v partial=%v, want exactly one absorbed panic", res.Faults, res.Partial)
+	}
+	if len(res.FaultNotes) == 0 {
+		t.Fatal("absorbed panic must leave a fault note")
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("agreement=%v validity=%v after absorbed panic", res.Agreement, res.Validity)
+	}
+	if res.Crashes != 0 {
+		t.Fatalf("chaos panic charged to the adversary: Crashes=%d", res.Crashes)
+	}
+}
+
+func TestHangDemotedAfterDeadlineMisses(t *testing.T) {
+	// An injected hang blocks past every deadline window; the runner must
+	// demote the process to a crash fault and move on.
+	const n = 5
+	inputs := halfInputs(n)
+	procs, err := floodset.NewProcs(n, 2, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastDeadlines()
+	opts.Injector = mustInjector(t, 3, chaos.Config{PerProc: map[int]chaos.ProcRates{0: {Hang: 1}}})
+	opts.FaultBudget = 1
+	res, err := RunChaos(sim.Config{N: n, T: 2}, procs, inputs, adversary.None{}, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Demoted != 1 {
+		t.Fatalf("faults %+v, want one demotion", res.Faults)
+	}
+	if res.Decided[0] {
+		t.Fatal("hung process must be counted dead, not decided")
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("agreement=%v validity=%v after demotion", res.Agreement, res.Validity)
+	}
+}
+
+func TestStallsRecoverWithoutSemanticEffect(t *testing.T) {
+	// Stalls bounded well below the first deadline window always recover:
+	// they are counted but the execution digest is unchanged.
+	const n = 6
+	inputs := halfInputs(n)
+	seed := uint64(9)
+
+	dPlain := sim.NewDigest()
+	procsA, err := floodset.NewProcs(n, 2, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sim.Config{N: n, T: 2, Observer: dPlain}, procsA, inputs, adversary.None{}, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	dStall := sim.NewDigest()
+	procsB, err := floodset.NewProcs(n, 2, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastDeadlines()
+	opts.Injector = mustInjector(t, seed, chaos.Config{Stall: 1, MaxStall: 2 * time.Millisecond})
+	res, err := RunChaos(sim.Config{N: n, T: 2, Observer: dStall}, procsB, inputs, adversary.None{}, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dPlain.Sum() != dStall.Sum() {
+		t.Fatalf("recovered stalls changed the execution: %s vs %s", dPlain, dStall)
+	}
+	if res.Faults.Stalled == 0 {
+		t.Fatal("injected stalls were not counted")
+	}
+	if res.Faults.CrashEquivalent() != 0 {
+		t.Fatalf("recovered stalls must not cost crash budget: %+v", res.Faults)
+	}
+}
+
+func TestOmissionDemotionMatchesCrashPlan(t *testing.T) {
+	// An unrecoverable omission (drop rate 1 on two links in round 2)
+	// demotes the sender with exactly the partial delivery that happened.
+	// That is CrashPlan-observable: a sequential run whose adversary
+	// crashes the same victim in the same round with the matching Deliver
+	// mask must produce a byte-identical digest.
+	const n = 6
+	inputs := halfInputs(n)
+	seed := uint64(4)
+
+	dLive := sim.NewDigest()
+	procsA, err := floodset.NewProcs(n, 3, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastDeadlines()
+	opts.Injector = mustInjector(t, seed, chaos.Config{
+		PerLink: map[chaos.Link]chaos.Rates{
+			{From: 0, To: 1}: {Drop: 1},
+			{From: 0, To: 2}: {Drop: 1},
+		},
+		FromRound: 2, UntilRound: 2,
+	})
+	opts.FaultBudget = 1
+	liveRes, err := RunChaos(sim.Config{N: n, T: 3, Observer: dLive}, procsA, inputs, adversary.None{}, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveRes.Faults.Demoted != 1 || liveRes.Faults.Dropped == 0 {
+		t.Fatalf("faults %+v, want one omission demotion with counted drops", liveRes.Faults)
+	}
+
+	mask := sim.NewBitSet(n)
+	for j := 3; j < n; j++ {
+		mask.Set(j)
+	}
+	dSeq := sim.NewDigest()
+	procsB, err := floodset.NewProcs(n, 3, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: 3, Observer: dSeq}, procsB, inputs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := exec.Run(&adversary.Schedule{Plans: map[int][]sim.CrashPlan{
+		2: {{Victim: 0, Deliver: mask}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dLive.Sum() != dSeq.Sum() {
+		t.Fatalf("omission demotion is not CrashPlan-equivalent: %s vs %s", dLive, dSeq)
+	}
+	if liveRes.DecidedValue() != seqRes.DecidedValue() {
+		t.Fatalf("decisions differ: %d vs %d", liveRes.DecidedValue(), seqRes.DecidedValue())
+	}
+}
+
+func TestPartialDeliveryDigestEquality(t *testing.T) {
+	// CrashPlan.Deliver subsets must behave identically on both engines,
+	// including masks that deliver to nobody and to a strict majority.
+	const n = 8
+	inputs := halfInputs(n)
+	seed := uint64(21)
+
+	some := sim.NewBitSet(n)
+	for _, j := range []int{1, 4, 6} {
+		some.Set(j)
+	}
+	plans := map[int][]sim.CrashPlan{
+		1: {{Victim: 2, Deliver: some}},
+		2: {{Victim: 5}}, // nil mask: message reaches no one
+	}
+
+	run := func(live bool) (uint64, *sim.Result) {
+		d := sim.NewDigest()
+		procs, err := core.NewProcs(n, inputs, seed, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := &adversary.Schedule{Plans: plans}
+		if live {
+			res, err := Run(sim.Config{N: n, T: 3, Observer: d}, procs, inputs, sched, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d.Sum(), res
+		}
+		exec, err := sim.NewExecution(sim.Config{N: n, T: 3, Observer: d}, procs, inputs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Sum(), res
+	}
+
+	liveSum, liveRes := run(true)
+	seqSum, seqRes := run(false)
+	if liveSum != seqSum {
+		t.Fatalf("partial delivery digests differ: %016x vs %016x", liveSum, seqSum)
+	}
+	if liveRes.Crashes != 2 || seqRes.Crashes != 2 {
+		t.Fatalf("crashes %d/%d, want 2/2", liveRes.Crashes, seqRes.Crashes)
+	}
+}
+
+func TestChaosRunDeterminism(t *testing.T) {
+	// The whole chaotic execution — decisions, fault accounting, digest —
+	// is a function of (seed, config) alone.
+	const n = 9
+	inputs := halfInputs(n)
+	cfg := chaos.Config{
+		Drop: 0.05, Dup: 0.05, Delay: 0.03, MaxDelay: 2,
+		Stall: 0.1, MaxStall: 2 * time.Millisecond,
+		UntilRound: 20,
+	}
+	run := func() (uint64, sim.Faults, int) {
+		d := sim.NewDigest()
+		procs, err := floodset.NewProcs(n, 3, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := fastDeadlines()
+		opts.Injector = mustInjector(t, 17, cfg)
+		opts.FaultBudget = 3
+		res, err := RunChaos(sim.Config{N: n, T: 3, Observer: d}, procs, inputs, adversary.None{}, 17, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Sum(), res.Faults, res.DecidedValue()
+	}
+	s1, f1, v1 := run()
+	s2, f2, v2 := run()
+	if s1 != s2 || f1 != f2 || v1 != v2 {
+		t.Fatalf("same (seed, config) diverged: %016x/%+v/%d vs %016x/%+v/%d", s1, f1, v1, s2, f2, v2)
+	}
+}
+
+func TestChaosSoakNeverViolatesSafety(t *testing.T) {
+	// Property soak: under a mixed fault schedule whose crash-equivalent
+	// total is bounded by the budget (and the adversary is quiet, so the
+	// ≤ t resilience condition holds), every protocol either completes
+	// with Agreement+Validity or degrades gracefully with a typed error —
+	// and even a partial result never contains conflicting decisions.
+	const n = 9
+	tt := 3
+	inputs := halfInputs(n)
+	cfg := chaos.Config{
+		Drop: 0.04, Dup: 0.03, Delay: 0.02, MaxDelay: 2,
+		Stall: 0.05, MaxStall: 2 * time.Millisecond,
+		Panic:      0.004,
+		UntilRound: 25,
+	}
+	builders := map[string]func() ([]sim.Process, error){
+		"synran": func() ([]sim.Process, error) {
+			return core.NewProcs(n, inputs, 1, core.Options{})
+		},
+		"floodset": func() ([]sim.Process, error) {
+			return floodset.NewProcs(n, tt, inputs)
+		},
+		"benor": func() ([]sim.Process, error) {
+			return benor.NewProcs(n, inputs, 1)
+		},
+	}
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	for name, mk := range builders {
+		completed, degraded := 0, 0
+		for seed := uint64(0); seed < uint64(seeds); seed++ {
+			procs, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := fastDeadlines()
+			opts.Injector = mustInjector(t, seed, cfg)
+			opts.FaultBudget = tt
+			res, err := RunChaos(sim.Config{N: n, T: tt}, procs, inputs, adversary.None{}, seed, opts)
+			if err != nil {
+				if !errors.Is(err, ErrFaultBudget) && !errors.Is(err, sim.ErrMaxRounds) {
+					t.Fatalf("%s seed=%d: untyped error %v", name, seed, err)
+				}
+				if res == nil || !res.Partial {
+					t.Fatalf("%s seed=%d: degraded run must return a partial result", name, seed)
+				}
+				degraded++
+			} else {
+				if res.Partial {
+					t.Fatalf("%s seed=%d: clean run marked partial", name, seed)
+				}
+				if !res.Agreement || !res.Validity {
+					t.Fatalf("%s seed=%d: agreement=%v validity=%v faults=%+v",
+						name, seed, res.Agreement, res.Validity, res.Faults)
+				}
+				completed++
+			}
+			if res.Faults.CrashEquivalent() > tt {
+				t.Fatalf("%s seed=%d: budget overrun: %+v", name, seed, res.Faults)
+			}
+			// Even partial results must never contain two different
+			// decided values among the survivors (fail-stop preserved).
+			seen := -1
+			for i, ok := range res.Decided {
+				if !ok {
+					continue
+				}
+				if seen == -1 {
+					seen = res.Decisions[i]
+				} else if seen != res.Decisions[i] {
+					t.Fatalf("%s seed=%d: conflicting decisions in %+v", name, seed, res.Decisions)
+				}
+			}
+		}
+		t.Logf("%s: %d completed, %d degraded gracefully", name, completed, degraded)
+	}
+}
+
+func TestChaosMaxRoundsReturnsPartialResult(t *testing.T) {
+	procs := []sim.Process{neverDecide{}, neverDecide{}, neverDecide{}}
+	opts := fastDeadlines()
+	opts.Injector = mustInjector(t, 1, chaos.Config{Drop: 0.2})
+	opts.FaultBudget = 3
+	res, err := RunChaos(sim.Config{N: 3, T: 0, MaxRounds: 6}, procs, []int{0, 0, 0},
+		adversary.None{}, 1, opts)
+	if !errors.Is(err, sim.ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("result = %+v, want non-nil partial", res)
+	}
+}
+
+func TestDelayedMessagesDiscardedAndCounted(t *testing.T) {
+	// Delay faults must surface as omissions within the round (demotion if
+	// unrecoverable) and be tallied in Faults.Delayed when the stale copy
+	// would have arrived — never delivered into a later round.
+	const n = 5
+	inputs := halfInputs(n)
+	procs, err := floodset.NewProcs(n, 2, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastDeadlines()
+	opts.Injector = mustInjector(t, 6, chaos.Config{
+		PerLink:   map[chaos.Link]chaos.Rates{{From: 1, To: 3}: {Delay: 1}},
+		MaxDelay:  2,
+		FromRound: 1, UntilRound: 1,
+	})
+	opts.FaultBudget = 1
+	res, err := RunChaos(sim.Config{N: n, T: 2}, procs, inputs, adversary.None{}, 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Delayed == 0 {
+		t.Fatalf("faults %+v, want delayed copies counted", res.Faults)
+	}
+	if res.Faults.Demoted != 1 {
+		t.Fatalf("faults %+v, want the delaying sender demoted (omission within its round)", res.Faults)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("agreement=%v validity=%v", res.Agreement, res.Validity)
+	}
+}

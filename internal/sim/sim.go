@@ -231,6 +231,34 @@ var (
 	ErrMaxRounds = errors.New("sim: execution exceeded MaxRounds before termination")
 )
 
+// Faults accounts for the substrate faults a chaos-hardened runner
+// absorbed during an execution (all zero on the sequential engine and on
+// fault-free live runs). Dropped / Duplicated / Delayed count injected
+// message faults the synchronizer masked or converted; Stalled counts
+// injected process stalls; Panics counts process panics isolated by the
+// runner; Demoted counts processes converted to crash faults after
+// missing their round deadlines or suffering unrecoverable omissions.
+// Panics + Demoted are the crash-equivalent faults charged against the
+// runner's fault budget (distinct from the adversary's T).
+type Faults struct {
+	Dropped    int
+	Duplicated int
+	Delayed    int
+	Stalled    int
+	Panics     int
+	Demoted    int
+}
+
+// CrashEquivalent returns the number of faults that consumed a process
+// (the quantity that must stay within the fault budget, and that adds to
+// the adversary's crashes when checking the ≤ t resilience condition).
+func (f Faults) CrashEquivalent() int { return f.Panics + f.Demoted }
+
+// Total returns the total number of injected fault events absorbed.
+func (f Faults) Total() int {
+	return f.Dropped + f.Duplicated + f.Delayed + f.Stalled + f.Panics + f.Demoted
+}
+
 // Result summarizes a finished execution.
 type Result struct {
 	// DecideRounds is the number of rounds until every surviving process
@@ -255,6 +283,16 @@ type Result struct {
 	Agreement bool
 	// Validity: if all inputs were v, every decision is v.
 	Validity bool
+	// Faults accounts for substrate faults absorbed by a chaos-hardened
+	// runner (zero for the sequential engine).
+	Faults Faults
+	// FaultNotes carries structured annotations for isolated failures
+	// (one line per recovered panic / demotion), newest last.
+	FaultNotes []string
+	// Partial marks a gracefully degraded run: the runner gave up (fault
+	// budget exhausted or MaxRounds hit) and this Result summarizes the
+	// execution up to that point. Partial results accompany a typed error.
+	Partial bool
 }
 
 // DecidedValue returns the common decision value, or -1 if no process

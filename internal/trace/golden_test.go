@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace file")
+
+const goldenPath = "../../results/golden-trace-n12-seed42.json"
+
+// TestGoldenTrace pins a full recorded execution byte for byte, schema
+// version included. A diff here means either the trace schema or the
+// engine's event stream changed — refresh with
+//
+//	go test ./internal/trace -run TestGoldenTrace -update
+//
+// and review the diff like any other golden update.
+func TestGoldenTrace(t *testing.T) {
+	l := record(t, 42)
+	var got bytes.Buffer
+	if err := l.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden trace (refresh: go test ./internal/trace -run TestGoldenTrace -update): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("recorded trace diverged from the golden file (refresh with -update and review the diff)")
+	}
+	// The golden file must also load back through the validating reader.
+	loaded, err := ReadJSON(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden trace fails validation: %v", err)
+	}
+	if loaded.Version != SchemaVersion {
+		t.Fatalf("golden trace schema v%d, want v%d", loaded.Version, SchemaVersion)
+	}
+	if d := Diff(l, loaded); d != "" {
+		t.Fatalf("golden trace diverged after reload: %s", d)
+	}
+}

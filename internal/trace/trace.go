@@ -12,6 +12,12 @@ import (
 	"synran/internal/sim"
 )
 
+// SchemaVersion is the current trace schema version. Version 1 was the
+// implicit pre-versioning format (no version field); version 2 added the
+// field and load-time validation. ReadJSON rejects traces whose version
+// is missing or newer than this with a descriptive error.
+const SchemaVersion = 2
+
 // Event is one engine event. Kind selects which fields are meaningful.
 type Event struct {
 	Kind    string `json:"kind"` // "round" | "crash" | "decide" | "halt"
@@ -25,10 +31,11 @@ type Event struct {
 
 // Log is a recorded execution.
 type Log struct {
-	N      int     `json:"n"`
-	T      int     `json:"t"`
-	Seed   uint64  `json:"seed"`
-	Events []Event `json:"events"`
+	Version int     `json:"version"`
+	N       int     `json:"n"`
+	T       int     `json:"t"`
+	Seed    uint64  `json:"seed"`
+	Events  []Event `json:"events"`
 }
 
 // Recorder implements sim.Observer, building a Log.
@@ -40,7 +47,7 @@ var _ sim.Observer = (*Recorder)(nil)
 
 // NewRecorder starts a log with the run's identity stamped in.
 func NewRecorder(n, t int, seed uint64) *Recorder {
-	return &Recorder{log: Log{N: n, T: t, Seed: seed}}
+	return &Recorder{log: Log{Version: SchemaVersion, N: n, T: t, Seed: seed}}
 }
 
 // OnRound implements sim.Observer.
@@ -86,22 +93,59 @@ func (l *Log) WriteJSON(w io.Writer) error {
 	return enc.Encode(l)
 }
 
-// ReadJSON parses a log written by WriteJSON.
+// ReadJSON parses and validates a log written by WriteJSON. Traces with
+// a missing, stale, or future schema version — or malformed events — are
+// rejected with an error that says what is wrong and what was expected.
 func ReadJSON(r io.Reader) (*Log, error) {
 	var l Log
 	if err := json.NewDecoder(r).Decode(&l); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
 	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
 	return &l, nil
+}
+
+// Validate checks the schema version and every event's well-formedness.
+func (l *Log) Validate() error {
+	switch {
+	case l.Version == 0:
+		return fmt.Errorf("trace: missing schema version (pre-v%d trace? re-record it with this build)", SchemaVersion)
+	case l.Version > SchemaVersion:
+		return fmt.Errorf("trace: schema version %d is newer than this build's v%d — upgrade to read it", l.Version, SchemaVersion)
+	case l.Version < SchemaVersion:
+		return fmt.Errorf("trace: schema version %d is no longer supported (current v%d)", l.Version, SchemaVersion)
+	}
+	if l.N <= 0 {
+		return fmt.Errorf("trace: header n=%d, want > 0", l.N)
+	}
+	if l.T < 0 || l.T > l.N {
+		return fmt.Errorf("trace: header t=%d out of [0, %d]", l.T, l.N)
+	}
+	for i, ev := range l.Events {
+		switch ev.Kind {
+		case "round", "crash", "decide", "halt":
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %q (want round|crash|decide|halt)", i, ev.Kind)
+		}
+		if ev.Round < 1 {
+			return fmt.Errorf("trace: event %d (%s) has round %d, want >= 1", i, ev.Kind, ev.Round)
+		}
+		if ev.Kind != "round" && (ev.Proc < 0 || ev.Proc >= l.N) {
+			return fmt.Errorf("trace: event %d (%s) names proc %d out of [0, %d)", i, ev.Kind, ev.Proc, l.N)
+		}
+	}
+	return nil
 }
 
 // Diff compares two logs and returns a description of the first
 // divergence, or "" when identical. Use it to verify that a replayed
 // seed reproduces a shared trace exactly.
 func Diff(a, b *Log) string {
-	if a.N != b.N || a.T != b.T || a.Seed != b.Seed {
-		return fmt.Sprintf("headers differ: (n=%d t=%d seed=%d) vs (n=%d t=%d seed=%d)",
-			a.N, a.T, a.Seed, b.N, b.T, b.Seed)
+	if a.Version != b.Version || a.N != b.N || a.T != b.T || a.Seed != b.Seed {
+		return fmt.Sprintf("headers differ: (v%d n=%d t=%d seed=%d) vs (v%d n=%d t=%d seed=%d)",
+			a.Version, a.N, a.T, a.Seed, b.Version, b.N, b.T, b.Seed)
 	}
 	limit := len(a.Events)
 	if len(b.Events) < limit {

@@ -78,6 +78,37 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestRecorderStampsSchemaVersion(t *testing.T) {
+	l := record(t, 7)
+	if l.Version != SchemaVersion {
+		t.Fatalf("recorded version %d, want %d", l.Version, SchemaVersion)
+	}
+}
+
+func TestReadJSONValidatesSchema(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"missing version", `{"n":4,"t":1,"seed":1,"events":[]}`, "missing schema version"},
+		{"future version", `{"version":99,"n":4,"t":1,"seed":1,"events":[]}`, "newer than this build"},
+		{"stale version", `{"version":1,"n":4,"t":1,"seed":1,"events":[]}`, "no longer supported"},
+		{"bad n", `{"version":2,"n":0,"t":0,"seed":1,"events":[]}`, "n=0"},
+		{"bad t", `{"version":2,"n":4,"t":9,"seed":1,"events":[]}`, "t=9"},
+		{"unknown kind", `{"version":2,"n":4,"t":1,"seed":1,"events":[{"kind":"explode","round":1}]}`, "unknown kind"},
+		{"bad round", `{"version":2,"n":4,"t":1,"seed":1,"events":[{"kind":"round","round":0}]}`, "round 0"},
+		{"proc out of range", `{"version":2,"n":4,"t":1,"seed":1,"events":[{"kind":"crash","round":1,"proc":7}]}`, "proc 7"},
+	}
+	for _, c := range cases {
+		_, err := ReadJSON(strings.NewReader(c.doc))
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
 func TestDiffHeaderMismatch(t *testing.T) {
 	a := &Log{N: 4, T: 1, Seed: 1}
 	b := &Log{N: 5, T: 1, Seed: 1}

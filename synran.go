@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"synran/internal/adversary"
+	"synran/internal/chaos"
 	"synran/internal/core"
 	"synran/internal/netsim"
 	"synran/internal/protocol/benor"
@@ -115,9 +116,29 @@ type Spec struct {
 	// Live selects the goroutine-per-process runner instead of the
 	// lock-step engine (results are identical; see internal/netsim).
 	Live bool
+	// Chaos, when set, runs on the hardened live runner with the given
+	// deterministic fault schedule (implies Live). The fault trace is
+	// reproducible from (Seed, Chaos) alone; see internal/chaos.
+	Chaos *ChaosConfig
+	// FaultBudget bounds the crash-equivalent chaos faults (demotions +
+	// panics) the hardened runner may absorb; keep adversary crashes +
+	// FaultBudget ≤ T to stay inside the protocols' resilience condition.
+	FaultBudget int
 	// Observer, when set, receives engine events.
 	Observer Observer
 }
+
+// ChaosConfig is the deterministic fault schedule for Spec.Chaos; see
+// chaos.Config for the fields and chaos.ParseSpec for the flag syntax.
+type ChaosConfig = chaos.Config
+
+// ParseChaosSpec parses the -chaos flag syntax
+// ("drop=0.05,dup=0.02,stall=0.01,maxstall=5ms,...") into a ChaosConfig.
+func ParseChaosSpec(spec string) (ChaosConfig, error) { return chaos.ParseSpec(spec) }
+
+// ErrFaultBudget is returned (wrapped, with a partial Result) when the
+// hardened live runner exhausts Spec.FaultBudget.
+var ErrFaultBudget = netsim.ErrFaultBudget
 
 // Run executes the spec and returns the result.
 func Run(spec Spec) (*Result, error) {
@@ -130,12 +151,21 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	cfg := sim.Config{N: spec.N, T: spec.T, MaxRounds: spec.MaxRounds, Observer: spec.Observer}
-	if spec.Live {
+	if spec.Live || spec.Chaos != nil {
 		if spec.Adversary == AdversaryLowerBound || spec.Adversary == AdversaryStepwise ||
 			spec.Adversary == AdversaryEquivocator {
 			return nil, fmt.Errorf("synran: adversary %q needs the lock-step engine", spec.Adversary)
 		}
-		return netsim.Run(cfg, procs, spec.Inputs, adv, spec.Seed)
+		var opts netsim.Options
+		if spec.Chaos != nil {
+			inj, err := chaos.New(spec.Seed, *spec.Chaos)
+			if err != nil {
+				return nil, err
+			}
+			opts.Injector = inj
+			opts.FaultBudget = spec.FaultBudget
+		}
+		return netsim.RunChaos(cfg, procs, spec.Inputs, adv, spec.Seed, opts)
 	}
 	exec, err := sim.NewExecution(cfg, procs, spec.Inputs, spec.Seed)
 	if err != nil {

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check chaos experiments experiments-quick examples clean
+.PHONY: all build test test-short race cover bench bench-json bench-check chaos experiments experiments-quick metrics metrics-golden examples clean
 
 all: build test
 
@@ -29,16 +29,18 @@ bench:
 
 # The snapshot-engine benchmarks recorded as a machine-readable JSON
 # artifact (the checked-in baseline CI gates against).
-BENCH_SNAPSHOT = CloneVsCloneInto|ValencyEstimate|StepwiseRound
+BENCH_SNAPSHOT = CloneVsCloneInto|ValencyEstimate|StepwiseRound|MetricsOverhead
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_SNAPSHOT)' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_sim.json
 
 # Re-run the snapshot benches once and fail if the arena estimator's
-# allocs/op regressed more than 20% against the checked-in baseline.
+# allocs/op regressed more than 20% against the checked-in baseline, or
+# the disabled metrics path's more than 2% (the "metrics off = free"
+# budget).
 bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_SNAPSHOT)' -benchtime=1x -benchmem . | \
-		$(GO) run ./cmd/benchjson -out /dev/null \
-		-baseline BENCH_sim.json -check BenchmarkValencyEstimate/arena -tolerance 0.20
+		$(GO) run ./cmd/benchjson -out /dev/null -baseline BENCH_sim.json \
+		-check 'BenchmarkValencyEstimate/arena=0.20,BenchmarkMetricsOverhead/off=0.02'
 
 # Seeded chaos soak under the race detector: the fault injector, the
 # hardened synchronizer's safety/termination properties, and the
@@ -55,6 +57,20 @@ experiments:
 
 experiments-quick:
 	$(GO) run ./cmd/synran-bench -quick
+
+# The metrics determinism suite: shard-layout invariance, the CLI-level
+# workers-1-vs-8 byte comparison, the netsim counters-vs-Faults
+# cross-check, and the quick-suite golden (tables + metrics JSON).
+metrics:
+	$(GO) test -count=1 ./internal/metrics
+	$(GO) test -count=1 -run 'Metrics|Pprof' ./internal/cli ./internal/netsim
+	$(GO) test -count=1 -run 'TestRunAllWorkerInvariance|TestQuickGoldenFile' ./internal/experiments
+
+# Regenerate the quick-suite goldens: the experiment tables and the
+# metrics export come from the same run, so they stay in sync.
+metrics-golden:
+	$(GO) run ./cmd/synran-bench -quick -seed 42 -workers 8 \
+		-metrics-out results/metrics-quick-seed42.json > results/experiments-quick-seed42.txt
 
 examples:
 	$(GO) run ./examples/quickstart

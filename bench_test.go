@@ -8,6 +8,7 @@ import (
 	"synran/internal/adversary"
 	"synran/internal/core"
 	"synran/internal/experiments"
+	"synran/internal/metrics"
 	"synran/internal/sim"
 	"synran/internal/valency"
 	"synran/internal/workload"
@@ -330,4 +331,35 @@ func BenchmarkStepwiseRound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = sw.Plan(v)
 	}
+}
+
+// BenchmarkMetricsOverhead measures the observability tax on the
+// lock-step engine. "off" is the default: Metrics nil, every emission
+// site on its nil-check fast path — CI gates this variant's allocs/op
+// at 2% over the checked-in baseline, so the disabled layer must stay
+// free. "on" runs the same executions with every instrument live; the
+// shard slots are padded atomics, so even this path allocates nothing
+// per emission.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const n = 64
+	run := func(b *testing.B, m *metrics.Engine) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(core.RunSpec{
+				N: n, T: n / 2,
+				Inputs:    workload.HalfHalf(n),
+				Seed:      uint64(i) + 1,
+				Adversary: &adversary.SplitVote{},
+				Metrics:   m,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Agreement {
+				b.Fatal("agreement violated")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, metrics.NewEngine(metrics.New(1))) })
 }

@@ -20,7 +20,7 @@ import (
 func main() {
 	var opts cli.AsyncOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics)
 	flag.IntVar(&opts.N, "n", 7, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default (n-1)/2; Ben-Or needs t < n/2)")
 	flag.StringVar(&opts.Scheduler, "scheduler", "fifo", "scheduler: fifo|random|splitter")
@@ -29,16 +29,23 @@ func main() {
 	flag.IntVar(&opts.Trials, "trials", 1, "number of runs")
 	flag.IntVar(&opts.MaxSteps, "maxsteps", 0, "delivery cap (0 = default)")
 	flag.Parse()
+	errw := cli.NewSyncWriter(os.Stderr)
 	if err := common.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "asyncsim:", err)
+		fmt.Fprintln(errw, "asyncsim:", err)
 		os.Exit(2)
 	}
 	opts.Seed, opts.Workers = common.Seed, common.Workers
-	stop := cli.StartWatchdog(common.Deadline, os.Stderr, os.Exit)
+	opts.Metrics = common.NewMetricsEngine()
+	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
 	defer stop()
 
-	if err := cli.AsyncSim(opts, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "asyncsim:", err)
+	runErr := cli.AsyncSim(opts, os.Stdout)
+	if err := common.WriteMetrics(opts.Metrics, os.Stdout); err != nil {
+		fmt.Fprintln(errw, "asyncsim:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(errw, "asyncsim:", runErr)
 		os.Exit(1)
 	}
 }

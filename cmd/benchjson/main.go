@@ -9,12 +9,20 @@
 //	go test -bench=ValencyEstimate -benchtime=1x -benchmem . | \
 //	    benchjson -out /tmp/cur.json -baseline BENCH_sim.json \
 //	    -check BenchmarkValencyEstimate/arena -tolerance 0.20
+//
+// -check takes a comma-separated list; each entry is a benchmark name,
+// optionally with its own tolerance as name=fraction (entries without
+// one use -tolerance):
+//
+//	-check 'BenchmarkValencyEstimate/arena=0.20,BenchmarkMetricsOverhead/off=0.02'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"synran/internal/benchfmt"
 )
@@ -30,8 +38,8 @@ func run() error {
 	var (
 		out       = flag.String("out", "BENCH_sim.json", "output JSON file (- for stdout)")
 		baseline  = flag.String("baseline", "", "baseline JSON to compare against (optional)")
-		check     = flag.String("check", "", "benchmark name whose allocs/op is gated against the baseline")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional allocs/op regression (0.20 = +20%)")
+		check     = flag.String("check", "", "comma-separated benchmark names whose allocs/op are gated against the baseline (name or name=tolerance)")
+		tolerance = flag.Float64("tolerance", 0.20, "default allowed fractional allocs/op regression (0.20 = +20%)")
 	)
 	flag.Parse()
 
@@ -75,12 +83,22 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := benchfmt.CheckAllocs(base, rep, *check, *tolerance); err != nil {
-			return err
+		for _, item := range strings.Split(*check, ",") {
+			name, tol := strings.TrimSpace(item), *tolerance
+			if eq := strings.IndexByte(name, '='); eq >= 0 {
+				tol, err = strconv.ParseFloat(name[eq+1:], 64)
+				if err != nil {
+					return fmt.Errorf("bad -check entry %q: %w", item, err)
+				}
+				name = name[:eq]
+			}
+			if err := benchfmt.CheckAllocs(base, rep, name, tol); err != nil {
+				return err
+			}
+			cur := rep.Find(name)
+			fmt.Fprintf(os.Stderr, "benchjson: %s ok at %.0f allocs/op (baseline %.0f, tolerance +%.0f%%)\n",
+				name, cur.AllocsPerOp, base.Find(name).AllocsPerOp, tol*100)
 		}
-		cur := rep.Find(*check)
-		fmt.Fprintf(os.Stderr, "benchjson: %s ok at %.0f allocs/op (baseline %.0f, tolerance +%.0f%%)\n",
-			*check, cur.AllocsPerOp, base.Find(*check).AllocsPerOp, *tolerance*100)
 	}
 	return nil
 }

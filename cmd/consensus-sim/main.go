@@ -5,7 +5,7 @@
 //
 //	consensus-sim -n 101 -t 100 -protocol synran -adversary splitvote \
 //	    -workload half -seed 42 -trace
-//	consensus-sim -n 256 -adversary splitvote -trials 50
+//	consensus-sim -n 256 -adversary splitvote -trials 50 -metrics
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 func main() {
 	var opts cli.SimOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics)
 	flag.IntVar(&opts.N, "n", 64, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default n-1)")
 	flag.StringVar(&opts.Protocol, "protocol", "synran", "protocol: synran|benor|floodset|leadercoin|earlystop|phaseking")
@@ -32,17 +32,34 @@ func main() {
 	flag.BoolVar(&opts.Live, "live", false, "use the goroutine-per-process runner")
 	flag.StringVar(&opts.Chaos, "chaos", "", "chaos fault schedule on the hardened live runner (e.g. drop=0.05,dup=0.02,stall=0.01,maxstall=5ms)")
 	flag.IntVar(&opts.FaultBudget, "faultbudget", 0, "crash-equivalent chaos faults to absorb (keep adversary crashes + budget <= t)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+	errw := cli.NewSyncWriter(os.Stderr)
 	if err := common.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+		fmt.Fprintln(errw, "consensus-sim:", err)
 		os.Exit(2)
 	}
 	opts.Seed, opts.Workers = common.Seed, common.Workers
-	stop := cli.StartWatchdog(common.Deadline, os.Stderr, os.Exit)
+	opts.Metrics = common.NewMetricsEngine()
+	if *pprofAddr != "" {
+		addr, stopPprof, err := cli.StartPprof(*pprofAddr, opts.Metrics.Registry())
+		if err != nil {
+			fmt.Fprintln(errw, "consensus-sim:", err)
+			os.Exit(2)
+		}
+		defer stopPprof()
+		fmt.Fprintf(errw, "pprof: http://%s/debug/pprof/ (expvar at /debug/vars)\n", addr)
+	}
+	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
 	defer stop()
 
-	if err := cli.ConsensusSim(opts, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+	runErr := cli.ConsensusSim(opts, os.Stdout)
+	if err := common.WriteMetrics(opts.Metrics, os.Stdout); err != nil {
+		fmt.Fprintln(errw, "consensus-sim:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(errw, "consensus-sim:", runErr)
 		os.Exit(1)
 	}
 }

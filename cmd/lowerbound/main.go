@@ -7,6 +7,7 @@
 // Usage:
 //
 //	lowerbound -n 10 -seed 7
+//	lowerbound -n 8 -metrics         # count rollouts and rounds
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 
 func run() error {
 	common := cli.CommonFlags{Seed: 7}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics)
 	var (
 		n        = flag.Int("n", 10, "number of processes (look-ahead is exponential-ish; keep small)")
 		rollouts = flag.Int("rollouts", 16, "Monte-Carlo rollouts per pool adversary")
@@ -39,14 +40,16 @@ func run() error {
 	if err := common.Validate(); err != nil {
 		return err
 	}
-	stop := cli.StartWatchdog(common.Deadline, os.Stderr, os.Exit)
+	stop := cli.StartWatchdog(common.Deadline, cli.NewSyncWriter(os.Stderr), os.Exit)
 	defer stop()
 	seed, workers := &common.Seed, &common.Workers
 	t := *n - 1
+	m := common.NewMetricsEngine()
 
 	est := valency.NewEstimator(*n, *seed)
 	est.RolloutsPerAdversary = *rollouts
 	est.Workers = *workers
+	est.Metrics = m
 
 	fmt.Printf("searching the Lemma 3.5 input chain for a non-univalent initial state (n=%d, t=%d)...\n", *n, t)
 	factory := func(inputs []int, s uint64) ([]sim.Process, error) {
@@ -67,7 +70,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	exec, err := sim.NewExecution(sim.Config{N: *n, T: t, MaxRounds: 100 * *n}, procs, st.Inputs, *seed)
+	exec, err := sim.NewExecution(sim.Config{N: *n, T: t, MaxRounds: 100 * *n, Metrics: m}, procs, st.Inputs, *seed)
 	if err != nil {
 		return err
 	}
@@ -77,11 +80,13 @@ func run() error {
 		sw := valency.NewStepwise(*n, *seed)
 		sw.Est.RolloutsPerAdversary = *rollouts
 		sw.Est.Workers = *workers
+		sw.Est.Metrics = m
 		lb = sw
 	} else {
 		cand := valency.NewLowerBound(*n, *seed)
 		cand.Est.RolloutsPerAdversary = *rollouts
 		cand.Est.Workers = *workers
+		cand.Est.Metrics = m
 		lb = cand
 	}
 
@@ -111,5 +116,5 @@ func run() error {
 	fmt.Printf("theory: Theorem 1 floor is %.2f rounds (vacuous below 1 at this n); the mechanism\n",
 		core.LowerBoundRounds(*n, t))
 	fmt.Println("is the demonstration: non-univalent states persist while the budget lasts.")
-	return nil
+	return common.WriteMetrics(m, os.Stdout)
 }

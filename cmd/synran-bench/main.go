@@ -7,6 +7,7 @@
 //	synran-bench -quick       # reduced sizes (seconds)
 //	synran-bench -only E3,E4  # a subset
 //	synran-bench -csv         # machine-readable output
+//	synran-bench -quick -metrics-out metrics.json
 package main
 
 import (
@@ -20,21 +21,28 @@ import (
 func main() {
 	var opts cli.BenchOptions
 	common := cli.CommonFlags{Seed: 42}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagDeadline)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagDeadline|cli.FlagMetrics)
 	flag.StringVar(&opts.Only, "only", "", "comma-separated experiment ids (e.g. E3,E7)")
 	flag.BoolVar(&opts.CSV, "csv", false, "emit CSV instead of aligned tables")
 	flag.BoolVar(&opts.Markdown, "markdown", false, "emit GitHub-flavored markdown tables")
 	flag.Parse()
+	errw := cli.NewSyncWriter(os.Stderr)
 	if err := common.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "synran-bench:", err)
+		fmt.Fprintln(errw, "synran-bench:", err)
 		os.Exit(2)
 	}
 	opts.Seed, opts.Workers, opts.Quick = common.Seed, common.Workers, common.Quick
-	stop := cli.StartWatchdog(common.Deadline, os.Stderr, os.Exit)
+	opts.Metrics = common.NewMetricsEngine()
+	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
 	defer stop()
 
-	if err := cli.Bench(opts, os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "synran-bench:", err)
+	runErr := cli.Bench(opts, os.Stdout, errw)
+	if err := common.WriteMetrics(opts.Metrics, os.Stdout); err != nil {
+		fmt.Fprintln(errw, "synran-bench:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(errw, "synran-bench:", runErr)
 		os.Exit(1)
 	}
 }

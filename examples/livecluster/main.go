@@ -8,14 +8,31 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"synran"
+	"synran/internal/cli"
 )
 
 func main() {
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060; empty = off)")
+	flag.Parse()
 	const n = 24
+	// One shared engine for both runs; shard 0 because the example runs
+	// its executions one at a time. Its instruments feed the expvar
+	// endpoint when -pprof is set.
+	eng := synran.NewMetricsEngine(1)
+	if *pprofAddr != "" {
+		addr, stopPprof, err := cli.StartPprof(*pprofAddr, eng.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "livecluster:", err)
+			os.Exit(1)
+		}
+		defer stopPprof()
+		fmt.Printf("pprof: http://%s/debug/pprof/ (metrics under /debug/vars)\n", addr)
+	}
 	fmt.Printf("starting %d replica goroutines (adaptive split-vote adversary, t=%d)\n\n", n, n-1)
 	res, err := synran.Run(synran.Spec{
 		N: n, T: n - 1,
@@ -24,6 +41,7 @@ func main() {
 		Seed:      7,
 		Live:      true,
 		Observer:  &synran.TraceObserver{W: os.Stdout},
+		Metrics:   eng,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livecluster:", err)
@@ -49,6 +67,7 @@ func main() {
 		Seed:        7,
 		Chaos:       &chaosCfg,
 		FaultBudget: n / 4,
+		Metrics:     eng,
 	})
 	if err != nil {
 		// Graceful degradation still carries the fault accounting.

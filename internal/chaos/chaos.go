@@ -109,7 +109,9 @@ func (c Config) Zero() bool {
 // Validate checks every rate is a probability and bounds are sane.
 func (c Config) Validate() error {
 	check := func(name string, v float64) error {
-		if v < 0 || v > 1 {
+		// Written as a negated conjunction so NaN (for which both v < 0
+		// and v > 1 are false) is rejected too.
+		if !(v >= 0 && v <= 1) {
 			return fmt.Errorf("chaos: %s rate %v out of [0,1]", name, v)
 		}
 		return nil

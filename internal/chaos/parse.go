@@ -14,10 +14,13 @@ import (
 //	hang=0.001,panic=0.001,from=2,until=40
 //
 // Unknown keys, malformed values, and out-of-range rates are rejected
-// with a descriptive error. The empty string parses to the zero Config.
+// with a descriptive error. The empty string and "none" — the form Spec
+// renders the zero Config as — both parse to the zero Config, so
+// ParseSpec(c.Spec()) round-trips for every valid c (pinned by
+// FuzzSpecRoundTrip).
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
-	if strings.TrimSpace(spec) == "" {
+	if s := strings.ToLower(strings.TrimSpace(spec)); s == "" || s == "none" {
 		return cfg, nil
 	}
 	for _, field := range strings.Split(spec, ",") {

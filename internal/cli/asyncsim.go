@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"synran/internal/async"
+	"synran/internal/metrics"
 	"synran/internal/stats"
 	"synran/internal/trials"
 	"synran/internal/workload"
@@ -24,6 +25,9 @@ type AsyncOptions struct {
 	// summary is identical at every worker count: trial i always runs at
 	// seed Seed+i and results aggregate in index order.
 	Workers int
+	// Metrics, when non-nil, counts trials (the async engine itself is
+	// not instrumented — the lock-step and live engines are).
+	Metrics *metrics.Engine
 }
 
 // asyncTrial is one run's observations, aggregated in index order.
@@ -67,7 +71,7 @@ func AsyncSim(opts AsyncOptions, w io.Writer) error {
 		opts.Trials = 1
 	}
 
-	outs, err := trials.Run(opts.Workers, opts.Trials, func(i int) (asyncTrial, error) {
+	outs, err := trials.RunWorker(opts.Workers, opts.Trials, trials.Metered(opts.Metrics, func(worker, i int) (asyncTrial, error) {
 		runSeed := opts.Seed + uint64(i)
 		inputs, err := workload.Named(opts.Workload, opts.N, runSeed)
 		if err != nil {
@@ -103,7 +107,7 @@ func AsyncSim(opts AsyncOptions, w io.Writer) error {
 			out.flips += float64(b.Flips())
 		}
 		return out, nil
-	})
+	}))
 	if err != nil {
 		return err
 	}

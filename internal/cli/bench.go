@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"synran/internal/experiments"
+	"synran/internal/metrics"
 )
 
 // BenchOptions configures Bench (cmd/synran-bench's core).
@@ -18,12 +19,15 @@ type BenchOptions struct {
 	// Workers bounds the trial worker pool (0 = all cores). Tables are
 	// byte-identical at every worker count.
 	Workers int
+	// Metrics, when non-nil, collects instrument emissions from every
+	// experiment execution (see experiments.Config.Metrics).
+	Metrics *metrics.Engine
 }
 
 // Bench runs the selected experiments, writing tables to out and
 // progress lines to errw. It returns an error listing failed claims.
 func Bench(opts BenchOptions, out, errw io.Writer) error {
-	cfg := experiments.Config{Quick: opts.Quick, Seed: opts.Seed, Workers: opts.Workers}
+	cfg := experiments.Config{Quick: opts.Quick, Seed: opts.Seed, Workers: opts.Workers, Metrics: opts.Metrics}
 	want := map[string]bool{}
 	if opts.Only != "" {
 		for _, id := range strings.Split(opts.Only, ",") {

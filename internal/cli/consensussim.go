@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"synran"
+	"synran/internal/metrics"
 	"synran/internal/sim"
 	"synran/internal/stats"
 	"synran/internal/trace"
@@ -41,6 +42,10 @@ type SimOptions struct {
 	// summary is identical at every worker count: trial i always runs at
 	// seed Seed+i and results aggregate in index order.
 	Workers int
+	// Metrics, when non-nil, receives instrument emissions from every
+	// execution, sharded by the trial worker. The exported report obeys
+	// the same worker-count invariance as the summary.
+	Metrics *metrics.Engine
 }
 
 // ConsensusSim is the command core of cmd/consensus-sim.
@@ -54,17 +59,19 @@ func ConsensusSim(opts SimOptions, w io.Writer) error {
 	return simMany(opts, w)
 }
 
-func buildSpec(opts SimOptions, seed uint64) (synran.Spec, error) {
+func buildSpec(opts SimOptions, seed uint64, shard int) (synran.Spec, error) {
 	inputs, err := workload.Named(opts.Workload, opts.N, seed)
 	if err != nil {
 		return synran.Spec{}, err
 	}
 	spec := synran.Spec{
 		N: opts.N, T: opts.T, Inputs: inputs,
-		Protocol:  opts.Protocol,
-		Adversary: opts.Adversary,
-		Seed:      seed,
-		Live:      opts.Live,
+		Protocol:     opts.Protocol,
+		Adversary:    opts.Adversary,
+		Seed:         seed,
+		Live:         opts.Live,
+		Metrics:      opts.Metrics,
+		MetricsShard: shard,
 	}
 	if opts.Chaos != "" {
 		cfg, err := synran.ParseChaosSpec(opts.Chaos)
@@ -78,7 +85,7 @@ func buildSpec(opts SimOptions, seed uint64) (synran.Spec, error) {
 }
 
 func simOnce(opts SimOptions, w io.Writer) error {
-	spec, err := buildSpec(opts, opts.Seed)
+	spec, err := buildSpec(opts, opts.Seed, 0)
 	if err != nil {
 		return err
 	}
@@ -162,8 +169,8 @@ func simMany(opts SimOptions, w io.Writer) error {
 		degraded bool
 		faults   sim.Faults
 	}
-	outs, err := trials.Run(opts.Workers, opts.Trials, func(i int) (outcome, error) {
-		spec, err := buildSpec(opts, opts.Seed+uint64(i))
+	outs, err := trials.RunWorker(opts.Workers, opts.Trials, trials.Metered(opts.Metrics, func(worker, i int) (outcome, error) {
+		spec, err := buildSpec(opts, opts.Seed+uint64(i), worker)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -173,6 +180,9 @@ func simMany(opts SimOptions, w io.Writer) error {
 			// outcome in chaos mode, not a harness failure.
 			if opts.Chaos != "" && res != nil && res.Partial &&
 				(errors.Is(err, synran.ErrFaultBudget) || errors.Is(err, sim.ErrMaxRounds)) {
+				if m := opts.Metrics; m != nil {
+					m.TrialsDegraded.Inc(worker)
+				}
 				return outcome{degraded: true, faults: res.Faults}, nil
 			}
 			return outcome{}, err
@@ -184,7 +194,7 @@ func simMany(opts SimOptions, w io.Writer) error {
 			violated: !res.Agreement || !res.Validity,
 			faults:   res.Faults,
 		}, nil
-	})
+	}))
 	if err != nil {
 		return err
 	}

@@ -3,7 +3,12 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"time"
+
+	"synran/internal/metrics"
+	"synran/internal/trials"
 )
 
 // CommonFlags unifies the flags every command in this repository
@@ -29,6 +34,14 @@ type CommonFlags struct {
 	// ExitCodeDeadline once the budget is spent, marking whatever was
 	// printed so far as a partial report.
 	Deadline time.Duration
+	// Metrics prints the run's deterministic metrics report (indented
+	// JSON) after the regular output. Off by default: no engine is
+	// allocated and the executions pay no instrumentation cost.
+	Metrics bool
+	// MetricsOut writes the same report to this file instead of (or in
+	// addition to) stdout; a non-empty value enables collection on its
+	// own.
+	MetricsOut string
 }
 
 // Flag selects which of the shared flags a command registers.
@@ -43,6 +56,8 @@ const (
 	FlagQuick
 	// FlagDeadline registers -deadline.
 	FlagDeadline
+	// FlagMetrics registers -metrics and -metrics-out.
+	FlagMetrics
 )
 
 // Register installs the selected flags on fs, using the struct's
@@ -60,6 +75,10 @@ func (c *CommonFlags) Register(fs *flag.FlagSet, mask Flag) {
 	if mask&FlagDeadline != 0 {
 		fs.DurationVar(&c.Deadline, "deadline", c.Deadline, "wall-clock budget for the whole command (0 = unlimited; exceeded = exit 3 with a partial report)")
 	}
+	if mask&FlagMetrics != 0 {
+		fs.BoolVar(&c.Metrics, "metrics", c.Metrics, "print a deterministic metrics report (JSON) after the output")
+		fs.StringVar(&c.MetricsOut, "metrics-out", c.MetricsOut, "write the metrics report to this file (implies collection)")
+	}
 }
 
 // Validate checks the parsed values, returning the uniform error
@@ -70,6 +89,53 @@ func (c *CommonFlags) Validate() error {
 	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("-deadline must be >= 0 (0 disables the guard), got %v", c.Deadline)
+	}
+	return nil
+}
+
+// MetricsEnabled reports whether either metrics flag asked for
+// collection.
+func (c *CommonFlags) MetricsEnabled() bool {
+	return c.Metrics || c.MetricsOut != ""
+}
+
+// NewMetricsEngine builds the instrument set the command threads
+// through its executions, sized for the resolved worker count — or nil
+// when metrics are disabled, which keeps every emission site on its
+// zero-cost nil path.
+func (c *CommonFlags) NewMetricsEngine() *metrics.Engine {
+	if !c.MetricsEnabled() {
+		return nil
+	}
+	return metrics.NewEngine(metrics.New(trials.DefaultWorkers(c.Workers)))
+}
+
+// WriteMetrics exports m's deterministic report (volatile instruments
+// excluded, so the JSON is byte-identical at every worker count): to
+// the -metrics-out file when set, and to w when -metrics. A nil engine
+// is a no-op, so commands call it unconditionally after the run.
+func (c *CommonFlags) WriteMetrics(m *metrics.Engine, w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	rep := m.Registry().Report(false)
+	if c.MetricsOut != "" {
+		f, err := os.Create(c.MetricsOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.Metrics {
+		if err := rep.WriteJSON(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,147 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"synran/internal/metrics"
+)
+
+// reportJSON renders the deterministic (non-volatile) report.
+func reportJSON(t *testing.T, m *metrics.Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Registry().Report(false).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSimManyMetricsWorkerInvariance is the CLI half of the metrics
+// determinism contract: the multi-trial summary already proves the
+// tables are worker-invariant; this proves the metrics export is too —
+// byte-identical JSON whether 16 trials run serially or on an 8-wide
+// pool.
+func TestSimManyMetricsWorkerInvariance(t *testing.T) {
+	run := func(workers int) []byte {
+		opts := defaultSimOpts()
+		opts.Trials = 16
+		opts.Workers = workers
+		opts.Metrics = metrics.NewEngine(metrics.New(8))
+		if err := ConsensusSim(opts, io.Discard); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return reportJSON(t, opts.Metrics)
+	}
+	serial := run(1)
+	pooled := run(8)
+	if !bytes.Equal(serial, pooled) {
+		t.Fatalf("metrics diverge between workers=1 and workers=8:\n--- serial ---\n%s\n--- pooled ---\n%s", serial, pooled)
+	}
+	rep, err := metrics.ReadJSON(bytes.NewReader(serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Counter(metrics.NameTrialsRun); got != 16 {
+		t.Fatalf("trials_run = %d, want 16", got)
+	}
+	if rep.Counter(metrics.NameRounds) == 0 || rep.Counter(metrics.NameMessages) == 0 {
+		t.Fatalf("engine instruments stayed zero:\n%s", serial)
+	}
+}
+
+// TestBenchMetricsCollects wires an engine through a one-experiment
+// bench run and checks the experiment's executions actually landed in
+// it.
+func TestBenchMetricsCollects(t *testing.T) {
+	opts := BenchOptions{Quick: true, Seed: 42, Only: "E3", Workers: 2,
+		Metrics: metrics.NewEngine(metrics.New(2))}
+	if err := Bench(opts, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if got := opts.Metrics.TrialsRun.Value(); got == 0 {
+		t.Fatal("trials_run stayed zero through a bench run")
+	}
+}
+
+// TestWriteMetricsRouting checks the flag-to-destination plumbing:
+// -metrics prints to the writer, -metrics-out writes the file, both at
+// once duplicate the same bytes, and a nil engine is a silent no-op.
+func TestWriteMetricsRouting(t *testing.T) {
+	c := CommonFlags{}
+	if c.MetricsEnabled() || c.NewMetricsEngine() != nil {
+		t.Fatal("metrics must be fully disabled by default")
+	}
+	if err := c.WriteMetrics(nil, failingWriter{}); err != nil {
+		t.Fatalf("nil engine must be a no-op, got %v", err)
+	}
+
+	c = CommonFlags{Metrics: true, MetricsOut: filepath.Join(t.TempDir(), "m.json"), Workers: 2}
+	eng := c.NewMetricsEngine()
+	if eng == nil {
+		t.Fatal("enabled flags produced no engine")
+	}
+	eng.TrialsRun.Inc(0)
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(eng, &buf); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := os.ReadFile(c.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile, buf.Bytes()) {
+		t.Fatalf("file and stdout reports differ:\n%s\nvs\n%s", fromFile, buf.Bytes())
+	}
+	if !strings.Contains(buf.String(), metrics.NameTrialsRun) {
+		t.Fatalf("report missing %s:\n%s", metrics.NameTrialsRun, buf.String())
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("must not be written") }
+
+// TestStartPprofServesMetrics boots the diagnostic listener on an
+// ephemeral port and checks both surfaces: the pprof index and the
+// expvar page carrying the registry (volatile instruments included —
+// this endpoint is for live inspection, not the deterministic export).
+func TestStartPprofServesMetrics(t *testing.T) {
+	reg := metrics.New(1)
+	eng := metrics.NewEngine(reg)
+	eng.TrialsRun.Inc(0)
+	addr, shutdown, err := StartPprof("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index lacks profiles:\n%s", body)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "synran_metrics") || !strings.Contains(vars, metrics.NameTrialsRun) {
+		t.Fatalf("expvar page lacks the published registry:\n%s", vars)
+	}
+}

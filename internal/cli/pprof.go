@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"synran/internal/metrics"
+)
+
+// pprofReg is the registry the expvar "synran_metrics" variable reads.
+// It is a process-global because expvar variables cannot be
+// unregistered; StartPprof swaps the pointer instead.
+var (
+	pprofReg         atomic.Pointer[metrics.Registry]
+	pprofPublishOnce sync.Once
+)
+
+// StartPprof serves net/http/pprof and expvar on addr (e.g.
+// "localhost:6060") from a background goroutine, for profiling the
+// metrics layer's overhead and watching instruments live. When reg is
+// non-nil its full report — volatile instruments included, since this
+// is a diagnostic surface, not the deterministic export — appears as
+// the expvar "synran_metrics" variable at /debug/vars.
+//
+// It returns the bound address (useful with a ":0" addr), a shutdown
+// function, and any listen error. The handlers go on a private mux, so
+// nothing leaks onto http.DefaultServeMux.
+func StartPprof(addr string, reg *metrics.Registry) (string, func() error, error) {
+	if reg != nil {
+		pprofReg.Store(reg)
+	}
+	pprofPublishOnce.Do(func() {
+		expvar.Publish("synran_metrics", expvar.Func(func() any {
+			r := pprofReg.Load()
+			if r == nil {
+				return nil
+			}
+			return r.Report(true)
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,35 @@
+package cli
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes Write calls with a mutex, so writers on
+// different goroutines — a command's report loop and the -deadline
+// watchdog's notice, say — can share one destination without
+// interleaving mid-line. Each Write call is atomic with respect to the
+// others; callers keep per-line atomicity by writing whole lines, which
+// is how every writer in this repository already behaves.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w. Wrapping an existing *SyncWriter returns it
+// unchanged, so layered call sites (a command wrapping stderr, then
+// StartWatchdog wrapping again defensively) share one mutex instead of
+// stacking two.
+func NewSyncWriter(w io.Writer) *SyncWriter {
+	if sw, ok := w.(*SyncWriter); ok {
+		return sw
+	}
+	return &SyncWriter{w: w}
+}
+
+// Write forwards one serialized write to the underlying writer.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewSyncWriterIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSyncWriter(&buf)
+	if NewSyncWriter(sw) != sw {
+		t.Fatal("re-wrapping a SyncWriter must return the same writer (shared mutex)")
+	}
+}
+
+// TestWatchdogNoticeDoesNotInterleave is the -race regression for the
+// unsynchronized watchdog write: the command goroutines and the firing
+// watchdog share one SyncWriter, and every line in the combined output
+// must come through intact. Without the SyncWriter, the concurrent
+// writes to the shared buffer are a data race (caught by -race) and the
+// notice can split a report line.
+func TestWatchdogNoticeDoesNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSyncWriter(&buf)
+
+	fired := make(chan struct{})
+	stop := StartWatchdog(5*time.Millisecond, sw, func(int) { close(fired) })
+	defer stop()
+
+	const writers, lines = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				fmt.Fprintf(sw, "writer-%d line %d suffix\n", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+
+	// One more serialized write after the notice, then audit every line.
+	fmt.Fprintf(sw, "writer-done line 0 suffix\n")
+	out := buf.String()
+	if !strings.Contains(out, "partial report") {
+		t.Fatalf("deadline notice missing:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		okReport := strings.HasPrefix(line, "writer-") && strings.HasSuffix(line, "suffix")
+		okNotice := strings.HasPrefix(line, "deadline:") && strings.HasSuffix(line, "partial report")
+		if !okReport && !okNotice {
+			t.Fatalf("interleaved line %q in output:\n%s", line, out)
+		}
+	}
+}

@@ -20,10 +20,18 @@ const ExitCodeDeadline = 3
 //
 // The exit func is injectable so tests can observe the firing without
 // killing the test binary; commands pass os.Exit.
+//
+// The notice is written from the watchdog goroutine, concurrently with
+// whatever the command itself is printing, so w is serialized through a
+// SyncWriter. To keep the notice from interleaving mid-line with the
+// command's own output, pass the same *SyncWriter the command writes
+// through (wrapping here is idempotent: an incoming *SyncWriter is used
+// as-is, sharing its mutex).
 func StartWatchdog(d time.Duration, w io.Writer, exit func(int)) (stop func()) {
 	if d <= 0 {
 		return func() {}
 	}
+	w = NewSyncWriter(w)
 	done := make(chan struct{})
 	var once sync.Once
 	go func() {

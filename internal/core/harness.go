@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"synran/internal/metrics"
 	"synran/internal/sim"
 )
 
@@ -16,6 +17,10 @@ type RunSpec struct {
 	Adversary sim.Adversary
 	MaxRounds int
 	Observer  sim.Observer
+	// Metrics, when non-nil, receives the execution's instrument
+	// emissions, sharded by MetricsShard (the trial worker's id).
+	Metrics      *metrics.Engine
+	MetricsShard int
 }
 
 // Run executes SynRan once under the given adversary and returns the
@@ -29,10 +34,12 @@ func Run(spec RunSpec) (*sim.Result, error) {
 		return nil, err
 	}
 	cfg := sim.Config{
-		N:         spec.N,
-		T:         spec.T,
-		MaxRounds: spec.MaxRounds,
-		Observer:  spec.Observer,
+		N:            spec.N,
+		T:            spec.T,
+		MaxRounds:    spec.MaxRounds,
+		Observer:     spec.Observer,
+		Metrics:      spec.Metrics,
+		MetricsShard: spec.MetricsShard,
 	}
 	exec, err := sim.NewExecution(cfg, procs, spec.Inputs, spec.Seed^0x5eed5eed5eed5eed)
 	if err != nil {

@@ -67,7 +67,7 @@ func E5Baselines(cfg Config) (*Result, error) {
 		}
 
 		// SynRan under splitvote.
-		sum, _, err := measureRounds(n, t, reps, cfg.Workers, core.Options{}, workload.HalfHalf,
+		sum, _, err := measureRounds(n, t, reps, cfg.Workers, cfg.Metrics, core.Options{}, workload.HalfHalf,
 			func() sim.Adversary { return &adversary.SplitVote{} }, cfg.Seed+uint64(t))
 		if err != nil {
 			return nil, err

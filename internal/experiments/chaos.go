@@ -69,7 +69,7 @@ func E16ChaosDegradation(cfg Config) (*Result, error) {
 				rounds    float64
 				faults    sim.Faults
 			}
-			outs, err := trials.Run(cfg.Workers, reps, func(i int) (outcome, error) {
+			outs, err := trials.RunWorker(cfg.Workers, reps, trials.Metered(cfg.Metrics, func(worker, i int) (outcome, error) {
 				seed := cfg.Seed + uint64(pi*10000+ri*1000+i)
 				procs, err := p.mk(seed)
 				if err != nil {
@@ -79,7 +79,8 @@ func E16ChaosDegradation(cfg Config) (*Result, error) {
 				if err != nil {
 					return outcome{}, err
 				}
-				run, err := netsim.RunChaos(sim.Config{N: n, T: t}, procs, workload.HalfHalf(n),
+				run, err := netsim.RunChaos(sim.Config{N: n, T: t, Metrics: cfg.Metrics, MetricsShard: worker},
+					procs, workload.HalfHalf(n),
 					adversary.None{}, seed, netsim.Options{Injector: inj, FaultBudget: t})
 				if err != nil {
 					if !errors.Is(err, netsim.ErrFaultBudget) && !errors.Is(err, sim.ErrMaxRounds) {
@@ -98,13 +99,16 @@ func E16ChaosDegradation(cfg Config) (*Result, error) {
 							return outcome{}, fmt.Errorf("%s drop=%.2f seed=%d: partial result disagrees", p.name, rate, seed)
 						}
 					}
+					if m := cfg.Metrics; m != nil {
+						m.TrialsDegraded.Inc(worker)
+					}
 					return outcome{faults: run.Faults}, nil
 				}
 				if !run.Agreement || !run.Validity {
 					return outcome{}, fmt.Errorf("%s drop=%.2f seed=%d: safety violated", p.name, rate, seed)
 				}
 				return outcome{completed: true, rounds: float64(run.HaltRounds), faults: run.Faults}, nil
-			})
+			}))
 			if err != nil {
 				// A safety violation inside a trial is an experiment failure,
 				// not a harness error: surface it as the failed claim.

@@ -7,25 +7,33 @@ import (
 
 	"synran/internal/adversary"
 	"synran/internal/core"
+	"synran/internal/metrics"
 	"synran/internal/sim"
 	"synran/internal/workload"
 )
 
 // renderAll runs the full quick suite at the given worker count and
-// returns the rendered tables.
+// returns the rendered tables followed by the suite's metrics export,
+// so the byte comparison below covers both determinism contracts in
+// one run.
 func renderAll(t *testing.T, workers int) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := RunAll(Config{Quick: true, Seed: 42, Workers: workers}, &buf); err != nil {
+	eng := metrics.NewEngine(metrics.New(8))
+	if err := RunAll(Config{Quick: true, Seed: 42, Workers: workers, Metrics: eng}, &buf); err != nil {
 		t.Fatalf("RunAll(workers=%d): %v", workers, err)
+	}
+	if err := eng.Registry().Report(false).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
 	}
 	return buf.Bytes()
 }
 
 // TestRunAllWorkerInvariance is the harness's hard guarantee: every
-// experiment table is byte-identical whether trials run serially or on
-// an 8-wide pool, because all randomness derives from the trial index,
-// never from scheduling order.
+// experiment table — and the metrics report collected alongside — is
+// byte-identical whether trials run serially or on an 8-wide pool,
+// because all randomness derives from the trial index, never from
+// scheduling order.
 func TestRunAllWorkerInvariance(t *testing.T) {
 	serial := renderAll(t, 1)
 	pooled := renderAll(t, 8)
@@ -64,7 +72,7 @@ func firstDiffContext(a, b []byte) string {
 func TestMeasureRoundsViolationAttribution(t *testing.T) {
 	const n = 64
 	run := func(reps, workers int) string {
-		_, _, err := measureRounds(n, n-1, reps, workers,
+		_, _, err := measureRounds(n, n-1, reps, workers, nil,
 			core.Options{SymmetricCoin: true},
 			func(n int) []int { return workload.Uniform(n, 1) },
 			func() sim.Adversary {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"synran/internal/metrics"
 	"synran/internal/stats"
 )
 
@@ -25,6 +26,10 @@ type Config struct {
 	// each trial derives its randomness from (Seed, trial index) alone,
 	// and internal/trials collects results in index order.
 	Workers int
+	// Metrics, when non-nil, receives instrument emissions from every
+	// execution the experiments run. The merged export obeys the same
+	// worker-count invariance as the tables; see internal/metrics.
+	Metrics *metrics.Engine
 }
 
 // Claim is one checkable assertion extracted from an experiment run.

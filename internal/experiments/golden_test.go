@@ -4,14 +4,19 @@ import (
 	"bytes"
 	"os"
 	"testing"
+
+	"synran/internal/metrics"
 )
 
 // TestQuickGoldenFile pins the quick suite's exact output: the parallel
 // harness must reproduce results/experiments-quick-seed42.txt byte for
-// byte. A diff here means either a deliberate change to an experiment
-// or the RNG discipline — refresh the file with
+// byte, and the metrics collected alongside must reproduce
+// results/metrics-quick-seed42.json. A diff here means either a
+// deliberate change to an experiment, the RNG discipline, or an
+// instrument's emission sites — refresh both files with
 //
-//	go run ./cmd/synran-bench -quick -seed 42 > results/experiments-quick-seed42.txt
+//	go run ./cmd/synran-bench -quick -seed 42 -workers 8 \
+//	    -metrics-out results/metrics-quick-seed42.json > results/experiments-quick-seed42.txt
 //
 // and review the diff like any other golden update.
 func TestQuickGoldenFile(t *testing.T) {
@@ -19,12 +24,39 @@ func TestQuickGoldenFile(t *testing.T) {
 	if err != nil {
 		t.Fatalf("missing golden file (see comment for the refresh command): %v", err)
 	}
+	wantMetrics, err := os.ReadFile("../../results/metrics-quick-seed42.json")
+	if err != nil {
+		t.Fatalf("missing metrics golden (see comment for the refresh command): %v", err)
+	}
+	eng := metrics.NewEngine(metrics.New(8))
 	var got bytes.Buffer
-	if err := RunAll(Config{Quick: true, Seed: 42, Workers: 8}, &got); err != nil {
+	if err := RunAll(Config{Quick: true, Seed: 42, Workers: 8, Metrics: eng}, &got); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Bytes(), want) {
-		t.Fatalf("quick suite output diverged from the golden file at line %q\n(refresh: go run ./cmd/synran-bench -quick -seed 42 > results/experiments-quick-seed42.txt)",
+		t.Fatalf("quick suite output diverged from the golden file at line %q\n(refresh: see the comment above)",
 			firstDiffContext(got.Bytes(), want))
+	}
+
+	// The two deadline instruments count wall-clock events (a starved
+	// goroutine missing the 200ms round deadline); they are zero on any
+	// machine that keeps up, but a loaded CI box may record a transient
+	// miss that the runner then recovers without any semantic effect.
+	// Pin them to zero before comparing so the golden only gates the
+	// deterministic instruments.
+	rep := eng.Registry().Report(false)
+	for i := range rep.Counters {
+		switch rep.Counters[i].Name {
+		case metrics.NameDeadlineMisses, metrics.NameBackoffRepolls:
+			rep.Counters[i].Value = 0
+		}
+	}
+	var gotMetrics bytes.Buffer
+	if err := rep.WriteJSON(&gotMetrics); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotMetrics.Bytes(), wantMetrics) {
+		t.Fatalf("metrics export diverged from the golden file at line %q\n(refresh: see the comment above)",
+			firstDiffContext(gotMetrics.Bytes(), wantMetrics))
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"synran/internal/adversary"
 	"synran/internal/core"
+	"synran/internal/metrics"
 	"synran/internal/sim"
 	"synran/internal/stats"
 	"synran/internal/trials"
@@ -16,19 +17,22 @@ import (
 // statistics. Trial i seeds from (seed, i) alone, so the summaries are
 // identical for every worker count. mkInputs builds a fresh input vector
 // per trial (every current workload is a pure function of n, so trials
-// remain index-deterministic).
-func measureRounds(n, t, reps, workers int, opts core.Options, mkInputs func(n int) []int, mkAdv func() sim.Adversary, seed uint64) (stats.Summary, stats.Summary, error) {
+// remain index-deterministic). A non-nil m additionally collects per-run
+// instruments, sharded by the executing worker.
+func measureRounds(n, t, reps, workers int, m *metrics.Engine, opts core.Options, mkInputs func(n int) []int, mkAdv func() sim.Adversary, seed uint64) (stats.Summary, stats.Summary, error) {
 	type outcome struct {
 		rounds  float64
 		crashes float64
 	}
-	outs, err := trials.Run(workers, reps, func(i int) (outcome, error) {
+	outs, err := trials.RunWorker(workers, reps, trials.Metered(m, func(worker, i int) (outcome, error) {
 		res, err := core.Run(core.RunSpec{
 			N: n, T: t,
-			Inputs:    mkInputs(n),
-			Opts:      opts,
-			Seed:      trials.Seed(seed, i),
-			Adversary: mkAdv(),
+			Inputs:       mkInputs(n),
+			Opts:         opts,
+			Seed:         trials.Seed(seed, i),
+			Adversary:    mkAdv(),
+			Metrics:      m,
+			MetricsShard: worker,
 		})
 		if err != nil {
 			return outcome{}, err
@@ -38,7 +42,7 @@ func measureRounds(n, t, reps, workers int, opts core.Options, mkInputs func(n i
 				"safety violated at n=%d t=%d rep=%d", n, t, i)
 		}
 		return outcome{float64(res.HaltRounds), float64(res.Crashes)}, nil
-	})
+	}))
 	if err != nil {
 		return stats.Summary{}, stats.Summary{}, err
 	}
@@ -78,7 +82,7 @@ func E3ScaleN(cfg Config) (*Result, error) {
 		t := n - 1
 		bound := core.UpperBoundRounds(n, t)
 		for _, c := range cases {
-			sum, _, err := measureRounds(n, t, reps, cfg.Workers, core.Options{}, workload.HalfHalf, c.mk, cfg.Seed+uint64(n))
+			sum, _, err := measureRounds(n, t, reps, cfg.Workers, cfg.Metrics, core.Options{}, workload.HalfHalf, c.mk, cfg.Seed+uint64(n))
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +144,7 @@ func E4ScaleT(cfg Config) (*Result, error) {
 
 	var small, large float64
 	for _, t := range ts {
-		sum, _, err := measureRounds(n, t, reps, cfg.Workers, core.Options{}, workload.HalfHalf,
+		sum, _, err := measureRounds(n, t, reps, cfg.Workers, cfg.Metrics, core.Options{}, workload.HalfHalf,
 			func() sim.Adversary { return &adversary.SplitVote{} }, cfg.Seed+uint64(t)*13)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CounterValue is one merged counter in a Report.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one merged high-watermark gauge in a Report.
+type GaugeValue struct {
+	Name string `json:"name"`
+	Max  uint64 `json:"max"`
+}
+
+// HistogramValue is one merged histogram in a Report. Counts has one
+// entry per bound plus a final overflow bucket.
+type HistogramValue struct {
+	Name   string   `json:"name"`
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+}
+
+// Report is a merged, name-sorted snapshot of a Registry — the shape of
+// the -metrics / -metrics-out JSON artifact written next to result
+// tables (same indented-document convention as internal/benchfmt).
+//
+// The top-level sections contain only deterministic instruments and are
+// byte-identical across worker counts for a fixed (seed, config); the
+// optional Volatile section carries scheduling-sensitive instruments
+// (per-worker arena reuse) and is only populated on request.
+type Report struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+	// Volatile holds instruments whose values legitimately depend on the
+	// worker count or scheduling; they are excluded from the determinism
+	// contract (and from the golden/worker-invariance comparisons).
+	Volatile *Report `json:"volatile,omitempty"`
+}
+
+// Report merges every instrument into a deterministic snapshot. With
+// includeVolatile, scheduling-sensitive instruments are attached under
+// the Volatile section; otherwise they are omitted entirely, keeping the
+// document byte-identical across worker counts.
+func (r *Registry) Report(includeVolatile bool) *Report {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	rep := &Report{}
+	var vol *Report
+	volatileSection := func() *Report {
+		if vol == nil {
+			vol = &Report{}
+		}
+		return vol
+	}
+	for _, c := range counters {
+		v := CounterValue{Name: c.name, Value: c.Value()}
+		if c.volatile {
+			if includeVolatile {
+				volatileSection().Counters = append(volatileSection().Counters, v)
+			}
+			continue
+		}
+		rep.Counters = append(rep.Counters, v)
+	}
+	for _, g := range gauges {
+		v := GaugeValue{Name: g.name, Max: g.Value()}
+		if g.volatile {
+			if includeVolatile {
+				volatileSection().Gauges = append(volatileSection().Gauges, v)
+			}
+			continue
+		}
+		rep.Gauges = append(rep.Gauges, v)
+	}
+	for _, h := range hists {
+		counts := h.Counts()
+		var total uint64
+		for _, c := range counts {
+			total += c
+		}
+		v := HistogramValue{Name: h.name, Bounds: h.Bounds(), Counts: counts, Count: total}
+		if h.volatile {
+			if includeVolatile {
+				volatileSection().Histograms = append(volatileSection().Histograms, v)
+			}
+			continue
+		}
+		rep.Histograms = append(rep.Histograms, v)
+	}
+	rep.Volatile = vol
+	return rep
+}
+
+// WriteJSON serializes the report as one indented JSON document (the
+// benchfmt artifact convention).
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadJSON parses a report written by WriteJSON.
+func ReadJSON(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("metrics: decode: %w", err)
+	}
+	return &rep, nil
+}
+
+// Counter returns the named counter's merged value, or 0 when absent —
+// the accessor tests and the CLI use to spot-check exported documents.
+func (rep *Report) Counter(name string) uint64 {
+	for _, c := range rep.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	if rep.Volatile != nil {
+		for _, c := range rep.Volatile.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,281 @@
+// Package metrics is the repository's zero-dependency, deterministic,
+// low-overhead observability layer: counters, high-watermark gauges, and
+// bounded histograms, stored in lock-free per-worker shards that are
+// merged only at read time.
+//
+// The design serves two constraints at once:
+//
+//   - Determinism. Every instrument merges commutatively (counters and
+//     histogram buckets by summation, gauges by maximum), so the merged
+//     value depends only on the multiset of emissions — never on worker
+//     count, scheduling order, or which shard an emission landed in. A
+//     run whose emissions are a pure function of (seed, config) therefore
+//     produces byte-identical metrics JSON at -workers 1 and -workers 64,
+//     the same worker-count invariance contract internal/trials enforces
+//     for result tables. Instruments whose emissions are inherently
+//     scheduling-sensitive (the per-worker snapshot-arena hit/miss
+//     counters) are registered as volatile and excluded from the default
+//     export; see Registry.Report.
+//
+//   - Overhead. Each shard is a cache-line-padded atomic owned by one
+//     worker, so enabled-mode emission is an uncontended atomic add and
+//     disabled mode (a nil *Engine, the default everywhere) costs one
+//     pointer nil-check at the call site — gated at ≤2% on the hot
+//     snapshot/trial benches by the bench-smoke CI job. The atomics also
+//     keep concurrent emission and read-time merging clean under -race,
+//     which matters because the opt-in -pprof/expvar listener snapshots
+//     the registry while a run is in flight.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// slot is one per-worker accumulator, padded so that shards owned by
+// different workers never share a cache line.
+type slot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shardMask rounds the configured worker count up to a power of two and
+// returns size-1, so instruments can map any shard index in-bounds with
+// one AND instead of a bounds check or modulo.
+func shardMask(workers int) int {
+	n := 1
+	for n < workers {
+		n <<= 1
+	}
+	return n - 1
+}
+
+// Counter is a monotonically increasing, shard-merged counter. The zero
+// of all shards merges to zero; Add is lock-free and a nil receiver
+// no-ops, so call sites may be left unguarded on cold paths.
+type Counter struct {
+	name     string
+	volatile bool
+	mask     int
+	shards   []slot
+}
+
+// Add adds delta to the given worker's shard.
+func (c *Counter) Add(shard int, delta uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shard&c.mask].v.Add(delta)
+}
+
+// Inc adds one to the given worker's shard.
+func (c *Counter) Inc(shard int) { c.Add(shard, 1) }
+
+// Value merges the shards (summation; order-independent).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a high-watermark gauge: Observe records a value and Value
+// merges the shards by maximum, the commutative merge that keeps gauges
+// inside the determinism contract (a last-write-wins gauge would depend
+// on scheduling order).
+type Gauge struct {
+	name     string
+	volatile bool
+	mask     int
+	shards   []slot
+}
+
+// Observe raises the given worker's shard to v if v is larger. Each
+// shard has a single writer, but the load/store pair is atomic so
+// concurrent Value calls (the expvar listener) stay race-free.
+func (g *Gauge) Observe(shard int, v uint64) {
+	if g == nil {
+		return
+	}
+	s := &g.shards[shard&g.mask].v
+	if v > s.Load() {
+		s.Store(v)
+	}
+}
+
+// Value merges the shards (maximum).
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	var max uint64
+	for i := range g.shards {
+		if v := g.shards[i].v.Load(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Histogram is a bounded histogram over fixed, ascending, inclusive
+// upper bounds plus one overflow bucket. Buckets merge by summation, so
+// histograms obey the same determinism contract as counters.
+type Histogram struct {
+	name     string
+	volatile bool
+	bounds   []uint64
+	mask     int
+	stride   int
+	counts   []slot // (mask+1) shards × stride buckets
+}
+
+// Observe records one value into the given worker's shard.
+func (h *Histogram) Observe(shard int, v uint64) {
+	if h == nil {
+		return
+	}
+	b := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[(shard&h.mask)*h.stride+b].v.Add(1)
+}
+
+// Bounds returns the bucket upper bounds (the caller must not mutate
+// the returned slice).
+func (h *Histogram) Bounds() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Counts merges the per-shard buckets; index len(Bounds()) is the
+// overflow bucket.
+func (h *Histogram) Counts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, h.stride)
+	for s := 0; s <= h.mask; s++ {
+		for b := 0; b < h.stride; b++ {
+			out[b] += h.counts[s*h.stride+b].v.Load()
+		}
+	}
+	return out
+}
+
+// Count returns the merged total number of observations.
+func (h *Histogram) Count() uint64 {
+	var sum uint64
+	for _, c := range h.Counts() {
+		sum += c
+	}
+	return sum
+}
+
+// Registry owns a run's instruments. Instrument creation is
+// mutex-guarded get-or-create (the cold path); emission and merging
+// never take the lock. Instruments registered as volatile are excluded
+// from the default Report — see the package comment.
+type Registry struct {
+	mask int
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New builds a registry sized for the given worker pool width (values
+// <= 1 select a single shard). Shard indices passed to instruments are
+// mapped into range with a mask, so any non-negative worker id is safe
+// regardless of the width chosen here.
+func New(workers int) *Registry {
+	return &Registry{
+		mask:     shardMask(workers),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter { return r.counter(name, false) }
+
+// VolatileCounter is Counter for scheduling-sensitive quantities: the
+// instrument is excluded from the default (deterministic) Report and
+// exported only on request.
+func (r *Registry) VolatileCounter(name string) *Counter { return r.counter(name, true) }
+
+func (r *Registry) counter(name string, volatile bool) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		if c.volatile != volatile {
+			panic(fmt.Sprintf("metrics: counter %q re-registered with a different volatility", name))
+		}
+		return c
+	}
+	c := &Counter{name: name, volatile: volatile, mask: r.mask, shards: make([]slot, r.mask+1)}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named high-watermark gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge { return r.gauge(name, false) }
+
+// VolatileGauge is Gauge for scheduling-sensitive quantities.
+func (r *Registry) VolatileGauge(name string) *Gauge { return r.gauge(name, true) }
+
+func (r *Registry) gauge(name string, volatile bool) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		if g.volatile != volatile {
+			panic(fmt.Sprintf("metrics: gauge %q re-registered with a different volatility", name))
+		}
+		return g
+	}
+	g := &Gauge{name: name, volatile: volatile, mask: r.mask, shards: make([]slot, r.mask+1)}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram over the given ascending,
+// inclusive bucket upper bounds (an overflow bucket is appended),
+// creating it on first use. Re-registering with different bounds
+// panics: bucket layout is part of the instrument's identity.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+			}
+		}
+		return h
+	}
+	stride := len(bounds) + 1
+	h := &Histogram{
+		name:   name,
+		bounds: append([]uint64(nil), bounds...),
+		mask:   r.mask,
+		stride: stride,
+		counts: make([]slot, (r.mask+1)*stride),
+	}
+	r.hists[name] = h
+	return h
+}

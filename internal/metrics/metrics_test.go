@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterMergeAcrossShards(t *testing.T) {
+	r := New(8)
+	c := r.Counter("x")
+	for shard := 0; shard < 8; shard++ {
+		c.Add(shard, uint64(shard+1))
+	}
+	if got, want := c.Value(), uint64(36); got != want {
+		t.Fatalf("merged counter = %d, want %d", got, want)
+	}
+	// Out-of-range shard indices wrap via the mask instead of panicking.
+	c.Inc(8 + 3)
+	if got, want := c.Value(), uint64(37); got != want {
+		t.Fatalf("after wrapped Inc: %d, want %d", got, want)
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+	)
+	c.Inc(0)
+	c.Add(3, 7)
+	g.Observe(1, 9)
+	h.Observe(2, 4)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestGaugeIsHighWatermark(t *testing.T) {
+	r := New(4)
+	g := r.Gauge("hw")
+	g.Observe(0, 5)
+	g.Observe(1, 11)
+	g.Observe(1, 3) // lower observation must not regress the watermark
+	g.Observe(2, 7)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge max = %d, want 11", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New(2)
+	h := r.Histogram("rounds", []uint64{1, 4, 16})
+	for _, v := range []uint64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(0, v)
+	}
+	h.Observe(1, 3) // second shard merges into the same buckets
+	got := h.Counts()
+	// ≤1:{0,1}  ≤4:{2,4,3}  ≤16:{5,16}  overflow:{17,1000}
+	want := []uint64{2, 3, 2, 2}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 9 {
+		t.Fatalf("total observations %d, want 9", h.Count())
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := New(2)
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter must get-or-create")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge must get-or-create")
+	}
+	if r.Histogram("h", []uint64{1, 2}) != r.Histogram("h", []uint64{1, 2}) {
+		t.Fatal("Histogram must get-or-create")
+	}
+	mustPanic(t, func() { r.VolatileCounter("a") })
+	mustPanic(t, func() { r.Histogram("h", []uint64{1, 3}) })
+	mustPanic(t, func() { r.Histogram("bad", []uint64{3, 1}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+// TestConcurrentEmissionAndRead drives every instrument from many
+// goroutines while a reader snapshots the registry — the -race proof
+// that lock-free shards plus read-time merging are safe with a live
+// expvar/pprof listener attached.
+func TestConcurrentEmissionAndRead(t *testing.T) {
+	const workers, perWorker = 8, 2000
+	r := New(workers)
+	eng := NewEngine(r)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Report(true)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				eng.Rounds.Inc(w)
+				eng.Messages.Add(w, 3)
+				eng.DecideRounds.Observe(w, uint64(i%40))
+				eng.ArenaSize.Observe(w, uint64(i))
+			}
+		}(w)
+	}
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	close(stop)
+	<-wgDone
+
+	if got, want := eng.Rounds.Value(), uint64(workers*perWorker); got != want {
+		t.Fatalf("rounds = %d, want %d", got, want)
+	}
+	if got, want := eng.Messages.Value(), uint64(3*workers*perWorker); got != want {
+		t.Fatalf("messages = %d, want %d", got, want)
+	}
+	if got, want := eng.DecideRounds.Count(), uint64(workers*perWorker); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestReportDeterministicAcrossShardLayout is the layer's core contract:
+// the same multiset of emissions produces byte-identical JSON no matter
+// how many shards it was spread over.
+func TestReportDeterministicAcrossShardLayout(t *testing.T) {
+	render := func(workers int) string {
+		r := New(workers)
+		eng := NewEngine(r)
+		for i := 0; i < 100; i++ {
+			shard := i % workers
+			eng.Rounds.Inc(shard)
+			eng.Messages.Add(shard, uint64(i))
+			eng.DecideRounds.Observe(shard, uint64(i%50))
+			eng.ArenaHits.Inc(shard) // volatile: must not appear below
+		}
+		var buf bytes.Buffer
+		if err := r.Report(false).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one := render(1)
+	for _, w := range []int{2, 5, 8} {
+		if got := render(w); got != one {
+			t.Fatalf("report differs between 1 and %d workers:\n%s\n---\n%s", w, one, got)
+		}
+	}
+	if strings.Contains(one, NameArenaHits) {
+		t.Fatalf("default report leaked a volatile instrument:\n%s", one)
+	}
+}
+
+func TestReportVolatileSection(t *testing.T) {
+	r := New(2)
+	eng := NewEngine(r)
+	eng.ArenaMisses.Add(0, 2)
+	eng.ArenaHits.Add(1, 5)
+	rep := r.Report(true)
+	if rep.Volatile == nil {
+		t.Fatal("includeVolatile report lacks the volatile section")
+	}
+	if got := rep.Counter(NameArenaHits); got != 5 {
+		t.Fatalf("volatile arena_hits = %d, want 5", got)
+	}
+	// Round-trip through the JSON codec.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Counter(NameArenaMisses); got != 2 {
+		t.Fatalf("decoded arena_misses = %d, want 2", got)
+	}
+}

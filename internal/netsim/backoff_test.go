@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"synran/internal/adversary"
+	"synran/internal/chaos"
+	"synran/internal/metrics"
+	"synran/internal/protocol/floodset"
+	"synran/internal/sim"
+)
+
+func TestBackoffWaitClamped(t *testing.T) {
+	// Regression: the pre-clamp code computed Backoff << (misses-1)
+	// directly, so misses = 64 flipped the sign and misses > 64 shifted
+	// to zero — and timer.Reset with a non-positive wait fires
+	// immediately, turning exponential backoff into a busy spin.
+	const backoff = 10 * time.Millisecond
+	cap := backoff << maxBackoffShift
+	prev := time.Duration(0)
+	for misses := 1; misses <= 200; misses++ {
+		w := backoffWait(backoff, misses)
+		if w <= 0 {
+			t.Fatalf("backoffWait(%v, %d) = %v, want > 0", backoff, misses, w)
+		}
+		if w < prev {
+			t.Fatalf("backoffWait not monotone at misses=%d: %v < %v", misses, w, prev)
+		}
+		if w > cap {
+			t.Fatalf("backoffWait(%v, %d) = %v exceeds the cap %v", backoff, misses, w, cap)
+		}
+		prev = w
+	}
+	if got := backoffWait(backoff, 1); got != backoff {
+		t.Fatalf("first re-poll wait = %v, want %v", got, backoff)
+	}
+	if got := backoffWait(backoff, 1000); got != cap {
+		t.Fatalf("deep-miss wait = %v, want the cap %v", got, cap)
+	}
+}
+
+func TestManyDeadlineMissesNoBusySpin(t *testing.T) {
+	// End-to-end regression for the overflow: a hung process under
+	// DeadlineMisses = 70 must walk all 70 windows (every one with a
+	// positive wait, per TestBackoffWaitClamped) and then be demoted,
+	// with the miss/re-poll accounting visible in the metrics.
+	const n = 4
+	inputs := halfInputs(n)
+	procs, err := floodset.NewProcs(n, 1, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := metrics.NewEngine(metrics.New(1))
+	opts := Options{
+		RoundDeadline:  2 * time.Millisecond,
+		Backoff:        20 * time.Microsecond,
+		DeadlineMisses: 70,
+		FaultBudget:    1,
+		Injector:       mustInjector(t, 11, chaos.Config{PerProc: map[int]chaos.ProcRates{0: {Hang: 1}}}),
+	}
+	res, err := RunChaos(sim.Config{N: n, T: 1, Metrics: eng}, procs, inputs, adversary.None{}, 11, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Demoted != 1 {
+		t.Fatalf("faults %+v, want exactly one demotion", res.Faults)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("agreement=%v validity=%v after deep-miss demotion", res.Agreement, res.Validity)
+	}
+	if got := eng.DeadlineMisses.Value(); got != 70 {
+		t.Fatalf("deadline_misses = %d, want 70", got)
+	}
+	if got := eng.BackoffRepolls.Value(); got != 69 {
+		t.Fatalf("backoff_repolls = %d, want 69", got)
+	}
+	if got := eng.Demotions.Value(); got != uint64(res.Faults.Demoted) {
+		t.Fatalf("proc_demotions = %d, want %d", got, res.Faults.Demoted)
+	}
+}

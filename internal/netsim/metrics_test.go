@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"synran/internal/adversary"
+	"synran/internal/chaos"
+	"synran/internal/metrics"
+	"synran/internal/protocol/floodset"
+	"synran/internal/sim"
+)
+
+// TestChaosMetricsMatchFaultAccounting pins the contract between the
+// metrics layer and the runner's own fault accounting: every emission
+// site sits next to its Faults increment, so the merged counters must
+// equal the Result's Faults field for field. This is the cross-check
+// that keeps the observability layer honest — a drifted counter means
+// an emission site moved away from its bookkeeping.
+func TestChaosMetricsMatchFaultAccounting(t *testing.T) {
+	const n = 9
+	inputs := halfInputs(n)
+	cfg := chaos.Config{
+		Drop: 0.05, Dup: 0.05, Delay: 0.03, MaxDelay: 2,
+		Stall: 0.1, MaxStall: 2 * time.Millisecond,
+		UntilRound: 20,
+	}
+	eng := metrics.NewEngine(metrics.New(1))
+	procs, err := floodset.NewProcs(n, 3, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastDeadlines()
+	opts.Injector = mustInjector(t, 17, cfg)
+	opts.FaultBudget = 3
+	res, err := RunChaos(sim.Config{N: n, T: 3, Metrics: eng}, procs, inputs,
+		adversary.None{}, 17, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := res.Faults
+	for _, c := range []struct {
+		name string
+		got  uint64
+		want int
+	}{
+		{"messages_dropped", eng.MsgDropped.Value(), f.Dropped},
+		{"messages_duplicated", eng.MsgDuplicated.Value(), f.Duplicated},
+		{"messages_delayed", eng.MsgDelayed.Value(), f.Delayed},
+		{"proc_stalls", eng.Stalls.Value(), f.Stalled},
+		{"proc_panics", eng.Panics.Value(), f.Panics},
+		{"proc_demotions", eng.Demotions.Value(), f.Demoted},
+	} {
+		if c.got != uint64(c.want) {
+			t.Errorf("%s = %d, want %d (Faults accounting %+v)", c.name, c.got, c.want, f)
+		}
+	}
+	if f.Dropped == 0 && f.Duplicated == 0 && f.Delayed == 0 && f.Stalled == 0 {
+		t.Fatalf("injector produced no faults — the cross-check is vacuous: %+v", f)
+	}
+
+	// The engine-side instruments must agree with the Result too.
+	if got := eng.Rounds.Value(); got != uint64(res.HaltRounds) {
+		t.Errorf("engine_rounds = %d, want HaltRounds %d", got, res.HaltRounds)
+	}
+	decided := 0
+	for _, ok := range res.Decided {
+		if ok {
+			decided++
+		}
+	}
+	if got := eng.Decisions.Value(); got != uint64(decided) {
+		t.Errorf("process_decisions = %d, want %d", got, decided)
+	}
+	if got := eng.CrashesAdversary.Value(); got != 0 {
+		t.Errorf("crashes_adversary = %d under adversary.None", got)
+	}
+	// Retransmissions have no Faults counterpart; each one recovers a
+	// dropped or within-round-delayed copy, so the count is bounded.
+	if got := eng.MsgRetransmitted.Value(); got > uint64(f.Dropped+f.Delayed) {
+		t.Errorf("messages_retransmitted = %d exceeds dropped+delayed = %d", got, f.Dropped+f.Delayed)
+	}
+	if eng.Messages.Value() == 0 {
+		t.Error("messages_delivered stayed zero over a full run")
+	}
+}

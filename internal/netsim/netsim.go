@@ -255,6 +255,24 @@ func (r *runner) execRound(p sim.Process, msg roundIn) (o phaseOut, ok bool) {
 	return o, true
 }
 
+// maxBackoffShift caps the exponential backoff at 64× Backoff. Go's
+// shift does not saturate — Backoff<<63 flips the sign and wider shifts
+// zero out — and timer.Reset with a non-positive duration fires
+// immediately, so an unclamped shift with DeadlineMisses > 64 silently
+// turned backoff into a busy spin. TestBackoffWaitClamped and
+// TestManyDeadlineMissesNoBusySpin pin the fix.
+const maxBackoffShift = 6
+
+// backoffWait returns the wait before re-poll number misses (1-based):
+// Backoff, 2·Backoff, 4·Backoff, ..., capped at Backoff<<maxBackoffShift.
+func backoffWait(backoff time.Duration, misses int) time.Duration {
+	shift := misses - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	return backoff << shift
+}
+
 // pollOut waits for process i's round-r Phase-A output. Without a
 // deadline it blocks. With one, it waits up to DeadlineMisses windows
 // (RoundDeadline, then Backoff, 2·Backoff, ...), re-polling after each
@@ -281,10 +299,16 @@ func (r *runner) pollOut(i, round int) (phaseOut, int, bool) {
 			return o, misses, true
 		case <-timer.C:
 			misses++
+			if m := r.cfg.Metrics; m != nil {
+				m.DeadlineMisses.Inc(r.cfg.MetricsShard)
+			}
 			if misses >= r.opts.DeadlineMisses {
 				return phaseOut{}, misses, false
 			}
-			wait = r.opts.Backoff << (misses - 1)
+			if m := r.cfg.Metrics; m != nil {
+				m.BackoffRepolls.Inc(r.cfg.MetricsShard)
+			}
+			wait = backoffWait(r.opts.Backoff, misses)
 			timer.Reset(wait)
 		}
 	}
@@ -346,6 +370,7 @@ func (r *runner) active() bool {
 // run drives the rounds. On graceful degradation it returns a partial
 // Result alongside the typed error.
 func (r *runner) run() (*sim.Result, error) {
+	m, shard := r.cfg.Metrics, r.cfg.MetricsShard
 	for round := 1; r.active(); round++ {
 		if round > r.cfg.MaxRounds {
 			return r.result(true), fmt.Errorf("%w (netsim, adversary %q)", sim.ErrMaxRounds, r.adv.Name())
@@ -354,6 +379,9 @@ func (r *runner) run() (*sim.Result, error) {
 		// has closed, so the synchronizer discards them as stale.
 		if c := r.pendingStale[round]; c > 0 {
 			r.faults.Delayed += c
+			if m != nil {
+				m.MsgDelayed.Add(shard, uint64(c))
+			}
 			delete(r.pendingStale, round)
 		}
 
@@ -373,6 +401,9 @@ func (r *runner) run() (*sim.Result, error) {
 				fault = r.opts.Injector.ProcFault(round, i)
 				if fault.Stall > 0 {
 					r.faults.Stalled++
+					if m != nil {
+						m.Stalls.Inc(shard)
+					}
 				}
 			}
 			r.ins[i] <- roundIn{round: round, inbox: r.inboxes[i], fault: fault}
@@ -391,12 +422,18 @@ func (r *runner) run() (*sim.Result, error) {
 					return r.abortPhaseA(round, i, pending), err
 				}
 				r.faults.Demoted++
+				if m != nil {
+					m.Demotions.Inc(shard)
+				}
 				r.kill(round, i, 0, fmt.Sprintf("demoted (missed %d consecutive deadlines)", misses))
 			case o.panicked:
 				if err := r.spendBudget(round, i, "panic"); err != nil {
 					return r.abortPhaseA(round, i, pending), err
 				}
 				r.faults.Panics++
+				if m != nil {
+					m.Panics.Inc(shard)
+				}
 				r.kill(round, i, 0, fmt.Sprintf("panicked: %s", o.panicMsg))
 			default:
 				r.payloads[i], r.sending[i], stoppedNow[i] = o.payload, o.send, o.stopped
@@ -427,6 +464,9 @@ func (r *runner) run() (*sim.Result, error) {
 			}
 			r.alive[v] = false
 			r.advCrashed++
+			if m != nil {
+				m.CrashesAdversary.Inc(shard)
+			}
 			if plan.Deliver != nil {
 				deliver[v] = plan.Deliver.Clone()
 			} else {
@@ -443,6 +483,7 @@ func (r *runner) run() (*sim.Result, error) {
 
 		// Phase B: route messages through the chaotic substrate.
 		next := make([][]sim.Recv, r.n)
+		roundDelivered := 0
 		for i := 0; i < r.n; i++ {
 			if !r.sending[i] {
 				continue
@@ -459,6 +500,7 @@ func (r *runner) run() (*sim.Result, error) {
 				if r.transmit(round, i, j) {
 					next[j] = append(next[j], sim.Recv{From: i, Payload: r.payloads[i]})
 					sent++
+					roundDelivered++
 				} else {
 					omitted = append(omitted, j)
 				}
@@ -473,10 +515,16 @@ func (r *runner) run() (*sim.Result, error) {
 					return r.result(true), err
 				}
 				r.faults.Demoted++
+				if m != nil {
+					m.Demotions.Inc(shard)
+				}
 				r.kill(round, i, sent, fmt.Sprintf("demoted (unrecovered omission to %d receiver(s))", len(omitted)))
 			}
 		}
 		r.inboxes = next
+		if m != nil {
+			m.Messages.Add(shard, uint64(roundDelivered))
+		}
 
 		// Bookkeeping mirrors the sequential engine.
 		allDecided := true
@@ -492,11 +540,17 @@ func (r *runner) run() (*sim.Result, error) {
 				if obs := r.cfg.Observer; obs != nil {
 					obs.OnDecide(round, i, dv)
 				}
+				if m != nil {
+					m.Decisions.Inc(shard)
+				}
 			}
 			if !r.halted[i] && stoppedNow[i] {
 				r.halted[i] = true
 				if obs := r.cfg.Observer; obs != nil {
 					obs.OnHalt(round, i)
+				}
+				if m != nil {
+					m.Halts.Inc(shard)
 				}
 			}
 			if r.alive[i] && !r.halted[i] {
@@ -505,9 +559,15 @@ func (r *runner) run() (*sim.Result, error) {
 		}
 		if r.decideRound == 0 && allDecided {
 			r.decideRound = round
+			if m != nil {
+				m.DecideRounds.Observe(shard, uint64(round))
+			}
 		}
 		if r.haltRound == 0 && !anyActive {
 			r.haltRound = round
+		}
+		if m != nil {
+			m.Rounds.Inc(shard)
 		}
 	}
 	return r.result(false), nil
@@ -523,16 +583,26 @@ func (r *runner) transmit(round, from, to int) bool {
 	if inj == nil {
 		return true
 	}
+	m, shard := r.cfg.Metrics, r.cfg.MetricsShard
 	for attempt := 0; attempt <= r.opts.Retransmits; attempt++ {
+		if attempt > 0 && m != nil {
+			m.MsgRetransmitted.Inc(shard)
+		}
 		fate, k := inj.MessageFate(round, from, to, attempt)
 		switch fate {
 		case chaos.FateDeliver:
 			return true
 		case chaos.FateDup:
 			r.faults.Duplicated++
+			if m != nil {
+				m.MsgDuplicated.Inc(shard)
+			}
 			return true
 		case chaos.FateDrop:
 			r.faults.Dropped++
+			if m != nil {
+				m.MsgDropped.Inc(shard)
+			}
 		case chaos.FateDelay:
 			r.pendingStale[round+k]++
 		}
@@ -549,6 +619,9 @@ func (r *runner) result(partial bool) *sim.Result {
 	// (seed, config) alone, not of when the run terminated.
 	for _, c := range r.pendingStale {
 		r.faults.Delayed += c
+		if m := r.cfg.Metrics; m != nil {
+			m.MsgDelayed.Add(r.cfg.MetricsShard, uint64(c))
+		}
 	}
 	res.Faults = r.faults
 	res.FaultNotes = r.notes

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"synran/internal/metrics"
 	"synran/internal/rng"
 )
 
@@ -217,6 +218,13 @@ type Config struct {
 	// a cloned execution cannot re-fire callbacks for hypothetical
 	// futures. TestCloneDropsObserver pins this contract.
 	Observer Observer
+	// Metrics, when non-nil, receives this execution's instrument
+	// emissions (rounds, deliveries, decisions, crashes), tagged with
+	// MetricsShard — the trial worker's id — so concurrent workers never
+	// contend. Snapshots drop Metrics for the same reason they drop the
+	// Observer: look-ahead rollouts must not recount hypothetical futures.
+	Metrics      *metrics.Engine
+	MetricsShard int
 }
 
 // DefaultMaxRounds returns the round cap used when Config.MaxRounds is
@@ -561,6 +569,7 @@ func (e *Execution) CloneInto(dst *Execution) *Execution {
 	n := e.cfg.N
 	dst.cfg = e.cfg
 	dst.cfg.Observer = nil // observers watch one execution, not its clones
+	dst.cfg.Metrics = nil  // ditto: rollouts must not recount events
 	dst.inputs = append(dst.inputs[:0], e.inputs...)
 	if dst.advRng == nil {
 		dst.advRng = e.advRng.Clone()
@@ -727,9 +736,13 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 			}
 			obs.OnCrash(r, v, delivered)
 		}
+		if m := e.cfg.Metrics; m != nil {
+			m.CrashesAdversary.Inc(e.cfg.MetricsShard)
+		}
 	}
 
 	// Phase B: build next-round inboxes.
+	deliveredBefore := e.messages
 	for j := range e.scratch {
 		e.scratch[j] = e.scratch[j][:0]
 	}
@@ -771,6 +784,9 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 		}
 	}
 	e.inboxes, e.scratch = e.scratch, e.inboxes
+	if m := e.cfg.Metrics; m != nil {
+		m.Messages.Add(e.cfg.MetricsShard, uint64(e.messages-deliveredBefore))
+	}
 
 	// Decision / halt bookkeeping. A process's Round call for round r has
 	// completed, so its decided/stopped state reflects the paper's "end of
@@ -788,11 +804,17 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 			if obs := e.cfg.Observer; obs != nil {
 				obs.OnDecide(r, i, v)
 			}
+			if m := e.cfg.Metrics; m != nil {
+				m.Decisions.Inc(e.cfg.MetricsShard)
+			}
 		}
 		if !e.halted[i] && p.Stopped() {
 			e.halted[i] = true
 			if obs := e.cfg.Observer; obs != nil {
 				obs.OnHalt(r, i)
+			}
+			if m := e.cfg.Metrics; m != nil {
+				m.Halts.Inc(e.cfg.MetricsShard)
 			}
 		}
 		if e.alive[i] && !e.halted[i] {
@@ -801,6 +823,9 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 	}
 	if e.decideRound == 0 && allDecided {
 		e.decideRound = r
+		if m := e.cfg.Metrics; m != nil {
+			m.DecideRounds.Observe(e.cfg.MetricsShard, uint64(r))
+		}
 	}
 	if e.haltRound == 0 && !anyAliveActive {
 		e.haltRound = r
@@ -808,6 +833,9 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 
 	e.round = r
 	e.phaseAOpen = false
+	if m := e.cfg.Metrics; m != nil {
+		m.Rounds.Inc(e.cfg.MetricsShard)
+	}
 	return nil
 }
 

@@ -1,5 +1,7 @@
 package sim
 
+import "synran/internal/metrics"
+
 // Arena-backed snapshot engine. Monte-Carlo look-ahead (the valency
 // estimator, the §3.4 Stepwise adversary, the candidate-set LowerBound)
 // snapshots a live Execution tens of thousands of times per experiment;
@@ -37,6 +39,14 @@ type ProcessCopier interface {
 // snapshot stays valid until it is Released; Release order is arbitrary.
 type SnapshotArena struct {
 	free []*Execution
+
+	// Metrics, when non-nil, receives arena reuse accounting (hit/miss
+	// per Snapshot, fleet high-watermark on Release), tagged with Shard.
+	// These instruments are volatile — each worker's fleet warms up
+	// independently, so the hit/miss split depends on the worker count —
+	// and are therefore excluded from the deterministic metrics export.
+	Metrics *metrics.Engine
+	Shard   int
 }
 
 // Snapshot returns a deep copy of base, reusing a retired execution
@@ -48,6 +58,13 @@ func (a *SnapshotArena) Snapshot(base *Execution) *Execution {
 		dst = a.free[k-1]
 		a.free[k-1] = nil
 		a.free = a.free[:k-1]
+	}
+	if m := a.Metrics; m != nil {
+		if dst != nil {
+			m.ArenaHits.Inc(a.Shard)
+		} else {
+			m.ArenaMisses.Inc(a.Shard)
+		}
 	}
 	return base.CloneInto(dst)
 }
@@ -61,6 +78,9 @@ func (a *SnapshotArena) Release(e *Execution) {
 		return
 	}
 	a.free = append(a.free, e)
+	if m := a.Metrics; m != nil {
+		m.ArenaSize.Observe(a.Shard, uint64(len(a.free)))
+	}
 }
 
 // Size reports how many retired shells the arena currently holds.

@@ -25,6 +25,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"synran/internal/metrics"
 )
 
 // DefaultWorkers resolves a configured worker count: values <= 0 select
@@ -130,6 +132,32 @@ func RunWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, e
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// Metered wraps a RunWorker trial function with batch accounting: every
+// invocation counts into m's trials_run, failing ones additionally into
+// trials_failed, sharded by the executing worker so the hot path never
+// contends. A nil m returns fn unchanged.
+//
+// Determinism caveat: on an all-success batch the merged counts are
+// exact (trials_run == n) at every worker count. When a trial fails,
+// Run/RunWorker cancels the unclaimed tail, and how many in-flight
+// trials were already claimed depends on the worker count — so failing
+// batches keep deterministic results and errors (the package contract)
+// but not deterministic trial counts. That is inherent to early
+// cancellation, not to the metrics layer.
+func Metered[T any](m *metrics.Engine, fn func(worker, i int) (T, error)) func(worker, i int) (T, error) {
+	if m == nil {
+		return fn
+	}
+	return func(worker, i int) (T, error) {
+		m.TrialsRun.Inc(worker)
+		v, err := fn(worker, i)
+		if err != nil {
+			m.TrialsFailed.Inc(worker)
+		}
+		return v, err
+	}
 }
 
 // WorkerCount resolves the effective pool width Run/RunWorker will use

@@ -19,6 +19,7 @@ import (
 
 	"synran/internal/adversary"
 	"synran/internal/core"
+	"synran/internal/metrics"
 	"synran/internal/rng"
 	"synran/internal/sim"
 	"synran/internal/trials"
@@ -89,6 +90,10 @@ type Estimator struct {
 	// pre-arena baseline (and CI can detect allocation regressions
 	// against it).
 	UseClone bool
+	// Metrics, when non-nil, receives rollout counts (deterministic) and
+	// per-worker arena reuse accounting (volatile). Set it before the
+	// first Classify call: arenas capture it when they are created.
+	Metrics *metrics.Engine
 
 	counter uint64
 	// arenas recycle rollout executions, one arena per trials worker so
@@ -119,7 +124,7 @@ func NewEstimator(n int, seed uint64) *Estimator {
 // contention- and race-free by construction.
 func (e *Estimator) growArenas(w int) {
 	for len(e.arenas) < w {
-		e.arenas = append(e.arenas, &sim.SnapshotArena{})
+		e.arenas = append(e.arenas, &sim.SnapshotArena{Metrics: e.Metrics, Shard: len(e.arenas)})
 	}
 }
 
@@ -153,6 +158,9 @@ func (e *Estimator) Classify(exec *sim.Execution, k int) (*Estimate, error) {
 	nRollouts := len(e.Pool) * rolls
 	e.growArenas(trials.WorkerCount(e.Workers, nRollouts))
 	rollouts, rerr := trials.RunWorker(e.Workers, nRollouts, func(worker, idx int) (rollout, error) {
+		if m := e.Metrics; m != nil {
+			m.Rollouts.Inc(worker)
+		}
 		ai := idx / rolls
 		// Snapshot the base state into this worker's arena (or Clone
 		// fresh when benchmarking the pre-arena baseline). Either way

@@ -28,12 +28,14 @@ import (
 	"synran/internal/adversary"
 	"synran/internal/chaos"
 	"synran/internal/core"
+	"synran/internal/metrics"
 	"synran/internal/netsim"
 	"synran/internal/protocol/benor"
 	"synran/internal/protocol/earlystop"
 	"synran/internal/protocol/floodset"
 	"synran/internal/protocol/phaseking"
 	"synran/internal/sim"
+	"synran/internal/trials"
 	"synran/internal/valency"
 	"synran/internal/workload"
 )
@@ -126,6 +128,24 @@ type Spec struct {
 	FaultBudget int
 	// Observer, when set, receives engine events.
 	Observer Observer
+	// Metrics, when set, receives the execution's instrument emissions
+	// (rounds, messages, faults, decisions), sharded by MetricsShard;
+	// see internal/metrics for the determinism contract. Zero values
+	// (the default) disable the layer entirely.
+	Metrics      *MetricsEngine
+	MetricsShard int
+}
+
+// MetricsEngine is the instrument set executions emit into; see
+// internal/metrics.NewEngine.
+type MetricsEngine = metrics.Engine
+
+// NewMetricsEngine builds a MetricsEngine sized for a trial pool of the
+// given width (<= 0 selects all cores). Share one engine across a
+// batch's trials and pass each trial's worker id as Spec.MetricsShard;
+// the merged report is then identical at every pool width.
+func NewMetricsEngine(workers int) *MetricsEngine {
+	return metrics.NewEngine(metrics.New(trials.DefaultWorkers(workers)))
 }
 
 // ChaosConfig is the deterministic fault schedule for Spec.Chaos; see
@@ -150,7 +170,10 @@ func Run(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.Config{N: spec.N, T: spec.T, MaxRounds: spec.MaxRounds, Observer: spec.Observer}
+	cfg := sim.Config{
+		N: spec.N, T: spec.T, MaxRounds: spec.MaxRounds, Observer: spec.Observer,
+		Metrics: spec.Metrics, MetricsShard: spec.MetricsShard,
+	}
 	if spec.Live || spec.Chaos != nil {
 		if spec.Adversary == AdversaryLowerBound || spec.Adversary == AdversaryStepwise ||
 			spec.Adversary == AdversaryEquivocator {

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check chaos experiments experiments-quick metrics metrics-golden examples clean
+.PHONY: all build test test-short race cover bench bench-json bench-check chaos conformance experiments experiments-quick metrics metrics-golden examples clean
 
 all: build test
 
@@ -49,6 +49,13 @@ chaos:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/netsim
 	$(GO) run ./cmd/consensus-sim -n 16 -t 7 -adversary none -seed 42 \
 		-chaos 'drop=0.05,dup=0.02,stall=0.05,maxstall=2ms,until=25' -faultbudget 5 -trials 8
+
+# Cross-engine conformance: the differential harness (sequential sim vs
+# zero-chaos netsim vs Reset vs snapshot forks, plus async replay
+# determinism) with its invariant oracles, then the quick CLI sweep.
+conformance:
+	$(GO) test -count=1 ./internal/conformance
+	$(GO) run ./cmd/conformance -quick -seed 42
 
 # Regenerate every experiment table at full size (minutes) or quick size
 # (seconds). Exit status is non-zero if any paper claim fails.

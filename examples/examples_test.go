@@ -1,0 +1,49 @@
+// Package examples_test smoke-tests every example program: each
+// subdirectory must `go run` to completion with a zero exit status, so
+// a refactor that breaks an example's API use fails `go test ./...`
+// instead of waiting for a human to try `make examples`.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("each example is a full go run")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ran++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s printed nothing", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example directories found")
+	}
+}

@@ -49,13 +49,17 @@ type Process interface {
 	Halted() bool
 }
 
-// View is the scheduler's full-information snapshot.
+// View is the scheduler's full-information snapshot. The Alive and
+// Pending slices are defensive copies owned by the engine's reusable
+// view buffers: mutating them cannot corrupt engine state, and they are
+// only valid for the duration of the Next call (the next step overwrites
+// them in place).
 type View struct {
 	Step    int
 	N, T    int
 	Budget  int
 	Alive   []bool
-	Pending []Message // read-only
+	Pending []Message
 	Procs   []Process
 	Rng     *rng.Stream
 }
@@ -72,6 +76,16 @@ type Action struct {
 type Scheduler interface {
 	Name() string
 	Next(v *View) Action
+}
+
+// DeliveryObserver is the optional scheduler extension the engine uses
+// to report the message it ACTUALLY delivered each step. A scheduler
+// must base any internal tally on Delivered, never on the message it
+// picked in Next: when the same Action also crashes a victim, the
+// engine recompacts pending, and the chosen message may have died with
+// the crash — in which case a different message is delivered.
+type DeliveryObserver interface {
+	Delivered(m Message)
 }
 
 // Config sizes an asynchronous execution.
@@ -131,6 +145,12 @@ type Execution struct {
 	steps   int
 	crashes int
 	advRng  *rng.Stream
+
+	// viewAlive/viewPending back the defensive copies handed to
+	// schedulers; reused across steps so views cost no allocation in
+	// steady state.
+	viewAlive   []bool
+	viewPending []Message
 }
 
 // NewExecution assembles an asynchronous execution.
@@ -195,6 +215,42 @@ func (e *Execution) done() bool {
 	return true
 }
 
+// view assembles the scheduler's snapshot in the execution's reusable
+// buffers: Alive and Pending are defensive copies, so a buggy (or
+// malicious) scheduler mutating them cannot corrupt engine state.
+func (e *Execution) view() *View {
+	e.viewAlive = append(e.viewAlive[:0], e.alive...)
+	e.viewPending = append(e.viewPending[:0], e.pending...)
+	return &View{
+		Step:    e.steps,
+		N:       e.cfg.N,
+		T:       e.cfg.T,
+		Budget:  e.cfg.T - e.crashes,
+		Alive:   e.viewAlive,
+		Pending: e.viewPending,
+		Procs:   e.procs,
+		Rng:     e.advRng,
+	}
+}
+
+// findSeq locates the pending message with the given sequence number
+// (pending is kept in seq order, so binary search applies); -1 = gone.
+func (e *Execution) findSeq(seq int) int {
+	lo, hi := 0, len(e.pending)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.pending[mid].Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(e.pending) && e.pending[lo].Seq == seq {
+		return lo
+	}
+	return -1
+}
+
 // Run drives the execution until every correct process decides, the
 // schedule starves (no deliverable messages), or MaxSteps is hit.
 func (e *Execution) Run(sched Scheduler) (*Result, error) {
@@ -209,17 +265,14 @@ func (e *Execution) Run(sched Scheduler) (*Result, error) {
 			// exist — count it as non-termination.
 			return nil, fmt.Errorf("%w (no pending messages after %d steps)", ErrMaxSteps, e.steps)
 		}
-		view := &View{
-			Step:    e.steps,
-			N:       e.cfg.N,
-			T:       e.cfg.T,
-			Budget:  e.cfg.T - e.crashes,
-			Alive:   e.alive,
-			Pending: e.pending,
-			Procs:   e.procs,
-			Rng:     e.advRng,
+		act := sched.Next(e.view())
+		// Resolve the chosen message BY IDENTITY (its Seq) before any
+		// crash processing: indices into pending are not stable across
+		// the recompaction a crash triggers.
+		chosenSeq := -1
+		if act.Deliver >= 0 && act.Deliver < len(e.pending) {
+			chosenSeq = e.pending[act.Deliver].Seq
 		}
-		act := sched.Next(view)
 		if act.Victim >= 0 && act.Victim < e.cfg.N && e.alive[act.Victim] && e.crashes < e.cfg.T {
 			e.alive[act.Victim] = false
 			e.crashes++
@@ -227,16 +280,29 @@ func (e *Execution) Run(sched Scheduler) (*Result, error) {
 			if len(e.pending) == 0 {
 				continue
 			}
-			if act.Deliver >= len(e.pending) {
-				act.Deliver = 0
+		}
+		idx := -1
+		if chosenSeq >= 0 {
+			idx = e.findSeq(chosenSeq)
+		}
+		if idx < 0 {
+			// The chosen message died with the crash (or the index was
+			// invalid): deterministic re-pick — consult the scheduler
+			// again on the post-crash state instead of silently clamping
+			// to index 0. Only the Deliver choice is honoured (one crash
+			// per step); an invalid second pick falls back to index 0.
+			re := sched.Next(e.view())
+			idx = re.Deliver
+			if idx < 0 || idx >= len(e.pending) {
+				idx = 0
 			}
 		}
-		if act.Deliver < 0 || act.Deliver >= len(e.pending) {
-			act.Deliver = 0
-		}
-		m := e.pending[act.Deliver]
-		e.pending = append(e.pending[:act.Deliver], e.pending[act.Deliver+1:]...)
+		m := e.pending[idx]
+		e.pending = append(e.pending[:idx], e.pending[idx+1:]...)
 		e.steps++
+		if d, ok := sched.(DeliveryObserver); ok {
+			d.Delivered(m)
+		}
 		if e.alive[m.To] && !e.procs[m.To].Halted() {
 			e.enqueue(m.To, e.procs[m.To].Deliver(m.From, m.Payload))
 		}

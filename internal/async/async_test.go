@@ -206,6 +206,139 @@ func TestSafetyQuickAsync(t *testing.T) {
 	}
 }
 
+// crashingSplitter wraps a Splitter and, once, turns its pick into a
+// crash+deliver step whose chosen message dies with the crash: it names
+// a pending report message and crashes that message's sender in the same
+// Action. The engine must then deliver a DIFFERENT message — the
+// scenario where the pre-fix Splitter (recording its choice in Next)
+// silently drifted from true deliveries.
+type crashingSplitter struct {
+	inner   *Splitter
+	crashed bool
+	reports int // actual report deliveries, counted independently
+}
+
+func (c *crashingSplitter) Name() string { return "crashing-splitter" }
+
+func (c *crashingSplitter) Next(v *View) Action {
+	act := c.inner.Next(v)
+	if !c.crashed && v.Budget > 0 {
+		for idx, m := range v.Pending {
+			typ, _, val := Unpack(m.Payload)
+			if typ == typeReport && (val == 0 || val == 1) && v.Alive[m.From] {
+				c.crashed = true
+				return Action{Victim: m.From, Deliver: idx}
+			}
+		}
+	}
+	return act
+}
+
+func (c *crashingSplitter) Delivered(m Message) {
+	typ, _, val := Unpack(m.Payload)
+	if typ == typeReport && (val == 0 || val == 1) {
+		c.reports++
+	}
+	c.inner.Delivered(m)
+}
+
+func TestSplitterTallyMatchesDeliveries(t *testing.T) {
+	// Regression for the Splitter drift bug: force a step that both
+	// crashes a victim and had chosen one of the victim's messages, then
+	// assert the seen tally equals the report deliveries that actually
+	// happened. Before the record-on-delivery fix, the tally counted the
+	// chosen (never delivered) message and drifted.
+	triggered := false
+	for seed := uint64(0); seed < 8; seed++ {
+		sched := &crashingSplitter{inner: NewSplitter()}
+		_, err := runAsync(t, 5, 2, half(5), CoinRandom, sched, seed, 0)
+		if err != nil && !errors.Is(err, ErrMaxSteps) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got, want := sched.inner.RecordedReports(), sched.reports; got != want {
+			t.Fatalf("seed %d: splitter tally %d != actual report deliveries %d", seed, got, want)
+		}
+		triggered = triggered || sched.crashed
+	}
+	if !triggered {
+		t.Fatal("no run ever produced the crash+deliver step; the regression scenario never ran")
+	}
+}
+
+// vandalSched mutates every view slice it is handed after making its
+// pick — a worst-case buggy scheduler. With defensive copies the
+// vandalism must not leak into engine state.
+type vandalSched struct{ inner Scheduler }
+
+func (s vandalSched) Name() string { return "vandal" }
+
+func (s vandalSched) Next(v *View) Action {
+	act := s.inner.Next(v)
+	for i := range v.Alive {
+		v.Alive[i] = false
+	}
+	for i := range v.Pending {
+		v.Pending[i] = Message{Seq: -1, From: -1, To: -1, Payload: -1}
+	}
+	return act
+}
+
+// deliveryLog records the engine's true delivery sequence (the async
+// run digest) while forwarding the callback to the wrapped scheduler.
+type deliveryLog struct {
+	Scheduler
+	log []Message
+}
+
+func (d *deliveryLog) Delivered(m Message) {
+	if obs, ok := d.Scheduler.(DeliveryObserver); ok {
+		obs.Delivered(m)
+	}
+	d.log = append(d.log, m)
+}
+
+func TestMutatingSchedulerDoesNotAffectDigest(t *testing.T) {
+	run := func(sched Scheduler) (*deliveryLog, *Result) {
+		rec := &deliveryLog{Scheduler: sched}
+		procs := mkBenOr(t, 5, 2, half(5), CoinRandom, 7)
+		exec, err := NewExecution(Config{N: 5, T: 2}, procs, half(5), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec, res
+	}
+	clean, cleanRes := run(FIFO{})
+	vandal, vandalRes := run(vandalSched{inner: FIFO{}})
+	if len(clean.log) != len(vandal.log) {
+		t.Fatalf("delivery counts diverged: %d vs %d", len(clean.log), len(vandal.log))
+	}
+	for i := range clean.log {
+		if clean.log[i] != vandal.log[i] {
+			t.Fatalf("delivery %d diverged: %+v vs %+v", i, clean.log[i], vandal.log[i])
+		}
+	}
+	if cleanRes.Steps != vandalRes.Steps || cleanRes.DecidedValue() != vandalRes.DecidedValue() ||
+		cleanRes.Crashes != vandalRes.Crashes {
+		t.Fatalf("results diverged: %+v vs %+v", cleanRes, vandalRes)
+	}
+}
+
+func TestSyncRoundSchedulerTerminates(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		res, err := runAsync(t, 5, 2, half(5), CoinRandom, NewSyncRound(), seed, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Agreement || !res.Validity {
+			t.Fatalf("seed %d: agreement=%v validity=%v", seed, res.Agreement, res.Validity)
+		}
+	}
+}
+
 func TestDeterministicReplay(t *testing.T) {
 	run := func() (*Result, error) {
 		return runAsync(t, 5, 2, half(5), CoinRandom, &RandomSched{CrashProb: 0.01}, 42, 0)

@@ -48,6 +48,18 @@ func Unpack(p int64) (typ, phase, val int) {
 	return int(p & 3), int(p >> 4), int((p >> 2) & 3)
 }
 
+// ReportValue reports whether p encodes a REPORT message carrying a
+// binary value, and returns that value. The conformance harness uses it
+// to count report deliveries independently of the Splitter's internal
+// tally when cross-checking the two.
+func ReportValue(p int64) (int, bool) {
+	typ, _, val := Unpack(p)
+	if typ == typeReport && (val == 0 || val == 1) {
+		return val, true
+	}
+	return 0, false
+}
+
 // CoinMode selects the Ben-Or coin.
 type CoinMode int
 

@@ -71,7 +71,11 @@ func NewSplitter() *Splitter {
 // Name implements Scheduler.
 func (s *Splitter) Name() string { return "splitter" }
 
-// Next implements Scheduler.
+// Next implements Scheduler. It is pure: the seen tally is updated by
+// Delivered, with the message the engine actually delivered — recording
+// the chosen message here instead would drift whenever a same-step crash
+// recompacts pending (the Splitter-tally bug the conformance harness
+// flushed out; TestSplitterTallyMatchesDeliveries pins the fix).
 func (s *Splitter) Next(v *View) Action {
 	bestIdx, bestScore := 0, 1<<30
 	for idx, m := range v.Pending {
@@ -83,8 +87,24 @@ func (s *Splitter) Next(v *View) Action {
 			}
 		}
 	}
-	s.record(v.Pending[bestIdx])
 	return Action{Victim: -1, Deliver: bestIdx}
+}
+
+// Delivered implements DeliveryObserver: the tally counts true
+// deliveries only.
+func (s *Splitter) Delivered(m Message) { s.record(m) }
+
+// RecordedReports returns the total number of report deliveries in the
+// seen tally — the quantity the conformance harness cross-checks against
+// the engine's actual report deliveries.
+func (s *Splitter) RecordedReports() int {
+	total := 0
+	for _, byPhase := range s.seen {
+		for _, c := range byPhase {
+			total += c[0] + c[1]
+		}
+	}
+	return total
 }
 
 // score ranks a message: lower is delivered sooner.
@@ -131,10 +151,54 @@ func (s *Splitter) counts(receiver, phase int) *[2]int {
 	return c
 }
 
-// record tracks the delivery just chosen.
+// record tracks one actual delivery.
 func (s *Splitter) record(m Message) {
 	typ, phase, val := Unpack(m.Payload)
 	if typ == typeReport && (val == 0 || val == 1) {
 		s.counts(m.To, phase)[val]++
 	}
+}
+
+// SyncRound emulates the synchronous lock-step schedule on the
+// asynchronous engine: among pending messages it delivers the one whose
+// receiver has received the fewest messages so far (ties broken by
+// sequence number, i.e. creation order), so deliveries spread round-robin
+// across receivers the way a perfect synchronizer would spread a round's
+// broadcast. The tally counts true deliveries via the DeliveryObserver
+// callback — the conformance harness runs the async engine under this
+// scheduler as its synchronous-round lane.
+type SyncRound struct {
+	delivered []int
+}
+
+var _ Scheduler = (*SyncRound)(nil)
+var _ DeliveryObserver = (*SyncRound)(nil)
+
+// NewSyncRound builds the synchronous-round scheduler.
+func NewSyncRound() *SyncRound { return &SyncRound{} }
+
+// Name implements Scheduler.
+func (s *SyncRound) Name() string { return "syncround" }
+
+// Next implements Scheduler.
+func (s *SyncRound) Next(v *View) Action {
+	best, bestCount := 0, 1<<30
+	for idx, m := range v.Pending {
+		c := 0
+		if m.To < len(s.delivered) {
+			c = s.delivered[m.To]
+		}
+		if c < bestCount { // seq order breaks ties: first hit wins
+			bestCount, best = c, idx
+		}
+	}
+	return Action{Victim: -1, Deliver: best}
+}
+
+// Delivered implements DeliveryObserver.
+func (s *SyncRound) Delivered(m Message) {
+	for len(s.delivered) <= m.To {
+		s.delivered = append(s.delivered, 0)
+	}
+	s.delivered[m.To]++
 }

@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"synran/internal/conformance"
+	"synran/internal/metrics"
+)
+
+// ConformanceOptions configures Conformance.
+type ConformanceOptions struct {
+	// Quick selects the reduced case grid (the CI smoke configuration).
+	Quick bool
+	Seed  uint64
+	// Seeds is the number of seeds per grid point (minimum 1).
+	Seeds int
+	// Workers bounds the case worker pool (0 = all cores); the report is
+	// identical at every worker count.
+	Workers int
+	// MaxRounds caps each synchronous lane (0 = the harness default).
+	MaxRounds int
+	// One, when non-empty, checks a single case spec (the -one repro flag
+	// a Divergence prints) instead of the grid.
+	One string
+	// Metrics, when non-nil, counts conformance cases as trials.
+	Metrics *metrics.Engine
+}
+
+// Conformance is the command core of cmd/conformance: it runs the
+// differential sweep (or one case) and renders every divergence and
+// oracle violation, returning an error when any were found so the
+// command exits non-zero.
+func Conformance(opts ConformanceOptions, w io.Writer) error {
+	if opts.One != "" {
+		return conformanceOne(opts, w)
+	}
+	cfg := conformance.SweepConfig{
+		Quick:     opts.Quick,
+		Seed:      opts.Seed,
+		Seeds:     opts.Seeds,
+		Workers:   opts.Workers,
+		MaxRounds: opts.MaxRounds,
+		Metrics:   opts.Metrics,
+	}
+	sum, err := conformance.Sweep(cfg)
+	if err != nil {
+		return err
+	}
+	mode := "full"
+	if opts.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(w, "conformance %s sweep: seed=%d\n", mode, opts.Seed)
+	fmt.Fprintf(w, "sync cases : %d (sim vs netsim vs reset vs snapshot forks)\n", sum.SyncCases)
+	fmt.Fprintf(w, "async cases: %d (replay determinism + invariants)\n", sum.AsyncCases)
+	renderFindings(w, sum.Divergences, sum.Violations)
+	if !sum.Ok() {
+		return fmt.Errorf("%d divergences, %d violations", len(sum.Divergences), len(sum.Violations))
+	}
+	fmt.Fprintln(w, "all lanes agree; all oracles hold")
+	return nil
+}
+
+// conformanceOne replays a single case spec — the reproduction path a
+// reported Divergence names.
+func conformanceOne(opts ConformanceOptions, w io.Writer) error {
+	c, err := conformance.ParseCase(opts.One)
+	if err != nil {
+		return err
+	}
+	if opts.MaxRounds > 0 {
+		c.MaxRounds = opts.MaxRounds
+	}
+	fmt.Fprintf(w, "conformance case: %s\n", c.Name())
+	divs, violations, err := conformance.CheckSync(c, nil)
+	if err != nil {
+		return err
+	}
+	renderFindings(w, divs, violations)
+	if len(divs) > 0 || len(violations) > 0 {
+		return fmt.Errorf("%d divergences, %d violations", len(divs), len(violations))
+	}
+	fmt.Fprintln(w, "all lanes agree; all oracles hold")
+	return nil
+}
+
+func renderFindings(w io.Writer, divs []conformance.Divergence, violations []string) {
+	for _, d := range divs {
+		fmt.Fprintf(w, "DIVERGENCE %s\n", d)
+	}
+	for _, v := range violations {
+		fmt.Fprintf(w, "VIOLATION %s\n", v)
+	}
+}

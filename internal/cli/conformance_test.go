@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConformanceQuickSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick grid is still dozens of differential cases")
+	}
+	var sb strings.Builder
+	err := Conformance(ConformanceOptions{Quick: true, Seed: 42}, &sb)
+	if err != nil {
+		t.Fatalf("quick sweep failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"conformance quick sweep", "sync cases", "async cases", "all lanes agree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConformanceOneCase(t *testing.T) {
+	var sb strings.Builder
+	err := Conformance(ConformanceOptions{
+		One: "protocol=synran,adversary=splitvote,workload=half,n=5,t=2,seed=7",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("single case failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "synran/splitvote/half/n=5/t=2/seed=7") {
+		t.Fatalf("output missing the case name:\n%s", sb.String())
+	}
+}
+
+func TestConformanceRejectsBadSpec(t *testing.T) {
+	var sb strings.Builder
+	if err := Conformance(ConformanceOptions{One: "protocol=synran,bogus=1"}, &sb); err == nil {
+		t.Fatal("bad case spec must fail")
+	}
+}

@@ -1,0 +1,302 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+
+	"synran/internal/async"
+	"synran/internal/workload"
+)
+
+// AsyncCase identifies one asynchronous conformance check. The async
+// engine has no rounds to diff against the synchronous lanes, so its
+// contract is replay determinism — two runs of the same seeded case
+// must deliver the exact same message sequence — plus the same
+// recomputed safety invariants the synchronous oracles check.
+type AsyncCase struct {
+	Scheduler string // fifo | random | splitter | syncround
+	Coin      string // random | parity
+	Workload  string
+	N, T      int
+	Seed      uint64
+	MaxSteps  int
+}
+
+// Name is the case's identifier in reports.
+func (c AsyncCase) Name() string {
+	return fmt.Sprintf("async-benor/%s/%s/%s/n=%d/t=%d/seed=%d",
+		c.Scheduler, orDefault(c.Coin, "random"), c.Workload, c.N, c.T, c.Seed)
+}
+
+// Repro is the reproduction command (asyncsim runs the same engine and
+// scheduler; -trials 1 replays the exact case).
+func (c AsyncCase) Repro() string {
+	return fmt.Sprintf("go run ./cmd/asyncsim -n %d -t %d -scheduler %s -coin %s -workload %s -seed %d -trials 1",
+		c.N, c.T, c.Scheduler, orDefault(c.Coin, "random"), c.Workload, c.Seed)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// asyncCase wraps an AsyncCase as the Case a Divergence carries, reusing
+// the sync report plumbing (the repro text is the asyncsim command).
+func (c AsyncCase) asCase() Case {
+	return Case{
+		Protocol:  "async-benor",
+		Adversary: c.Scheduler,
+		Workload:  c.Workload,
+		N:         c.N, T: c.T, Seed: c.Seed,
+	}
+}
+
+// recordingSched wraps a scheduler, logging every message the engine
+// actually delivers (and forwarding the callback when the inner
+// scheduler is itself a DeliveryObserver).
+type recordingSched struct {
+	inner async.Scheduler
+	log   []async.Message
+}
+
+var _ async.Scheduler = (*recordingSched)(nil)
+var _ async.DeliveryObserver = (*recordingSched)(nil)
+
+func (r *recordingSched) Name() string                    { return r.inner.Name() }
+func (r *recordingSched) Next(v *async.View) async.Action { return r.inner.Next(v) }
+func (r *recordingSched) Delivered(m async.Message) {
+	r.log = append(r.log, m)
+	if d, ok := r.inner.(async.DeliveryObserver); ok {
+		d.Delivered(m)
+	}
+}
+
+// newAsyncSched builds a scheduler by name.
+func newAsyncSched(name string) (async.Scheduler, error) {
+	switch name {
+	case "", "fifo":
+		return async.FIFO{}, nil
+	case "random":
+		return &async.RandomSched{CrashProb: 0.02}, nil
+	case "splitter":
+		return async.NewSplitter(), nil
+	case "syncround":
+		return async.NewSyncRound(), nil
+	default:
+		return nil, fmt.Errorf("conformance: unknown async scheduler %q", name)
+	}
+}
+
+// asyncRun is one replay of an async case.
+type asyncRun struct {
+	sched    *recordingSched
+	res      *async.Result
+	timedOut bool
+}
+
+// runAsyncOnce executes the case once with fresh processes, execution,
+// and scheduler.
+func (c AsyncCase) runAsyncOnce() (*asyncRun, error) {
+	inputs, err := workload.Named(c.Workload, c.N, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mode := async.CoinRandom
+	if c.Coin == "parity" {
+		mode = async.CoinParity
+	}
+	procs, err := async.NewBenOrProcs(c.N, c.T, inputs, mode, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := async.NewExecution(async.Config{N: c.N, T: c.T, MaxSteps: c.MaxSteps},
+		procs, inputs, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := newAsyncSched(c.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	sched := &recordingSched{inner: inner}
+	res, err := exec.Run(sched)
+	run := &asyncRun{sched: sched}
+	if err != nil {
+		if !errors.Is(err, async.ErrMaxSteps) {
+			return nil, err
+		}
+		run.timedOut = true
+		return run, nil
+	}
+	run.res = res
+	return run, nil
+}
+
+// CheckAsync runs the case twice and compares the delivery sequences
+// message for message (replay determinism — this is the check that
+// catches a scheduler whose internal state drifts from what the engine
+// actually delivered, such as the pre-fix Splitter tally), then applies
+// the invariant recomputations to the result.
+func (c AsyncCase) Check() ([]Divergence, []string, error) {
+	return CheckAsync(c)
+}
+
+// CheckAsync is the package-level form of AsyncCase.Check.
+func CheckAsync(c AsyncCase) ([]Divergence, []string, error) {
+	a, err := c.runAsyncOnce()
+	if err != nil {
+		return nil, nil, fmt.Errorf("conformance: %s run 1: %w", c.Name(), err)
+	}
+	b, err := c.runAsyncOnce()
+	if err != nil {
+		return nil, nil, fmt.Errorf("conformance: %s run 2: %w", c.Name(), err)
+	}
+
+	var divs []Divergence
+	cc := c.asCase()
+	div := func(field, av, bv string, idx int) {
+		divs = append(divs, Divergence{
+			Case: cc, LaneA: "async-run1", LaneB: "async-run2",
+			Field: field, A: av, B: bv, EventIndex: idx,
+		})
+	}
+	if idx, av, bv := diffDeliveries(a.sched.log, b.sched.log); idx >= 0 {
+		div("delivery", av, bv, idx)
+	}
+	if a.timedOut != b.timedOut {
+		div("timeout", fmt.Sprint(a.timedOut), fmt.Sprint(b.timedOut), -1)
+	}
+	if a.res != nil && b.res != nil {
+		ra, rb := a.res, b.res
+		if ra.Steps != rb.Steps {
+			div("Result.Steps", fmt.Sprint(ra.Steps), fmt.Sprint(rb.Steps), -1)
+		}
+		if ra.Crashes != rb.Crashes {
+			div("Result.Crashes", fmt.Sprint(ra.Crashes), fmt.Sprint(rb.Crashes), -1)
+		}
+		if fmt.Sprint(ra.Decisions) != fmt.Sprint(rb.Decisions) {
+			div("Result.Decisions", fmt.Sprint(ra.Decisions), fmt.Sprint(rb.Decisions), -1)
+		}
+	}
+
+	violations := asyncInvariants(c, a)
+	for i := range violations {
+		violations[i] = fmt.Sprintf("%s: %s\n  repro: %s", c.Name(), violations[i], c.Repro())
+	}
+	return divs, violations, nil
+}
+
+// diffDeliveries finds the first delivery where two replays disagree.
+func diffDeliveries(a, b []async.Message) (int, string, string) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i, fmt.Sprintf("%+v", a[i]), fmt.Sprintf("%+v", b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return n, fmt.Sprintf("%d deliveries", len(a)), fmt.Sprintf("%d deliveries", len(b))
+	}
+	return -1, "", ""
+}
+
+// asyncInvariants recomputes the async engine's contracts on one run:
+// step accounting, crash budget, agreement/validity from the raw
+// decision vector, and — for the Splitter — the tally-vs-deliveries
+// cross-check that pins the Delivered-callback fix.
+func asyncInvariants(c AsyncCase, run *asyncRun) []string {
+	var out []string
+	res := run.res
+	if res != nil {
+		if res.Steps != len(run.sched.log) {
+			out = append(out, fmt.Sprintf("Result.Steps=%d but %d deliveries observed", res.Steps, len(run.sched.log)))
+		}
+		if res.Crashes > c.T {
+			out = append(out, fmt.Sprintf("%d crashes, budget t=%d", res.Crashes, c.T))
+		}
+		common := -1
+		for i, ok := range res.Decided {
+			if !ok {
+				continue
+			}
+			v := res.Decisions[i]
+			if v != 0 && v != 1 {
+				out = append(out, fmt.Sprintf("process %d decided non-binary %d", i, v))
+			}
+			if common == -1 {
+				common = v
+			} else if common != v {
+				out = append(out, fmt.Sprintf("agreement violated: decisions=%v", res.Decisions))
+				break
+			}
+		}
+		uniform := len(res.Inputs) > 0
+		for _, x := range res.Inputs {
+			if x != res.Inputs[0] {
+				uniform = false
+			}
+		}
+		if uniform {
+			for i, ok := range res.Decided {
+				if ok && res.Decisions[i] != res.Inputs[0] {
+					out = append(out, fmt.Sprintf(
+						"validity violated: all inputs %d, process %d decided %d",
+						res.Inputs[0], i, res.Decisions[i]))
+				}
+			}
+		}
+	}
+	if sp, ok := run.sched.inner.(*async.Splitter); ok {
+		reports := 0
+		for _, m := range run.sched.log {
+			if _, ok := async.ReportValue(m.Payload); ok {
+				reports++
+			}
+		}
+		if got := sp.RecordedReports(); got != reports {
+			out = append(out, fmt.Sprintf(
+				"splitter tally drift: scheduler recorded %d report deliveries, engine delivered %d", got, reports))
+		}
+	}
+	return out
+}
+
+// AsyncCases enumerates the sweep's asynchronous grid: every scheduler
+// (including the synchronous-round emulation) on the randomized coin,
+// with the deterministic parity coin added for the benign FIFO schedule
+// (the adversarial schedules loop it forever by design — E15).
+func AsyncCases(cfg SweepConfig) []AsyncCase {
+	scheds := []string{"fifo", "syncround", "splitter"}
+	if !cfg.Quick {
+		scheds = append(scheds, "random")
+	}
+	workloads := []string{"half"}
+	if !cfg.Quick {
+		workloads = append(workloads, "zeros", "random")
+	}
+	seeds := cfg.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	var out []AsyncCase
+	for _, sched := range scheds {
+		for _, wl := range workloads {
+			for s := 0; s < seeds; s++ {
+				out = append(out, AsyncCase{
+					Scheduler: sched, Workload: wl,
+					N: 5, T: 2, Seed: cfg.Seed + uint64(len(out)),
+				})
+			}
+		}
+	}
+	out = append(out, AsyncCase{
+		Scheduler: "fifo", Coin: "parity", Workload: "half",
+		N: 4, T: 1, Seed: cfg.Seed,
+	})
+	return out
+}

@@ -134,6 +134,56 @@ func ReadJSON(r io.Reader) (*Report, error) {
 	return &rep, nil
 }
 
+// Diff compares two reports field by field and describes the first
+// difference found ("" = identical). The conformance harness uses it to
+// require that every engine lane of the same (seed, config) emits the
+// same deterministic metrics document. Volatile sections are excluded:
+// they are outside the determinism contract by definition.
+func (rep *Report) Diff(other *Report) string {
+	if len(rep.Counters) != len(other.Counters) {
+		return fmt.Sprintf("counter count %d != %d", len(rep.Counters), len(other.Counters))
+	}
+	for i, c := range rep.Counters {
+		o := other.Counters[i]
+		if c.Name != o.Name {
+			return fmt.Sprintf("counter[%d] name %q != %q", i, c.Name, o.Name)
+		}
+		if c.Value != o.Value {
+			return fmt.Sprintf("counter %q: %d != %d", c.Name, c.Value, o.Value)
+		}
+	}
+	if len(rep.Gauges) != len(other.Gauges) {
+		return fmt.Sprintf("gauge count %d != %d", len(rep.Gauges), len(other.Gauges))
+	}
+	for i, g := range rep.Gauges {
+		o := other.Gauges[i]
+		if g.Name != o.Name {
+			return fmt.Sprintf("gauge[%d] name %q != %q", i, g.Name, o.Name)
+		}
+		if g.Max != o.Max {
+			return fmt.Sprintf("gauge %q: %d != %d", g.Name, g.Max, o.Max)
+		}
+	}
+	if len(rep.Histograms) != len(other.Histograms) {
+		return fmt.Sprintf("histogram count %d != %d", len(rep.Histograms), len(other.Histograms))
+	}
+	for i, h := range rep.Histograms {
+		o := other.Histograms[i]
+		if h.Name != o.Name {
+			return fmt.Sprintf("histogram[%d] name %q != %q", i, h.Name, o.Name)
+		}
+		if h.Count != o.Count {
+			return fmt.Sprintf("histogram %q: count %d != %d", h.Name, h.Count, o.Count)
+		}
+		for j := range h.Counts {
+			if j < len(o.Counts) && h.Counts[j] != o.Counts[j] {
+				return fmt.Sprintf("histogram %q bucket %d: %d != %d", h.Name, j, h.Counts[j], o.Counts[j])
+			}
+		}
+	}
+	return ""
+}
+
 // Counter returns the named counter's merged value, or 0 when absent —
 // the accessor tests and the CLI use to spot-check exported documents.
 func (rep *Report) Counter(name string) uint64 {

@@ -140,8 +140,9 @@ type runner struct {
 	advRng      *rng.Stream
 	advCrashed  int
 
-	faults sim.Faults
-	notes  []string
+	faults   sim.Faults
+	notes    []string
+	messages int // deliveries so far (the Result.Messages accounting)
 	// pendingStale[r] counts delayed message copies scheduled to arrive
 	// in round r; the synchronizer discards them as stale on arrival
 	// (their round has closed), which is when Faults.Delayed counts them.
@@ -491,10 +492,24 @@ func (r *runner) run() (*sim.Result, error) {
 			sent := 0
 			var omitted []int
 			for j := 0; j < r.n; j++ {
-				if j == i || !r.alive[j] || r.halted[j] || stoppedNow[j] {
+				if j == i || !r.alive[j] || r.halted[j] {
 					continue
 				}
 				if deliver[i] != nil && !deliver[i].Get(j) {
+					continue
+				}
+				if stoppedNow[j] {
+					// The receiver halted in this round's Phase A, so the
+					// channel write would never be read and the synchronizer
+					// elides it. In the §3.1 model the delivery still happens
+					// (the sequential engine counts it): on the perfect
+					// zero-chaos substrate, count it so Result.Messages
+					// matches the sequential engine exactly. Under chaos the
+					// transmission is never attempted, so it draws no fates
+					// and absorbs no faults — accounting there is unchanged.
+					if r.opts.Injector == nil {
+						roundDelivered++
+					}
 					continue
 				}
 				if r.transmit(round, i, j) {
@@ -522,6 +537,7 @@ func (r *runner) run() (*sim.Result, error) {
 			}
 		}
 		r.inboxes = next
+		r.messages += roundDelivered
 		if m != nil {
 			m.Messages.Add(shard, uint64(roundDelivered))
 		}
@@ -614,6 +630,9 @@ func (r *runner) transmit(round, from, to int) bool {
 // sequential engine's Result method), attaching the fault accounting.
 func (r *runner) result(partial bool) *sim.Result {
 	res := assemble(r.procs, r.inputs, r.alive, r.decideRound, r.haltRound, r.advCrashed)
+	// Message accounting used to be left at zero here — a real divergence
+	// from the sequential engine that the conformance harness flushed out.
+	res.Messages = r.messages
 	// Delayed copies still in flight when the run ends would have been
 	// discarded as stale; account for them now so Faults is a function of
 	// (seed, config) alone, not of when the run terminated.

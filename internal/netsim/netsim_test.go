@@ -56,6 +56,7 @@ func TestEquivalenceWithSequentialEngine(t *testing.T) {
 				seqRes.DecideRounds != liveRes.DecideRounds ||
 				seqRes.Crashes != liveRes.Crashes ||
 				seqRes.Survivors != liveRes.Survivors ||
+				seqRes.Messages != liveRes.Messages ||
 				seqRes.DecidedValue() != liveRes.DecidedValue() {
 				t.Fatalf("n=%d seed=%d: sequential %+v != live %+v", n, seed, seqRes, liveRes)
 			}

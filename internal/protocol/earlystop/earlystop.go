@@ -110,7 +110,7 @@ func (p *Proc) Round(r int, inbox []sim.Recv) (int64, bool) {
 			p.linger++
 		}
 		p.sent++
-		return p.mask, true
+		return wire.Flood(p.mask), true
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"synran/internal/adversary"
 	"synran/internal/sim"
+	"synran/internal/wire"
 )
 
 func runES(t *testing.T, n, tt int, inputs []int, adv sim.Adversary, seed uint64) *sim.Result {
@@ -148,5 +149,30 @@ func TestEarlyStopCloneIsDeep(t *testing.T) {
 	}
 	if len(c.peers) != 1 {
 		t.Fatalf("clone peers = %v, want the round-2 sender", c.peers)
+	}
+}
+
+// TestPayloadsAreTaggedFloodWords pins the wire contract the conformance
+// oracle enforces: every early-stopping broadcast is a tagged flood word
+// with a well-formed value-set mask.
+func TestPayloadsAreTaggedFloodWords(t *testing.T) {
+	p, err := NewProc(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; ; r++ {
+		payload, sending := p.Round(r, []sim.Recv{{From: 1, Payload: wire.Flood(wire.MaskZero)}})
+		if !sending {
+			break
+		}
+		if !wire.IsFlood(payload) {
+			t.Fatalf("round %d: payload %#x is not flood-tagged", r, payload)
+		}
+		if err := wire.CheckPayload(payload); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	if _, ok := p.Decided(); !ok {
+		t.Fatal("process must decide after its clean round")
 	}
 }

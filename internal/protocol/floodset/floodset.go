@@ -71,7 +71,7 @@ func (p *Proc) Round(_ int, inbox []sim.Recv) (int64, bool) {
 		return 0, false
 	}
 	p.sent++
-	return p.mask, true
+	return wire.Flood(p.mask), true
 }
 
 // decide applies the standard FloodSet rule: a singleton witnessed set

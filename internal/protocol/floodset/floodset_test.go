@@ -167,3 +167,29 @@ func TestCloneIsDeep(t *testing.T) {
 		t.Fatalf("clone mask = %b, want the untouched input {1}", c.mask)
 	}
 }
+
+// TestPayloadsAreTaggedFloodWords pins the wire contract the conformance
+// oracle enforces: every broadcast carries FloodTag and a well-formed
+// value-set mask, never a raw mask that CheckPayload would read as a
+// (malformed) plain-bit message.
+func TestPayloadsAreTaggedFloodWords(t *testing.T) {
+	p, err := NewProc(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; ; r++ {
+		payload, sending := p.Round(r, []sim.Recv{{From: 1, Payload: wire.Flood(wire.MaskZero)}})
+		if !sending {
+			break
+		}
+		if !wire.IsFlood(payload) {
+			t.Fatalf("round %d: payload %#x is not flood-tagged", r, payload)
+		}
+		if err := wire.CheckPayload(payload); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	if v, ok := p.Decided(); !ok || v != 0 {
+		t.Fatalf("decided (%d, %v), want (0, true) on a mixed witness set", v, ok)
+	}
+}

@@ -54,6 +54,14 @@ func (d *Digest) OnHalt(r, p int) {
 	d.mix(0x04, uint64(r), uint64(p))
 }
 
+// Clone returns an independent digest with the same accumulated state —
+// used by replay lanes that fork an execution mid-run and need the
+// fork's digest to continue from the fork point.
+func (d *Digest) Clone() *Digest {
+	c := *d
+	return &c
+}
+
 // Sum returns the digest value.
 func (d *Digest) Sum() uint64 { return d.h }
 

@@ -527,6 +527,13 @@ func (e *Execution) Inputs() []int { return append([]int(nil), e.inputs...) }
 // drive the snapshot instead.
 func (e *Execution) Process(p int) Process { return e.procs[p] }
 
+// SetObserver replaces the execution's observer (nil detaches). Clones
+// and snapshots deliberately drop the observer; the conformance replay
+// lanes use SetObserver to re-attach one to a snapshot they are about to
+// drive for real — turning the snapshot into a first-class execution
+// whose events are compared against the original's.
+func (e *Execution) SetObserver(o Observer) { e.cfg.Observer = o }
+
 // Done reports whether the execution has terminated: every correct
 // (non-crashed, non-corrupted) process has halted, or none remains.
 func (e *Execution) Done() bool {

@@ -51,11 +51,17 @@ func NewLowerBound(n int, seed uint64) *LowerBound {
 // Name implements sim.Adversary.
 func (a *LowerBound) Name() string { return "valency-lowerbound" }
 
-// Clone implements sim.Adversary.
+// Clone implements sim.Adversary. The Estimator is deep-copied: a
+// shared one would interleave rollout-counter draws between original
+// and clone, making the clone's plans depend on how far the original
+// has run (see Estimator.Clone).
 func (a *LowerBound) Clone() sim.Adversary {
 	c := *a
 	if a.rng != nil {
 		c.rng = a.rng.Clone()
+	}
+	if a.Est != nil {
+		c.Est = a.Est.Clone()
 	}
 	c.arena = sim.SnapshotArena{} // fleets are per-adversary, never shared
 	return &c

@@ -50,9 +50,14 @@ func NewStepwise(n int, seed uint64) *Stepwise {
 // Name implements sim.Adversary.
 func (a *Stepwise) Name() string { return "valency-stepwise" }
 
-// Clone implements sim.Adversary.
+// Clone implements sim.Adversary. The Estimator is deep-copied so the
+// clone's rollout-counter draws stay independent of the original's (see
+// Estimator.Clone).
 func (a *Stepwise) Clone() sim.Adversary {
 	c := *a
+	if a.Est != nil {
+		c.Est = a.Est.Clone()
+	}
 	c.arena = sim.SnapshotArena{} // fleets are per-adversary, never shared
 	return &c
 }

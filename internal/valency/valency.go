@@ -119,6 +119,21 @@ func NewEstimator(n int, seed uint64) *Estimator {
 	}
 }
 
+// Clone returns an independent estimator with the same configuration
+// and rollout-counter position. The adversaries wrapping an Estimator
+// (LowerBound, Stepwise) deep-copy it in their own Clone: a shared
+// estimator would interleave the original's and the clone's counter
+// draws, so a cloned adversary's look-ahead would diverge from a
+// straight-through replay — a clone-independence bug the conformance
+// harness flushed out. The arena fleet is never shared (arenas hold
+// per-adversary snapshot shells); the Pool factories are stateless and
+// may alias.
+func (e *Estimator) Clone() *Estimator {
+	c := *e
+	c.arenas = nil
+	return &c
+}
+
 // growArenas ensures the estimator owns at least w rollout arenas.
 // Worker w only ever touches arenas[w], so parallel rollouts are
 // contention- and race-free by construction.

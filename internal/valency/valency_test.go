@@ -225,6 +225,36 @@ func TestLowerBoundCloneIndependent(t *testing.T) {
 	if lb.RoundsPlanned == 99 {
 		t.Fatal("clone shares counters")
 	}
+	// The estimator must be deep-copied: a shared one interleaves the
+	// clone's rollout-counter draws with the original's, so the clone's
+	// look-ahead plans would depend on how far the original has run.
+	if c.Est == lb.Est {
+		t.Fatal("clone shares the Estimator")
+	}
+	c.Est.counter = 777
+	if lb.Est.counter == 777 {
+		t.Fatal("clone shares the Estimator counter")
+	}
+	sw := NewStepwise(8, 1)
+	if sw.Clone().(*Stepwise).Est == sw.Est {
+		t.Fatal("stepwise clone shares the Estimator")
+	}
+}
+
+func TestEstimatorCloneKeepsCounterPosition(t *testing.T) {
+	e := NewEstimator(6, 3)
+	e.counter = 42
+	c := e.Clone()
+	if c.counter != 42 {
+		t.Fatalf("clone counter = %d, want 42", c.counter)
+	}
+	if len(c.arenas) != 0 {
+		t.Fatal("clone must not share or carry arenas")
+	}
+	c.counter = 100
+	if e.counter != 42 {
+		t.Fatal("clone counter writes leak into the original")
+	}
 }
 
 func TestAdversaryNames(t *testing.T) {

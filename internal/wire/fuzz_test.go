@@ -19,9 +19,15 @@ func FuzzPayloadRoundTrip(f *testing.F) {
 		if m&^MaskBoth != 0 {
 			t.Fatalf("Mask(%d) = %b leaks bits", p, m)
 		}
-		// Re-encoding is stable.
+		// Re-encoding is stable. A flood-tagged payload with an empty
+		// mask is not encodable (Flood rejects it) and must be flagged
+		// by the well-formedness oracle instead.
 		if IsFlood(p) {
-			if !IsFlood(Flood(m)) || Mask(Flood(m)) != m {
+			if m == 0 {
+				if CheckPayload(p) == nil {
+					t.Fatalf("CheckPayload accepted empty-mask flood %d", p)
+				}
+			} else if !IsFlood(Flood(m)) || Mask(Flood(m)) != m {
 				t.Fatalf("flood re-encode of %d unstable", p)
 			}
 		} else if Plain(b) != int64(b) {

@@ -7,7 +7,14 @@
 // sender has witnessed, as a 2-bit mask tagged with FloodTag so the two
 // kinds can coexist during the one-round stage handover that Lemma 4.3
 // of the paper analyzes.
+//
+// A flood message with an empty value set is meaningless — a process
+// only floods values it has witnessed, and it has always witnessed its
+// own — so Flood rejects an empty mask and CheckPayload lets observers
+// (the conformance wire oracle) verify every payload on the wire.
 package wire
+
+import "fmt"
 
 // Payload layout constants.
 const (
@@ -24,8 +31,15 @@ const (
 // Plain encodes a probabilistic-stage bit message.
 func Plain(b int) int64 { return int64(b & 1) }
 
-// Flood encodes a deterministic-stage value-set message.
-func Flood(mask int64) int64 { return FloodTag | (mask & MaskBoth) }
+// Flood encodes a deterministic-stage value-set message. The mask must
+// contain at least one of MaskZero/MaskOne: an empty witnessed-value set
+// is a protocol bug, not a message, and panics.
+func Flood(mask int64) int64 {
+	if mask&MaskBoth == 0 {
+		panic(fmt.Sprintf("wire: Flood with empty value-set mask %#x", mask))
+	}
+	return FloodTag | (mask & MaskBoth)
+}
 
 // IsFlood reports whether a payload is a deterministic-stage message.
 func IsFlood(p int64) bool { return p&FloodTag != 0 }
@@ -43,3 +57,23 @@ func ValueMask(b int) int64 {
 
 // Bit extracts the bit of a plain payload.
 func Bit(p int64) int { return int(p & 1) }
+
+// CheckPayload validates a payload as seen on the wire: a plain message
+// must be a bare bit, and a flood message must carry a non-empty value
+// set and no stray bits. It is the conformance harness's
+// well-formedness oracle, applied to every broadcast of every round.
+func CheckPayload(p int64) error {
+	if !IsFlood(p) {
+		if p != 0 && p != 1 {
+			return fmt.Errorf("wire: plain payload %#x is not a bare bit", p)
+		}
+		return nil
+	}
+	if p&^(FloodTag|MaskBoth) != 0 {
+		return fmt.Errorf("wire: flood payload %#x has bits outside tag|mask", p)
+	}
+	if Mask(p) == 0 {
+		return fmt.Errorf("wire: flood payload %#x has an empty value-set mask", p)
+	}
+	return nil
+}

@@ -29,6 +29,60 @@ func TestFloodRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFloodMaskValues(t *testing.T) {
+	// All four possible value-set masks: the three non-empty ones encode
+	// and round-trip; the empty one is a protocol bug and panics.
+	for _, tc := range []struct {
+		mask  int64
+		panic bool
+	}{
+		{0, true},
+		{MaskZero, false},
+		{MaskOne, false},
+		{MaskBoth, false},
+	} {
+		got := func() (p int64, panicked bool) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			return Flood(tc.mask), false
+		}
+		p, panicked := got()
+		if panicked != tc.panic {
+			t.Fatalf("Flood(%#x): panicked = %v, want %v", tc.mask, panicked, tc.panic)
+		}
+		if !tc.panic {
+			if err := CheckPayload(p); err != nil {
+				t.Fatalf("CheckPayload(Flood(%#x)) = %v", tc.mask, err)
+			}
+		}
+	}
+}
+
+func TestCheckPayload(t *testing.T) {
+	for _, tc := range []struct {
+		p  int64
+		ok bool
+	}{
+		{Plain(0), true},
+		{Plain(1), true},
+		{Flood(MaskZero), true},
+		{Flood(MaskOne), true},
+		{Flood(MaskBoth), true},
+		{FloodTag, false},     // flood with empty value set
+		{2, false},            // not a bare bit, not flood-tagged
+		{-1, false},           // negative junk
+		{FloodTag | 8, false}, // stray bits above the mask
+	} {
+		err := CheckPayload(tc.p)
+		if (err == nil) != tc.ok {
+			t.Fatalf("CheckPayload(%#x) = %v, want ok=%v", tc.p, err, tc.ok)
+		}
+	}
+}
+
 func TestFloodClampsMask(t *testing.T) {
 	// Stray high bits in the mask argument must not leak into the payload.
 	p := Flood(0xFF)

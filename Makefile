@@ -29,18 +29,20 @@ bench:
 
 # The snapshot-engine benchmarks recorded as a machine-readable JSON
 # artifact (the checked-in baseline CI gates against).
-BENCH_SNAPSHOT = CloneVsCloneInto|ValencyEstimate|StepwiseRound|MetricsOverhead
+BENCH_SNAPSHOT = CloneVsCloneInto|ValencyEstimate|StepwiseRound|MetricsOverhead|EngineAtScale
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_SNAPSHOT)' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_sim.json
 
 # Re-run the snapshot benches once and fail if the arena estimator's
-# allocs/op regressed more than 20% against the checked-in baseline, or
-# the disabled metrics path's more than 2% (the "metrics off = free"
-# budget).
+# allocs/op regressed more than 20% against the checked-in baseline, the
+# disabled metrics path's more than 2% (the "metrics off = free"
+# budget), or the SoA stepwise lane's more than 34% (baseline 3
+# allocs/op, so the columnar core stays two orders of magnitude under
+# the object engine's 1063-alloc seed).
 bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_SNAPSHOT)' -benchtime=1x -benchmem . | \
 		$(GO) run ./cmd/benchjson -out /dev/null -baseline BENCH_sim.json \
-		-check 'BenchmarkValencyEstimate/arena=0.20,BenchmarkMetricsOverhead/off=0.02'
+		-check 'BenchmarkValencyEstimate/arena=0.20,BenchmarkMetricsOverhead/off=0.02,BenchmarkStepwiseRoundSoA=0.34,BenchmarkEngineAtScale/soa=0.20'
 
 # Seeded chaos soak under the race detector: the fault injector, the
 # hardened synchronizer's safety/termination properties, and the
@@ -51,11 +53,13 @@ chaos:
 		-chaos 'drop=0.05,dup=0.02,stall=0.05,maxstall=2ms,until=25' -faultbudget 5 -trials 8
 
 # Cross-engine conformance: the differential harness (sequential sim vs
-# zero-chaos netsim vs Reset vs snapshot forks, plus async replay
-# determinism) with its invariant oracles, then the quick CLI sweep.
+# zero-chaos netsim vs Reset vs snapshot forks vs the columnar SoA
+# core, plus async replay determinism) with its invariant oracles, then
+# the quick CLI sweep on both engine cores.
 conformance:
 	$(GO) test -count=1 ./internal/conformance
 	$(GO) run ./cmd/conformance -quick -seed 42
+	$(GO) run ./cmd/conformance -quick -seed 42 -engine soa
 
 # Regenerate every experiment table at full size (minutes) or quick size
 # (seconds). Exit status is non-zero if any paper claim fails.

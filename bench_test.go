@@ -293,6 +293,14 @@ func BenchmarkValencyEstimate(b *testing.B) {
 			est.Workers = 1
 			est.RolloutsPerAdversary = 8
 			est.UseClone = mode.useClone
+			// Warm the fleet (it grows over the first few calls): steady
+			// state is the metric, and the 1x bench-check run has no other
+			// warmup iterations.
+			for w := 0; w < 8; w++ {
+				if _, err := est.Classify(exec, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -326,6 +334,9 @@ func BenchmarkStepwiseRound(b *testing.B) {
 	sw := valency.NewStepwise(n, 7)
 	sw.Est.Workers = 1
 	sw.Est.RolloutsPerAdversary = 4
+	for w := 0; w < 3; w++ { // warm the arena fleet: steady state is the metric
+		_ = sw.Plan(v)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -362,4 +373,106 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, nil) })
 	b.Run("on", func(b *testing.B) { run(b, metrics.NewEngine(metrics.New(1))) })
+}
+
+// BenchmarkStepwiseRoundSoA is BenchmarkStepwiseRound on the columnar
+// SoA engine: the identical Plan call (same n, seeds, and rollout
+// fan-out — the two engines are byte-equivalent, so the adversary walks
+// the same tree) with every snapshot, reseed, and rollout running on
+// the packed kernel. CI gates this variant's allocs/op in bench-check;
+// the PR-6 acceptance bar is >=10x the time and <=1/10 the allocs of
+// the object engine's frozen baseline.
+func BenchmarkStepwiseRoundSoA(b *testing.B) {
+	const n = 12
+	inputs := workload.HalfHalf(n)
+	procs, err := core.NewProcs(n, inputs, 3, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: n - 1, Engine: sim.EngineSoA}, procs, inputs, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := exec.StepPhaseA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw := valency.NewStepwise(n, 7)
+	sw.Est.Workers = 1
+	sw.Est.RolloutsPerAdversary = 4
+	for w := 0; w < 3; w++ { // warm the arena fleet: steady state is the metric
+		_ = sw.Plan(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sw.Plan(v)
+	}
+}
+
+// BenchmarkEngineAtScale is the tentpole's headline pair: one full
+// SynRan execution (t = n-1, SplitVote, half/half inputs) per op on
+// each engine core at n = 1024, where the object engine's per-victim
+// BitSet clones and per-process message slices dominate and the
+// columnar core's popcount sweeps win by two orders of magnitude
+// (~125x at n=1024, growing with n — the object core is quadratic in
+// survivors per round, the SoA core near-linear). Both engines are
+// byte-equivalent (conformance lane e), so the executions are the
+// same; only the representation differs. Part of the BENCH_SNAPSHOT
+// set: the JSON baseline records both lanes so the ratio is auditable.
+func BenchmarkEngineAtScale(b *testing.B) {
+	const n = 1024
+	inputs := workload.HalfHalf(n)
+	run := func(b *testing.B, engine string) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Fixed seed: every iteration replays the same execution, so
+			// allocs/op is deterministic and bench-check can gate the soa
+			// lane at -benchtime=1x.
+			res, err := core.Run(core.RunSpec{
+				N: n, T: n - 1,
+				Inputs:    inputs,
+				Seed:      42,
+				Adversary: &adversary.SplitVote{},
+				Engine:    engine,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Agreement {
+				b.Fatal("agreement violated")
+			}
+		}
+	}
+	b.Run("object", func(b *testing.B) { run(b, sim.EngineObject) })
+	b.Run("soa", func(b *testing.B) { run(b, sim.EngineSoA) })
+}
+
+// BenchmarkSoAScaleExecution runs one full SynRan execution at paper
+// scale (n = 10^5, t = n-1, SplitVote) on the SoA engine — the E17
+// workload. Deliberately named outside the BENCH_SNAPSHOT regex: a
+// ~second-per-op bench has no business in the JSON baseline; it exists
+// to profile the columnar core at the sizes the tentpole targets.
+func BenchmarkSoAScaleExecution(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10^5-process executions; skipped under -short")
+	}
+	const n = 100000
+	inputs := workload.HalfHalf(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.RunSpec{
+			N: n, T: n - 1,
+			Inputs:    inputs,
+			Seed:      uint64(i) + 1,
+			Adversary: &adversary.SplitVote{},
+			Engine:    sim.EngineSoA,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Agreement {
+			b.Fatal("agreement violated")
+		}
+	}
 }

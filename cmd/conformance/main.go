@@ -22,7 +22,7 @@ import (
 func main() {
 	var opts cli.ConformanceOptions
 	common := cli.CommonFlags{Seed: 42}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagDeadline|cli.FlagMetrics)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics)
 	flag.StringVar(&opts.One, "one", "", "check a single case spec (as printed in a divergence repro) instead of the grid")
 	flag.IntVar(&opts.Seeds, "seeds", 1, "seeds per grid point")
 	flag.IntVar(&opts.MaxRounds, "maxrounds", 0, "per-lane round cap (0 = harness default)")
@@ -36,7 +36,7 @@ func main() {
 		fmt.Fprintln(errw, "conformance: -seeds must be >= 1")
 		os.Exit(2)
 	}
-	opts.Quick, opts.Seed, opts.Workers = common.Quick, common.Seed, common.Workers
+	opts.Quick, opts.Seed, opts.Workers, opts.Engine = common.Quick, common.Seed, common.Workers, common.Engine
 	opts.Metrics = common.NewMetricsEngine()
 	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
 	defer stop()

@@ -19,7 +19,7 @@ import (
 func main() {
 	var opts cli.SimOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics)
 	flag.IntVar(&opts.N, "n", 64, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default n-1)")
 	flag.StringVar(&opts.Protocol, "protocol", "synran", "protocol: synran|benor|floodset|leadercoin|earlystop|phaseking")
@@ -39,7 +39,7 @@ func main() {
 		fmt.Fprintln(errw, "consensus-sim:", err)
 		os.Exit(2)
 	}
-	opts.Seed, opts.Workers = common.Seed, common.Workers
+	opts.Seed, opts.Workers, opts.Engine = common.Seed, common.Workers, common.Engine
 	opts.Metrics = common.NewMetricsEngine()
 	if *pprofAddr != "" {
 		addr, stopPprof, err := cli.StartPprof(*pprofAddr, opts.Metrics.Registry())

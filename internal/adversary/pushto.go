@@ -21,9 +21,14 @@ type PushTo struct {
 	// PerRound caps crashes per round (0 means the paper's class-B cap is
 	// applied by the caller through the execution's total budget only).
 	PerRound int
+
+	// plans is reusable scratch; the returned slice is valid until the
+	// next Plan call, which the engine contract allows.
+	plans []sim.CrashPlan
 }
 
 var _ sim.Adversary = (*PushTo)(nil)
+var _ sim.ReusableAdversary = (*PushTo)(nil)
 
 // Name implements sim.Adversary.
 func (a *PushTo) Name() string {
@@ -36,8 +41,13 @@ func (a *PushTo) Name() string {
 // Clone implements sim.Adversary.
 func (a *PushTo) Clone() sim.Adversary {
 	c := *a
+	c.plans = nil // scratch is never shared between clones
 	return &c
 }
+
+// ResetAdversary implements sim.ReusableAdversary. PushTo keeps no
+// cross-round state, so only the scratch capacity is retained.
+func (a *PushTo) ResetAdversary() {}
 
 // Plan implements sim.Adversary.
 func (a *PushTo) Plan(v *sim.View) []sim.CrashPlan {
@@ -49,7 +59,7 @@ func (a *PushTo) Plan(v *sim.View) []sim.CrashPlan {
 		return nil
 	}
 	opposite := 1 - a.Value
-	var plans []sim.CrashPlan
+	plans := a.plans[:0]
 	for i := 0; i < v.N && len(plans) < limit; i++ {
 		if !v.IsSending(i) || wire.IsFlood(v.Payload(i)) {
 			continue
@@ -58,5 +68,6 @@ func (a *PushTo) Plan(v *sim.View) []sim.CrashPlan {
 			plans = append(plans, sim.CrashPlan{Victim: i})
 		}
 	}
+	a.plans = plans
 	return plans
 }

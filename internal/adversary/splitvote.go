@@ -31,6 +31,13 @@ import (
 // ("the adversary will have to fail at least p/2 processes" / "fail at
 // least p/10 processes"); the measured per-block crash cost is
 // experiment E8.
+//
+// The implementation is allocation-free after warm-up: sender sets,
+// plan slices, and delivery masks live in reusable scratch fields, the
+// per-receiver base update is computed columnar (totals minus per-mask
+// group corrections, O(n·groups) instead of O(n²)), and all rescue
+// victims share ONE delivery mask — the engine copies it per victim
+// into its own scratch, and groups the victims by the shared pointer.
 type SplitVote struct {
 	// SplitFraction is the fraction of receivers put into the propose-1
 	// group by lever 2 (default 0.2, the value that centres the next
@@ -41,28 +48,59 @@ type SplitVote struct {
 	// DisableRescue turns lever 3 off (ablation).
 	DisableRescue bool
 
-	bases []int // per-receiver N from the previous round (self included)
+	started   bool  // bases initialized for the current run
+	floodSeen bool  // senderSets observed a flood payload this round
+	bases     []int // per-receiver N from the previous round (self included)
+
+	// Reusable scratch (never shared between clones). Plan slices and
+	// masks returned from Plan are only valid until the next Plan call,
+	// which the engine contract allows: FinishRound consumes them within
+	// the round.
+	oneSenders, zeroSenders []int
+	plans                   []sim.CrashPlan
+	baseCounts              []int
+	victimFlag              []bool
+	survivors               []int
+	splitMask               *sim.BitSet
+	rescueMask              *sim.BitSet
+	groupMasks              []*sim.BitSet
+	groupCounts             []int
 }
 
 var _ sim.Adversary = (*SplitVote)(nil)
+var _ sim.ReusableAdversary = (*SplitVote)(nil)
 
 // Name implements sim.Adversary.
 func (a *SplitVote) Name() string { return "splitvote" }
 
 // Clone implements sim.Adversary.
 func (a *SplitVote) Clone() sim.Adversary {
-	c := *a
-	c.bases = append([]int(nil), a.bases...)
-	return &c
+	c := &SplitVote{
+		SplitFraction: a.SplitFraction,
+		DisableSplit:  a.DisableSplit,
+		DisableRescue: a.DisableRescue,
+		started:       a.started,
+		bases:         append([]int(nil), a.bases...),
+	}
+	return c
 }
+
+// ResetAdversary implements sim.ReusableAdversary: restore factory-fresh
+// behavior (bases are refilled on the next Plan) while keeping scratch.
+func (a *SplitVote) ResetAdversary() { a.started = false }
 
 // Plan implements sim.Adversary.
 func (a *SplitVote) Plan(v *sim.View) []sim.CrashPlan {
-	if a.bases == nil {
-		a.bases = make([]int, v.N)
+	if !a.started {
+		if cap(a.bases) < v.N {
+			a.bases = make([]int, v.N)
+		} else {
+			a.bases = a.bases[:v.N]
+		}
 		for i := range a.bases {
 			a.bases[i] = v.N
 		}
+		a.started = true
 	}
 	plans := a.plan(v)
 	a.updateBases(v, plans)
@@ -71,14 +109,14 @@ func (a *SplitVote) Plan(v *sim.View) []sim.CrashPlan {
 
 // plan chooses this round's lever.
 func (a *SplitVote) plan(v *sim.View) []sim.CrashPlan {
-	oneSenders, zeroSenders, flood := senderSets(v)
-	if flood > 0 {
+	a.senderSets(v)
+	if a.floodSeen {
 		// The deterministic stage has begun; FloodSet cannot be stopped
 		// by crashes (fewer than its round count can occur), so save the
 		// remaining budget.
 		return nil
 	}
-	ones, zeros := len(oneSenders), len(zeroSenders)
+	ones, zeros := len(a.oneSenders), len(a.zeroSenders)
 	if ones+zeros == 0 || v.Budget == 0 {
 		return nil
 	}
@@ -90,12 +128,12 @@ func (a *SplitVote) plan(v *sim.View) []sim.CrashPlan {
 
 	switch {
 	case 10*ones > 6*base:
-		return a.trimAndSplit(v, oneSenders, ones, hi)
+		return a.trimAndSplit(v, a.oneSenders, ones, hi)
 	case 10*ones < 5*base && zeros > 0 && !a.DisableRescue:
 		// Below the band: every receiver would propose 0 (or decide 0 if
 		// below 4/10). Rescue by hiding all zeros from half the receivers.
 		if zeros <= v.Budget {
-			return a.rescue(v, zeroSenders)
+			return a.rescue(v, a.zeroSenders)
 		}
 		return nil
 	default:
@@ -113,7 +151,7 @@ func (a *SplitVote) trimAndSplit(v *sim.View, oneSenders []int, ones, hi int) []
 	if excess <= 0 {
 		return nil
 	}
-	plans := make([]sim.CrashPlan, 0, excess)
+	plans := a.plans[:0]
 	for k := 0; k < excess; k++ {
 		victim := oneSenders[k]
 		plan := sim.CrashPlan{Victim: victim}
@@ -124,6 +162,7 @@ func (a *SplitVote) trimAndSplit(v *sim.View, oneSenders []int, ones, hi int) []
 		}
 		plans = append(plans, plan)
 	}
+	a.plans = plans
 	return plans
 }
 
@@ -135,7 +174,12 @@ func (a *SplitVote) splitGroup(v *sim.View) *sim.BitSet {
 	}
 	alive := v.AliveCount()
 	want := int(frac * float64(alive))
-	mask := sim.NewBitSet(v.N)
+	if a.splitMask == nil {
+		a.splitMask = sim.NewBitSet(v.N)
+	} else {
+		a.splitMask.Reset(v.N)
+	}
+	mask := a.splitMask
 	got := 0
 	for i := 0; i < v.N && got < want; i++ {
 		if v.IsAlive(i) {
@@ -152,34 +196,57 @@ func (a *SplitVote) splitGroup(v *sim.View) *sim.BitSet {
 // and the one-side-bias rule flips it to 1 while the seen half proposes
 // 0 — the vote is split again. Splitting the survivors, not the whole
 // population, matters: the zero-senders themselves are dying, so
-// blinding them would waste the lever.
+// blinding them would waste the lever. Every victim's plan shares the
+// one scratch mask: the engine groups same-pointer plans into a single
+// columnar sweep, which is what makes a mass rescue at n = 10^6 an
+// O(n) round instead of O(n²).
 func (a *SplitVote) rescue(v *sim.View, zeroSenders []int) []sim.CrashPlan {
-	victim := make([]bool, v.N)
-	for _, z := range zeroSenders {
-		victim[z] = true
-	}
-	var survivors []int
-	for i := 0; i < v.N; i++ {
-		if v.IsAlive(i) && !v.IsHalted(i) && !victim[i] {
-			survivors = append(survivors, i)
+	if cap(a.victimFlag) < v.N {
+		a.victimFlag = make([]bool, v.N)
+	} else {
+		a.victimFlag = a.victimFlag[:v.N]
+		for i := range a.victimFlag {
+			a.victimFlag[i] = false
 		}
 	}
-	seen := sim.NewBitSet(v.N)
-	for k := 0; k < len(survivors)/2; k++ {
-		seen.Set(survivors[k])
-	}
-	plans := make([]sim.CrashPlan, 0, len(zeroSenders))
 	for _, z := range zeroSenders {
-		plans = append(plans, sim.CrashPlan{Victim: z, Deliver: seen.Clone()})
+		a.victimFlag[z] = true
 	}
+	a.survivors = a.survivors[:0]
+	for i := 0; i < v.N; i++ {
+		if v.IsAlive(i) && !v.IsHalted(i) && !a.victimFlag[i] {
+			a.survivors = append(a.survivors, i)
+		}
+	}
+	if a.rescueMask == nil {
+		a.rescueMask = sim.NewBitSet(v.N)
+	} else {
+		a.rescueMask.Reset(v.N)
+	}
+	seen := a.rescueMask
+	for k := 0; k < len(a.survivors)/2; k++ {
+		seen.Set(a.survivors[k])
+	}
+	plans := a.plans[:0]
+	for _, z := range zeroSenders {
+		plans = append(plans, sim.CrashPlan{Victim: z, Deliver: seen})
+	}
+	a.plans = plans
 	return plans
 }
 
 // commonBase returns the most common previous-round receive count among
 // live receivers — the threshold base N^{r-1} the bulk of the population
-// is using this round.
+// is using this round. Bases lie in [0, N] (1 + at most N−1 senders), so
+// a count slice replaces the map; ties resolve to the first-reached
+// maximum exactly as the ascending-i strictly-greater update always did.
 func (a *SplitVote) commonBase(v *sim.View) int {
-	counts := make(map[int]int)
+	if cap(a.baseCounts) < v.N+1 {
+		a.baseCounts = make([]int, v.N+1)
+	} else {
+		a.baseCounts = a.baseCounts[:v.N+1]
+	}
+	counts := a.baseCounts
 	bestBase, bestCount := 0, 0
 	for i := 0; i < v.N; i++ {
 		if !v.IsAlive(i) || v.IsHalted(i) {
@@ -191,6 +258,12 @@ func (a *SplitVote) commonBase(v *sim.View) int {
 			bestBase, bestCount = b, counts[b]
 		}
 	}
+	// Zero only the touched entries so a sparse population stays O(live).
+	for i := 0; i < v.N; i++ {
+		if v.IsAlive(i) && !v.IsHalted(i) {
+			counts[a.bases[i]] = 0
+		}
+	}
 	return bestBase
 }
 
@@ -198,51 +271,93 @@ func (a *SplitVote) commonBase(v *sim.View) int {
 // just planned, replaying the delivery outcome of the chosen plans so
 // next round's threshold bases are tracked exactly (the engine counts a
 // receiver's own value, hence the +1).
+//
+// Columnar form of the per-receiver replay: every receiver starts from
+// the full sender count, minus itself, minus the fully-hidden victims;
+// victims with delivery masks are grouped by mask pointer and each group
+// subtracts its size from exactly the receivers outside its mask. The
+// result is identical to the old O(n²) double loop — a victim's own row
+// gets its self-exclusion terms added back at the end — at O(n·groups).
 func (a *SplitVote) updateBases(v *sim.View, plans []sim.CrashPlan) {
-	masks := make(map[int]*sim.BitSet, len(plans))
-	for _, p := range plans {
-		if p.Deliver != nil {
-			masks[p.Victim] = p.Deliver
-		} else {
-			masks[p.Victim] = nil
+	senders := 0
+	for i := 0; i < v.N; i++ {
+		if v.IsSending(i) {
+			senders++
 		}
 	}
+	hidden := 0
+	gm, gc := a.groupMasks[:0], a.groupCounts[:0]
+	for _, p := range plans {
+		if !v.IsSending(p.Victim) {
+			continue // a silent victim changes no receiver's count
+		}
+		if p.Deliver == nil {
+			hidden++
+			continue
+		}
+		found := false
+		for g := range gm {
+			if gm[g] == p.Deliver {
+				gc[g]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			gm = append(gm, p.Deliver)
+			gc = append(gc, 1)
+		}
+	}
+	a.groupMasks, a.groupCounts = gm, gc
 	for j := 0; j < v.N; j++ {
 		if !v.IsAlive(j) || v.IsHalted(j) {
 			continue
 		}
-		n := 1 // own value
-		for i := 0; i < v.N; i++ {
-			if i == j || !v.IsSending(i) {
-				continue
+		n := 1 + senders - hidden
+		if v.IsSending(j) {
+			n-- // no self-delivery
+		}
+		for g := range gm {
+			if !gm[g].Get(j) {
+				n -= gc[g]
 			}
-			if mask, crashed := masks[i]; crashed {
-				if mask == nil || !mask.Get(j) {
-					continue
-				}
-			}
-			n++
 		}
 		a.bases[j] = n
 	}
+	// A sending victim's own row wrongly subtracted its own plan (the
+	// replay excludes i == j): add the term back.
+	for _, p := range plans {
+		jv := p.Victim
+		if !v.IsSending(jv) || !v.IsAlive(jv) || v.IsHalted(jv) {
+			continue
+		}
+		if p.Deliver == nil || !p.Deliver.Get(jv) {
+			a.bases[jv]++
+		}
+	}
+	a.groupMasks = a.groupMasks[:0] // do not retain adversary-owned masks
+	a.groupCounts = a.groupCounts[:0]
 }
 
-// senderSets partitions this round's senders by broadcast value.
-func senderSets(v *sim.View) (oneSenders, zeroSenders []int, flood int) {
+// senderSets partitions this round's senders by broadcast value into the
+// reusable scratch slices.
+func (a *SplitVote) senderSets(v *sim.View) {
+	a.oneSenders = a.oneSenders[:0]
+	a.zeroSenders = a.zeroSenders[:0]
+	a.floodSeen = false
 	for i := 0; i < v.N; i++ {
 		if !v.IsSending(i) {
 			continue
 		}
 		p := v.Payload(i)
 		if wire.IsFlood(p) {
-			flood++
+			a.floodSeen = true
 			continue
 		}
 		if p&1 == 1 {
-			oneSenders = append(oneSenders, i)
+			a.oneSenders = append(a.oneSenders, i)
 		} else {
-			zeroSenders = append(zeroSenders, i)
+			a.zeroSenders = append(a.zeroSenders, i)
 		}
 	}
-	return oneSenders, zeroSenders, flood
 }

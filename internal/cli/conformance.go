@@ -18,6 +18,10 @@ type ConformanceOptions struct {
 	// Workers bounds the case worker pool (0 = all cores); the report is
 	// identical at every worker count.
 	Workers int
+	// Engine pins every grid case's lock-step backend ("" = object,
+	// "soa" = columnar fast path); the cross-engine differential lane
+	// runs either way.
+	Engine string
 	// MaxRounds caps each synchronous lane (0 = the harness default).
 	MaxRounds int
 	// One, when non-empty, checks a single case spec (the -one repro flag
@@ -40,6 +44,7 @@ func Conformance(opts ConformanceOptions, w io.Writer) error {
 		Seed:      opts.Seed,
 		Seeds:     opts.Seeds,
 		Workers:   opts.Workers,
+		Engine:    opts.Engine,
 		MaxRounds: opts.MaxRounds,
 		Metrics:   opts.Metrics,
 	}
@@ -52,7 +57,7 @@ func Conformance(opts ConformanceOptions, w io.Writer) error {
 		mode = "quick"
 	}
 	fmt.Fprintf(w, "conformance %s sweep: seed=%d\n", mode, opts.Seed)
-	fmt.Fprintf(w, "sync cases : %d (sim vs netsim vs reset vs snapshot forks)\n", sum.SyncCases)
+	fmt.Fprintf(w, "sync cases : %d (sim object vs soa vs netsim vs reset vs snapshot forks)\n", sum.SyncCases)
 	fmt.Fprintf(w, "async cases: %d (replay determinism + invariants)\n", sum.AsyncCases)
 	renderFindings(w, sum.Divergences, sum.Violations)
 	if !sum.Ok() {

@@ -31,6 +31,9 @@ type SimOptions struct {
 	Digest    bool
 	TraceFile string
 	Live      bool
+	// Engine selects the lock-step engine backend ("" = object, "soa" =
+	// columnar fast path); see synran.Spec.Engine.
+	Engine string
 	// Chaos, when non-empty, runs on the hardened live runner with this
 	// fault schedule (chaos.ParseSpec syntax, e.g.
 	// "drop=0.05,dup=0.02,stall=0.01,maxstall=5ms").
@@ -70,6 +73,7 @@ func buildSpec(opts SimOptions, seed uint64, shard int) (synran.Spec, error) {
 		Adversary:    opts.Adversary,
 		Seed:         seed,
 		Live:         opts.Live,
+		Engine:       opts.Engine,
 		Metrics:      opts.Metrics,
 		MetricsShard: shard,
 	}

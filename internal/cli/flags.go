@@ -29,6 +29,11 @@ type CommonFlags struct {
 	Workers int
 	// Quick selects reduced sizes and trial counts.
 	Quick bool
+	// Engine selects the lock-step engine backend: "" or "object" for the
+	// object-per-process engine, "soa" for the columnar
+	// structure-of-arrays fast path (behaviorally identical; see
+	// internal/sim).
+	Engine string
 	// Deadline bounds the command's total wall-clock time. 0 disables the
 	// guard; otherwise StartWatchdog makes the command exit with
 	// ExitCodeDeadline once the budget is spent, marking whatever was
@@ -54,6 +59,8 @@ const (
 	FlagWorkers
 	// FlagQuick registers -quick.
 	FlagQuick
+	// FlagEngine registers -engine.
+	FlagEngine
 	// FlagDeadline registers -deadline.
 	FlagDeadline
 	// FlagMetrics registers -metrics and -metrics-out.
@@ -72,6 +79,9 @@ func (c *CommonFlags) Register(fs *flag.FlagSet, mask Flag) {
 	if mask&FlagQuick != 0 {
 		fs.BoolVar(&c.Quick, "quick", c.Quick, "reduced sizes and trial counts")
 	}
+	if mask&FlagEngine != 0 {
+		fs.StringVar(&c.Engine, "engine", c.Engine, `lock-step engine backend: "object" (default) or "soa" (columnar fast path, identical results)`)
+	}
 	if mask&FlagDeadline != 0 {
 		fs.DurationVar(&c.Deadline, "deadline", c.Deadline, "wall-clock budget for the whole command (0 = unlimited; exceeded = exit 3 with a partial report)")
 	}
@@ -89,6 +99,9 @@ func (c *CommonFlags) Validate() error {
 	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("-deadline must be >= 0 (0 disables the guard), got %v", c.Deadline)
+	}
+	if c.Engine != "" && c.Engine != "object" && c.Engine != "soa" {
+		return fmt.Errorf(`-engine must be "object" or "soa", got %q`, c.Engine)
 	}
 	return nil
 }

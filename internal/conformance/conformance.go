@@ -1,6 +1,8 @@
 // Package conformance is the cross-engine differential harness: it runs
 // the same (protocol, input vector, seed) through every engine lane the
-// repository has — the sequential lock-step engine (internal/sim), the
+// repository has — the sequential lock-step engine (internal/sim) on
+// BOTH of its cores (the object-per-process path and the columnar SoA
+// fast path, compared against each other on every case), the
 // goroutine-per-process live runner on a zero-chaos substrate
 // (internal/netsim), a Reset-reuse replay, and snapshot forks (Clone and
 // SnapshotArena) taken mid-run — and requires that every lane produce
@@ -46,6 +48,11 @@ type Case struct {
 	Workload  string
 	N, T      int
 	Seed      uint64
+	// Engine selects the lock-step engine backend for the sequential,
+	// reset, and fork lanes ("" = object). Whatever the choice, CheckSync
+	// also runs the OTHER backend as its own lane and compares the two
+	// field by field — the SoA differential check rides every case.
+	Engine string
 	// MaxRounds overrides the engines' safety valve (0 = default).
 	MaxRounds int
 	// SnapRound is the round after which the fork lanes snapshot the
@@ -63,14 +70,22 @@ type Case struct {
 
 // Name is the case's short identifier in reports.
 func (c Case) Name() string {
-	return fmt.Sprintf("%s/%s/%s/n=%d/t=%d/seed=%d",
+	name := fmt.Sprintf("%s/%s/%s/n=%d/t=%d/seed=%d",
 		c.Protocol, c.Adversary, c.Workload, c.N, c.T, c.Seed)
+	if c.Engine != "" {
+		name += "/engine=" + c.Engine
+	}
+	return name
 }
 
 // Spec renders the case in the -one flag syntax ParseCase accepts.
 func (c Case) Spec() string {
-	return fmt.Sprintf("protocol=%s,adversary=%s,workload=%s,n=%d,t=%d,seed=%d",
+	spec := fmt.Sprintf("protocol=%s,adversary=%s,workload=%s,n=%d,t=%d,seed=%d",
 		c.Protocol, c.Adversary, c.Workload, c.N, c.T, c.Seed)
+	if c.Engine != "" {
+		spec += ",engine=" + c.Engine
+	}
+	return spec
 }
 
 // Repro is the minimal reproduction command for the case.
@@ -107,6 +122,12 @@ func ParseCase(spec string) (Case, error) {
 			c.T, err = strconv.Atoi(v)
 		case "seed":
 			c.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "engine":
+			if v != "" && v != sim.EngineObject && v != sim.EngineSoA {
+				return Case{}, fmt.Errorf("conformance: unknown engine %q (want %q or %q)",
+					v, sim.EngineObject, sim.EngineSoA)
+			}
+			c.Engine = v
 		case "maxrounds":
 			c.MaxRounds, err = strconv.Atoi(v)
 		default:
@@ -330,7 +351,7 @@ func (c Case) build() ([]sim.Process, sim.Adversary, []int, error) {
 
 func (c Case) config(obs sim.Observer, eng *metrics.Engine) sim.Config {
 	return sim.Config{
-		N: c.N, T: c.T, MaxRounds: c.MaxRounds,
+		N: c.N, T: c.T, MaxRounds: c.MaxRounds, Engine: c.Engine,
 		Observer: obs, Metrics: eng, MetricsShard: 0,
 	}
 }
@@ -354,6 +375,14 @@ func finishLane(name string, log *eventLog, res *sim.Result, err error, eng *met
 
 // runSequential is lane (a): the lock-step engine, driven by Run.
 func (c Case) runSequential(oracles []Oracle) (*lane, []string, error) {
+	return c.runSequentialEngine("sequential", c.Engine, oracles)
+}
+
+// runSequentialEngine is lane (a) parameterized by the lock-step engine
+// backend. CheckSync runs it twice — once per backend — so the SoA
+// columnar core and the object core are differentially compared on
+// every case, oracles and metrics included.
+func (c Case) runSequentialEngine(name, engine string, oracles []Oracle) (*lane, []string, error) {
 	procs, adv, inputs, err := c.build()
 	if err != nil {
 		return nil, nil, err
@@ -361,7 +390,9 @@ func (c Case) runSequential(oracles []Oracle) (*lane, []string, error) {
 	log := &eventLog{}
 	checkers := newCheckers(oracles)
 	eng := metrics.NewEngine(metrics.New(1))
-	exec, err := sim.NewExecution(c.config(checkedObserver(log, checkers), eng), procs, inputs, c.Seed)
+	cfg := c.config(checkedObserver(log, checkers), eng)
+	cfg.Engine = engine
+	exec, err := sim.NewExecution(cfg, procs, inputs, c.Seed)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -370,7 +401,7 @@ func (c Case) runSequential(oracles []Oracle) (*lane, []string, error) {
 		res = exec.Result()
 		res.Partial = true
 	}
-	l, err := finishLane("sequential", log, res, err, eng)
+	l, err := finishLane(name, log, res, err, eng)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -387,7 +418,9 @@ func (c Case) runNetsim(oracles []Oracle) (*lane, []string, error) {
 	log := &eventLog{}
 	checkers := newCheckers(oracles)
 	eng := metrics.NewEngine(metrics.New(1))
-	res, err := netsim.Run(c.config(checkedObserver(log, checkers), eng), procs, inputs, adv, c.Seed)
+	cfg := c.config(checkedObserver(log, checkers), eng)
+	cfg.Engine = "" // the live runner has no columnar backend
+	res, err := netsim.Run(cfg, procs, inputs, adv, c.Seed)
 	l, err := finishLane("netsim", log, res, err, eng)
 	if err != nil {
 		return nil, nil, err
@@ -606,6 +639,20 @@ func CheckSync(c Case, oracles []Oracle) ([]Divergence, []string, error) {
 	}
 	var divs []Divergence
 
+	// Lane (e): the same lock-step case on the other engine core. With
+	// the default object engine this is the SoA differential lane; a case
+	// pinned to Engine=soa is checked against the object core instead.
+	alt := sim.EngineSoA
+	if c.Engine == sim.EngineSoA {
+		alt = sim.EngineObject
+	}
+	altLane, v, err := c.runSequentialEngine("sequential-"+alt, alt, oracles)
+	if err != nil {
+		return nil, nil, err
+	}
+	violations = append(violations, v...)
+	divs = append(divs, compareLanes(c, seq, altLane)...)
+
 	if !c.SkipNetsim {
 		live, v, err := c.runNetsim(oracles)
 		if err != nil {
@@ -650,6 +697,9 @@ type SweepConfig struct {
 	Seeds int
 	// Workers bounds the case worker pool (0 = all cores).
 	Workers int
+	// Engine pins every case's lock-step backend ("" = object); the
+	// cross-engine differential lane still runs either way.
+	Engine string
 	// MaxRounds overrides each case's engine safety valve (0 = default).
 	MaxRounds int
 	// Oracles overrides the oracle set (nil = DefaultOracles).
@@ -699,6 +749,7 @@ func Cases(cfg SweepConfig) []Case {
 		for s := 0; s < seeds; s++ {
 			cs := c
 			cs.Seed = cfg.Seed + uint64(len(out))
+			cs.Engine = cfg.Engine
 			cs.MaxRounds = cfg.MaxRounds
 			cs.normalize()
 			out = append(out, cs)

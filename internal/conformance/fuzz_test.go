@@ -5,27 +5,31 @@ import (
 )
 
 // FuzzConformance throws fuzz-chosen (protocol, adversary, workload,
-// n, t, seed) tuples at the full synchronous differential check. Any
-// divergence between the four lanes — or any oracle violation — is a
-// real engine bug, so the fuzz target fails on all of them. The
-// look-ahead adversaries are excluded: their rollout cost makes the
-// fuzzer useless, and TestLowerBoundForkLanes covers them.
+// n, t, seed, engine) tuples at the full synchronous differential
+// check. Any divergence between the lanes — or any oracle violation —
+// is a real engine bug, so the fuzz target fails on all of them. The
+// engine choice selects which lock-step core drives the primary lanes;
+// either way CheckSync compares the object and SoA cores against each
+// other. The look-ahead adversaries are excluded: their rollout cost
+// makes the fuzzer useless, and TestLowerBoundForkLanes covers them.
 func FuzzConformance(f *testing.F) {
 	protocols := []string{"synran", "benor", "floodset", "earlystop", "phaseking"}
 	adversaries := []string{"none", "random", "splitvote", "waves"}
 	workloads := []string{"zeros", "ones", "half", "random"}
+	engines := []string{"", "object", "soa"}
 
-	f.Add(uint64(42), uint8(5), uint8(0), uint8(2), uint8(2))
-	f.Add(uint64(7), uint8(9), uint8(1), uint8(1), uint8(3))
-	f.Add(uint64(1), uint8(4), uint8(4), uint8(3), uint8(0))
+	f.Add(uint64(42), uint8(5), uint8(0), uint8(2), uint8(2), uint8(0))
+	f.Add(uint64(7), uint8(9), uint8(1), uint8(1), uint8(3), uint8(2))
+	f.Add(uint64(1), uint8(4), uint8(4), uint8(3), uint8(0), uint8(1))
 
-	f.Fuzz(func(t *testing.T, seed uint64, n, protoIdx, advIdx, wlIdx uint8) {
+	f.Fuzz(func(t *testing.T, seed uint64, n, protoIdx, advIdx, wlIdx, engIdx uint8) {
 		c := Case{
 			Protocol:  protocols[int(protoIdx)%len(protocols)],
 			Adversary: adversaries[int(advIdx)%len(adversaries)],
 			Workload:  workloads[int(wlIdx)%len(workloads)],
 			N:         3 + int(n)%7, // 3..9
 			Seed:      seed,
+			Engine:    engines[int(engIdx)%len(engines)],
 			MaxRounds: 64,
 		}
 		c.T = (c.N - 1) / 2

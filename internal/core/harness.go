@@ -21,6 +21,9 @@ type RunSpec struct {
 	// emissions, sharded by MetricsShard (the trial worker's id).
 	Metrics      *metrics.Engine
 	MetricsShard int
+	// Engine picks the lock-step backend ("" or sim.EngineObject for the
+	// per-process object core, sim.EngineSoA for the columnar core).
+	Engine string
 }
 
 // Run executes SynRan once under the given adversary and returns the
@@ -40,6 +43,7 @@ func Run(spec RunSpec) (*sim.Result, error) {
 		Observer:     spec.Observer,
 		Metrics:      spec.Metrics,
 		MetricsShard: spec.MetricsShard,
+		Engine:       spec.Engine,
 	}
 	exec, err := sim.NewExecution(cfg, procs, spec.Inputs, spec.Seed^0x5eed5eed5eed5eed)
 	if err != nil {

@@ -161,7 +161,7 @@ func (p *Proc) Stopped() bool { return p.st == stageDone }
 // flips with a fresh stream so cloned executions can sample independent
 // futures during Monte-Carlo valency estimation.
 func (p *Proc) Reseed(seed uint64) {
-	p.rng = rng.New(seed)
+	p.rng.Reseed(seed)
 }
 
 // SetFlip replaces the process's private fair coin with f. This is the
@@ -315,7 +315,7 @@ func (p *Proc) probRound(rr int, inbox []sim.Recv) (int64, bool) {
 // sharedCoin derives the public common coin for a round from the dealer
 // seed. Every process computes the same bit.
 func sharedCoin(seed uint64, round int) int {
-	return rng.New(seed ^ uint64(round)*0x9e3779b97f4a7c15).Bit()
+	return int(rng.Uint64At(seed^uint64(round)*0x9e3779b97f4a7c15) & 1)
 }
 
 // leaderBit returns the bit of the lowest-id plain-payload sender in the

@@ -83,6 +83,7 @@ func All() []Experiment {
 		{"E14", "deterministic Byzantine agreement is Θ(t) rounds (Sec. 1 / [GM93])", E14Byzantine},
 		{"E15", "the asynchronous contrast: FLP and Aspnes (Sec. 1.2)", E15Asynchrony},
 		{"E16", "termination degradation vs omission rate (chaos runner)", E16ChaosDegradation},
+		{"E17", "SoA engine at paper scale: n = 1e5..1e6 bound shapes (Thm 1/3)", E17ScaleSoA},
 	}
 }
 

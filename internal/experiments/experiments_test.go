@@ -26,8 +26,8 @@ func runExp(t *testing.T, ex Experiment) *Result {
 
 func TestAllExperimentsListed(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(all))
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, ex := range all {

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// renderE17 runs the quick E17 configuration at the given worker count
+// and returns the rendered table plus every claim line, so the byte
+// comparison covers both the table and the claim verdicts.
+func renderE17(t *testing.T, workers int) []byte {
+	t.Helper()
+	res, err := E17ScaleSoA(Config{Quick: true, Seed: 42, Workers: workers})
+	if err != nil {
+		t.Fatalf("E17ScaleSoA(workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := res.Table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Claims {
+		fmt.Fprintf(&buf, "claim %q ok=%v got=%s\n", c.Name, c.OK, c.Got)
+		if !c.OK {
+			t.Errorf("E17 claim failed: %s (%s)", c.Name, c.Got)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestE17WorkerInvariance pins the scale experiment's determinism
+// contract at n = 10^5: the table and claims are byte-identical whether
+// the trials run serially or on a 4-wide pool, because each trial's
+// randomness derives from (seed, trial index) alone. The quick-suite
+// golden (results/experiments-quick-seed42.txt) additionally pins the
+// rendered bytes across commits.
+func TestE17WorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E17 runs 10^5-process executions; skipped under -short")
+	}
+	serial := renderE17(t, 1)
+	pooled := renderE17(t, 4)
+	if !bytes.Equal(serial, pooled) {
+		t.Fatalf("E17 differs between workers=1 and workers=4:\n--- serial ---\n%s\n--- pooled ---\n%s", serial, pooled)
+	}
+}

@@ -74,6 +74,34 @@ func (r *Stream) Split(key uint64) *Stream {
 	return &st
 }
 
+// SplitSeed returns Split(key).Uint64() without allocating the child
+// stream. The xoshiro output function reads only s[1], so deriving the
+// child's first word needs just the first two SplitMix64 steps of the
+// child-state construction; the all-zero guard in Split touches s[0]
+// only and cannot change this value. Hot reseeding paths
+// (sim.Execution.ReseedProcesses) use it to derive one per-process seed
+// per rollout allocation-free. TestSplitSeedMatchesSplit pins the
+// equivalence.
+func (r *Stream) SplitSeed(key uint64) uint64 {
+	h := key ^ 0xd1b54a32d192ed03
+	h, _ = splitMix64(h ^ r.s[0])
+	_, s1 := splitMix64(h ^ r.s[1])
+	return bits.RotateLeft64(s1*5, 7) * 9
+}
+
+// Uint64At returns New(seed).Uint64() without allocating the stream:
+// the xoshiro output function reads only s[1], so two SplitMix64 steps
+// of the New initialization suffice (the all-zero guard touches s[0]
+// only). Hot paths that derive one value per seed — the shared-coin
+// protocol option, per-rollout reseeding in internal/valency — use it
+// in place of a throwaway stream. TestUint64AtMatchesNew pins the
+// equivalence.
+func Uint64At(seed uint64) uint64 {
+	sm, _ := splitMix64(seed)
+	_, s1 := splitMix64(sm)
+	return bits.RotateLeft64(s1*5, 7) * 9
+}
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *Stream) Uint64() uint64 {
 	s := &r.s

@@ -86,6 +86,93 @@ func (b *BitSet) CopyFrom(src *BitSet) {
 	copy(b.words, src.words)
 }
 
+// The batch operations below are the word-level kernel of the SoA
+// engine's columnar Phase B (see soa.go): delivery plans are applied as
+// whole-word mask intersections and popcount sweeps instead of
+// per-receiver Get loops. Each requires the operand to have the same
+// capacity; property and fuzz tests (bitset_prop_test.go) pin every op
+// against the naive per-bit reference, including the word-boundary
+// edges at n = 63, 64, 65.
+
+// OrWith unions src into b (b |= src).
+func (b *BitSet) OrWith(src *BitSet) {
+	b.checkLen(src)
+	for i, w := range src.words {
+		b.words[i] |= w
+	}
+}
+
+// AndWith intersects b with src (b &= src).
+func (b *BitSet) AndWith(src *BitSet) {
+	b.checkLen(src)
+	for i, w := range src.words {
+		b.words[i] &= w
+	}
+}
+
+// AndNotWith subtracts src from b (b &^= src).
+func (b *BitSet) AndNotWith(src *BitSet) {
+	b.checkLen(src)
+	for i, w := range src.words {
+		b.words[i] &^= w
+	}
+}
+
+// CountAnd returns the masked popcount |b ∩ other| without writing to
+// either set.
+func (b *BitSet) CountAnd(other *BitSet) int {
+	b.checkLen(other)
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w & other.words[i])
+	}
+	return c
+}
+
+// FillUpTo marks exactly the indices [0, k) as present and clears the
+// rest (k is clamped to [0, n]).
+func (b *BitSet) FillUpTo(k int) {
+	if k < 0 {
+		k = 0
+	}
+	if k > b.n {
+		k = b.n
+	}
+	full := k >> 6
+	for i := range b.words {
+		switch {
+		case i < full:
+			b.words[i] = ^uint64(0)
+		case i == full && k&63 != 0:
+			b.words[i] = (1 << uint(k&63)) - 1
+		default:
+			b.words[i] = 0
+		}
+	}
+}
+
+// ForEachIn calls fn(i) for every present index i, ascending. The word
+// loop with trailing-zero extraction is the sweep primitive the SoA
+// engine uses to apply a delivery group's tallies to exactly the
+// receivers inside its mask.
+func (b *BitSet) ForEachIn(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// checkLen panics on capacity mismatch: silently zipping different-size
+// word slices would corrupt tallies.
+func (b *BitSet) checkLen(other *BitSet) {
+	if b.n != other.n {
+		panic("sim: BitSet batch op on mismatched capacities")
+	}
+}
+
 // trim clears bits beyond the logical length so Count stays exact.
 func (b *BitSet) trim() {
 	if rem := b.n & 63; rem != 0 && len(b.words) > 0 {

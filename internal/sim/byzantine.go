@@ -87,6 +87,13 @@ func (e *Execution) FinishRoundForged(plans []CrashPlan, forgeries []Forgery) er
 	if !e.phaseAOpen {
 		return fmt.Errorf("sim: FinishRoundForged called without an open round")
 	}
+	if e.tallyMode && len(forgeries) > 0 {
+		// Corruption needs per-receiver payloads, which tally columns
+		// cannot carry: sync the process objects from the kernel and run
+		// the object path from here on (permanently — dropping back is
+		// always behavior-preserving, the reverse is not).
+		e.leaveTallyMode()
+	}
 	e.applyForgeries(forgeries)
 	return e.FinishRound(plans)
 }

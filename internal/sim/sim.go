@@ -169,6 +169,11 @@ func (v *View) Payload(i int) int64 {
 // returned Process is LIVE engine state: adversaries may inspect it but
 // must not call Round on it — drive a snapshot of Exec instead.
 func (v *View) Proc(i int) Process {
+	if v.Exec != nil {
+		// Route through the execution so the SoA engine can sync the
+		// object from its columnar kernel before handing it out.
+		return v.Exec.Process(i)
+	}
 	if v.procs == nil {
 		return nil
 	}
@@ -199,6 +204,19 @@ type Adversary interface {
 	Clone() Adversary
 }
 
+// ReusableAdversary is an optional Adversary extension for rollout
+// pools. ResetAdversary restores factory-fresh planning behavior while
+// keeping internal scratch storage, so one instance can serve many
+// Monte-Carlo rollouts without per-rollout allocation; internal/valency
+// caches one instance per (worker, pool entry) and resets it between
+// rollouts. Plan results from a reusable adversary are only guaranteed
+// valid until its next Plan call — the engine copies delivery masks
+// into its own scratch during FinishRound, satisfying that contract.
+type ReusableAdversary interface {
+	Adversary
+	ResetAdversary()
+}
+
 // Observer receives engine events; useful for tracing and statistics.
 type Observer interface {
 	OnRound(r int, view *View)
@@ -212,6 +230,13 @@ type Config struct {
 	N         int // number of processes
 	T         int // adversary crash budget, 0 <= T <= N
 	MaxRounds int // safety valve; 0 selects a generous default
+	// Engine selects the round-loop backend: EngineObject (or "") is the
+	// object-per-process engine; EngineSoA enables the columnar
+	// structure-of-arrays fast path for kernel-capable process vectors
+	// (see soa.go). The two are behaviorally identical — the conformance
+	// differential lane pins byte-equality — so Engine is purely a
+	// performance switch.
+	Engine string
 	// Observer, when non-nil, receives this execution's engine events.
 	// Observers watch exactly one execution: snapshots (Clone, CloneInto,
 	// SnapshotArena) never carry the observer, so look-ahead rollouts of
@@ -351,6 +376,23 @@ type Execution struct {
 	messages    int // deliveries so far
 
 	viewBuf View // reusable adversary view; rebuilt by view() each round
+
+	// deliverScratch[v] is victim v's persistent delivery-mask slot; both
+	// engines copy crash-plan masks into it instead of cloning per plan.
+	deliverScratch []*BitSet
+
+	// SoA fast-path state (Engine == EngineSoA with a kernel-capable
+	// process vector; see soa.go). While tallyMode is set, the process
+	// objects in procs are stale — the kernel holds the truth — and the
+	// Process accessor syncs them on demand.
+	tallyMode    bool
+	kernel       TallyKernel
+	cols         TallyColumns
+	act          []bool
+	eligible     *BitSet
+	victimGroups []soaGroup
+	groupScratch []*BitSet // per-group mask copies: one per distinct plan mask, not per victim
+	classTab     [8]soaClass
 }
 
 // NewExecution validates the configuration and assembles an execution.
@@ -392,6 +434,9 @@ func (e *Execution) Reset(cfg Config, procs []Process, inputs []int, advSeed uin
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = DefaultMaxRounds(n)
 	}
+	if !validEngine(cfg.Engine) {
+		return fmt.Errorf("sim: unknown engine %q (want %q or %q)", cfg.Engine, EngineObject, EngineSoA)
+	}
 	e.cfg = cfg
 	e.procs = procs
 	e.inputs = append(e.inputs[:0], inputs...)
@@ -421,19 +466,29 @@ func (e *Execution) Reset(cfg Config, procs []Process, inputs []int, advSeed uin
 		e.sending[i] = false
 	}
 	e.deliver = resizeMasks(e.deliver, n)
+	e.deliverScratch = resizeMasks(e.deliverScratch, n)
 	for i := range e.deliver {
 		e.deliver[i] = nil
 	}
+	e.enterTallyMode()
+	// In tally mode inboxes are never filled, so skip the cap-n
+	// preallocation: at n = 10^6 the object engine's n² inbox reservation
+	// alone would be ~16 GB. If the execution later falls back to the
+	// object path (Byzantine forgeries), the buffers grow lazily.
 	e.inboxes = resizeRecvBufs(e.inboxes, n)
 	e.scratch = resizeRecvBufs(e.scratch, n)
 	for i := 0; i < n; i++ {
 		if e.inboxes[i] == nil {
-			e.inboxes[i] = make([]Recv, 0, n)
+			if !e.tallyMode {
+				e.inboxes[i] = make([]Recv, 0, n)
+			}
 		} else {
 			e.inboxes[i] = e.inboxes[i][:0]
 		}
 		if e.scratch[i] == nil {
-			e.scratch[i] = make([]Recv, 0, n)
+			if !e.tallyMode {
+				e.scratch[i] = make([]Recv, 0, n)
+			}
 		} else {
 			e.scratch[i] = e.scratch[i][:0]
 		}
@@ -524,8 +579,15 @@ func (e *Execution) Inputs() []int { return append([]int(nil), e.inputs...) }
 // Process exposes process p's state machine (full-information model).
 // The returned Process is LIVE engine state, not a copy: callers may
 // inspect it but must not call Round on it — snapshot the execution and
-// drive the snapshot instead.
-func (e *Execution) Process(p int) Process { return e.procs[p] }
+// drive the snapshot instead. On the SoA engine the truth lives in the
+// columnar kernel; the object is synced from it on demand so the
+// full-information contract is engine-independent.
+func (e *Execution) Process(p int) Process {
+	if e.tallyMode {
+		e.kernel.KernelSync(p, e.procs[p])
+	}
+	return e.procs[p]
+}
 
 // SetObserver replaces the execution's observer (nil detaches). Clones
 // and snapshots deliberately drop the observer; the conformance replay
@@ -537,6 +599,13 @@ func (e *Execution) SetObserver(o Observer) { e.cfg.Observer = o }
 // Done reports whether the execution has terminated: every correct
 // (non-crashed, non-corrupted) process has halted, or none remains.
 func (e *Execution) Done() bool {
+	if e.tallyMode {
+		// finishBookkeeping records haltRound the first round no live
+		// process remains active, which is exactly the loop below; alive,
+		// halted, and corrupt are monotone, so the cached round is
+		// equivalent (corruption leaves tally mode before it can corrupt).
+		return e.haltRound != 0
+	}
 	for i := range e.alive {
 		if e.alive[i] && !e.corrupt[i] && !e.halted[i] {
 			return false
@@ -603,11 +672,30 @@ func (e *Execution) CloneInto(dst *Execution) *Execution {
 	} else {
 		dst.procs = dst.procs[:n]
 	}
-	for i, p := range e.procs {
-		if d, ok := dst.procs[i].(ProcessCopier); ok && d.CopyFrom(p) {
-			continue
+	dst.tallyMode = e.tallyMode
+	if e.tallyMode {
+		// SoA fast path: the kernel holds the truth, so clone it (a few
+		// flat column copies) instead of every process object. dst keeps
+		// stale object shells — created once per slot — which Process()
+		// syncs from the kernel on demand.
+		if dst.kernel == nil || !e.kernel.KernelCopyInto(dst.kernel) {
+			dst.kernel = e.kernel.KernelClone()
 		}
-		dst.procs[i] = p.Clone()
+		dst.cols.copyFrom(&e.cols)
+		dst.act = append(dst.act[:0], e.act...)
+		dst.classTab = e.classTab
+		for i, p := range e.procs {
+			if dst.procs[i] == nil {
+				dst.procs[i] = p.Clone()
+			}
+		}
+	} else {
+		for i, p := range e.procs {
+			if d, ok := dst.procs[i].(ProcessCopier); ok && d.CopyFrom(p) {
+				continue
+			}
+			dst.procs[i] = p.Clone()
+		}
 	}
 
 	dst.forged = nil
@@ -621,17 +709,14 @@ func (e *Execution) CloneInto(dst *Execution) *Execution {
 	}
 
 	dst.deliver = resizeMasks(dst.deliver, n)
+	dst.deliverScratch = resizeMasks(dst.deliverScratch, n)
 	for i := 0; i < n; i++ {
 		src := e.deliver[i]
 		if src == nil {
 			dst.deliver[i] = nil
 			continue
 		}
-		if dst.deliver[i] == nil {
-			dst.deliver[i] = src.Clone()
-		} else {
-			dst.deliver[i].CopyFrom(src)
-		}
+		dst.deliver[i] = dst.deliverSlot(i, src)
 	}
 
 	dst.inboxes = resizeRecvBufs(dst.inboxes, n)
@@ -649,13 +734,20 @@ func (e *Execution) CloneInto(dst *Execution) *Execution {
 // future randomness with fresh streams derived from seed. Use on clones
 // before rollouts so each rollout samples an independent future.
 func (e *Execution) ReseedProcesses(seed uint64) {
-	root := rng.New(seed)
-	for i, p := range e.procs {
-		if rs, ok := p.(Reseeder); ok {
-			rs.Reseed(root.Split(uint64(i)).Uint64())
+	var root rng.Stream
+	root.Reseed(seed)
+	if e.tallyMode {
+		for i := range e.procs {
+			e.kernel.KernelReseed(i, root.SplitSeed(uint64(i)))
+		}
+	} else {
+		for i, p := range e.procs {
+			if rs, ok := p.(Reseeder); ok {
+				rs.Reseed(root.SplitSeed(uint64(i)))
+			}
 		}
 	}
-	e.advRng = rng.New(root.Split(uint64(len(e.procs))).Uint64())
+	e.advRng.Reseed(root.SplitSeed(uint64(len(e.procs))))
 }
 
 // StepPhaseA runs Phase A of the next round: every live, non-halted
@@ -671,6 +763,19 @@ func (e *Execution) StepPhaseA() (*View, error) {
 	}
 	r := e.round + 1
 	e.forged = nil // forgeries are per round
+	if e.tallyMode {
+		for i := range e.procs {
+			e.deliver[i] = nil
+			a := e.alive[i] && !e.halted[i] && !e.corrupt[i]
+			e.act[i] = a
+			if !a {
+				e.sending[i] = false
+			}
+		}
+		e.kernel.KernelRound(r, e.act, &e.cols, e.payloads, e.sending)
+		e.phaseAOpen = true
+		return e.view(r), nil
+	}
 	for i, p := range e.procs {
 		e.deliver[i] = nil
 		if !e.alive[i] || e.halted[i] || e.corrupt[i] {
@@ -720,22 +825,25 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 	if !e.phaseAOpen {
 		return errors.New("sim: FinishRound called without an open round")
 	}
+	if e.tallyMode {
+		return e.finishRoundTally(plans)
+	}
 	r := e.round + 1
+	// The corrupt count cannot change during crash application (only
+	// applyForgeries corrupts), so hoist it out of the budget check.
+	budgetUsed := e.crashed + e.CorruptCount()
 	for _, plan := range plans {
 		v := plan.Victim
 		if v < 0 || v >= e.cfg.N || !e.alive[v] || e.corrupt[v] {
 			continue
 		}
-		if e.crashed+e.CorruptCount() >= e.cfg.T {
+		if budgetUsed >= e.cfg.T {
 			break
 		}
 		e.alive[v] = false
 		e.crashed++
-		if plan.Deliver != nil {
-			e.deliver[v] = plan.Deliver.Clone()
-		} else {
-			e.deliver[v] = NewBitSet(e.cfg.N) // empty: message reaches no one
-		}
+		budgetUsed++
+		e.deliver[v] = e.deliverSlot(v, plan.Deliver)
 		if obs := e.cfg.Observer; obs != nil {
 			delivered := 0
 			if e.sending[v] {
@@ -795,16 +903,38 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 		m.Messages.Add(e.cfg.MetricsShard, uint64(e.messages-deliveredBefore))
 	}
 
-	// Decision / halt bookkeeping. A process's Round call for round r has
-	// completed, so its decided/stopped state reflects the paper's "end of
-	// round r" (its round-r message was already sent above).
+	e.finishBookkeeping(r)
+	return nil
+}
+
+// finishBookkeeping updates decision and halt state at the end of round
+// r. It is shared by both engines: a process's Round call for round r
+// has completed, so its decided/stopped state reflects the paper's "end
+// of round r" (its round-r message was already sent).
+func (e *Execution) finishBookkeeping(r int) {
+	if e.tallyMode && e.cfg.Observer == nil && e.cfg.Metrics == nil {
+		// No per-process event attribution needed: one batch kernel call
+		// replaces two interface dispatches per live process. decidedSeen
+		// is left stale, which only observers and metrics read — both nil
+		// here and fixed for the execution's lifetime.
+		allDecided, anyAliveActive := e.kernel.KernelBookkeep(e.alive, e.corrupt, e.halted)
+		if e.decideRound == 0 && allDecided {
+			e.decideRound = r
+		}
+		if e.haltRound == 0 && !anyAliveActive {
+			e.haltRound = r
+		}
+		e.round = r
+		e.phaseAOpen = false
+		return
+	}
 	allDecided := true
 	anyAliveActive := false
-	for i, p := range e.procs {
+	for i := range e.procs {
 		if !e.alive[i] || e.corrupt[i] {
 			continue
 		}
-		if v, ok := p.Decided(); !ok {
+		if v, ok := e.procDecided(i); !ok {
 			allDecided = false
 		} else if !e.decidedSeen[i] {
 			e.decidedSeen[i] = true
@@ -815,7 +945,7 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 				m.Decisions.Inc(e.cfg.MetricsShard)
 			}
 		}
-		if !e.halted[i] && p.Stopped() {
+		if !e.halted[i] && e.procStopped(i) {
 			e.halted[i] = true
 			if obs := e.cfg.Observer; obs != nil {
 				obs.OnHalt(r, i)
@@ -843,34 +973,14 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 	if m := e.cfg.Metrics; m != nil {
 		m.Rounds.Inc(e.cfg.MetricsShard)
 	}
-	return nil
 }
 
 // Run drives the execution under adv until every surviving process has
-// halted, or MaxRounds is exceeded (ErrMaxRounds).
+// halted, or MaxRounds is exceeded (ErrMaxRounds), then summarizes it.
+// Result-free callers (Monte-Carlo rollouts) use Drive directly.
 func (e *Execution) Run(adv Adversary) (*Result, error) {
-	for !e.Done() {
-		if e.round >= e.cfg.MaxRounds {
-			return nil, fmt.Errorf("%w (protocol still running after %d rounds, adversary %q)",
-				ErrMaxRounds, e.round, adv.Name())
-		}
-		v, err := e.StepPhaseA()
-		if err != nil {
-			return nil, err
-		}
-		if obs := e.cfg.Observer; obs != nil {
-			obs.OnRound(v.Round, v)
-		}
-		plans := adv.Plan(v)
-		if forger, ok := adv.(Forger); ok {
-			if err := e.FinishRoundForged(plans, forger.Forge(v)); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		if err := e.FinishRound(plans); err != nil {
-			return nil, err
-		}
+	if err := e.Drive(adv); err != nil {
+		return nil, err
 	}
 	return e.Result(), nil
 }
@@ -892,12 +1002,12 @@ func (e *Execution) Result() *Result {
 	}
 	common := -1
 	agreement := true
-	for i, p := range e.procs {
+	for i := range e.procs {
 		if !e.alive[i] || e.corrupt[i] {
 			continue
 		}
 		res.Survivors++
-		v, ok := p.Decided()
+		v, ok := e.procDecided(i)
 		if !ok {
 			agreement = false
 			continue

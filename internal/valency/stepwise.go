@@ -35,6 +35,13 @@ type Stepwise struct {
 
 	// StepsInspected counts classification calls (cost accounting).
 	StepsInspected int
+
+	// Reusable scratch. Returned plans share the walk's backing array and
+	// are valid until the next Plan call; the engine copies delivery
+	// masks into its own scratch, so that contract holds.
+	victims []int
+	walk    []sim.CrashPlan
+	half    *sim.BitSet
 }
 
 var _ sim.Adversary = (*Stepwise)(nil)
@@ -59,6 +66,7 @@ func (a *Stepwise) Clone() sim.Adversary {
 		c.Est = a.Est.Clone()
 	}
 	c.arena = sim.SnapshotArena{} // fleets are per-adversary, never shared
+	c.victims, c.walk, c.half = nil, nil, nil
 	return &c
 }
 
@@ -84,16 +92,19 @@ func (a *Stepwise) Plan(v *sim.View) []sim.CrashPlan {
 	if base.Class == ZeroValent {
 		target = 1
 	}
-	victims := sendersWithBit(v, 1-target)
-	victims = append(victims, sendersWithBit(v, target)...) // fall back to the rest
+	a.victims = appendSendersWithBit(a.victims[:0], v, 1-target)
+	a.victims = appendSendersWithBit(a.victims, v, target) // fall back to the rest
 
-	plan := []sim.CrashPlan{}
+	// The walk accumulates the accepted prefix in the scratch slice;
+	// trial and refined plans extend it in place (append-to-prefix), so
+	// the whole walk allocates nothing once the backing array is warm.
+	plan := a.walk[:0]
 	current := base
-	for _, victim := range victims {
+	for _, victim := range a.victims {
 		if len(plan) >= perRound {
 			break
 		}
-		trial := append(append([]sim.CrashPlan(nil), plan...), sim.CrashPlan{Victim: victim})
+		trial := append(plan, sim.CrashPlan{Victim: victim})
 		est, ok := a.classify(v, trial)
 		if !ok {
 			continue
@@ -101,18 +112,19 @@ func (a *Stepwise) Plan(v *sim.View) []sim.CrashPlan {
 		switch {
 		case !est.Class.Univalent():
 			// Case 1: stop failing the rest, stay in this state.
+			a.walk = trial
 			return trial
 		case est.Class != current.Class:
 			// Case 2/3: failing this victim flips the valence. Try the
 			// half-delivery refinement before accepting the flip.
-			half := halfMask(v)
-			refined := append(append([]sim.CrashPlan(nil), plan...),
-				sim.CrashPlan{Victim: victim, Deliver: half})
+			refined := append(plan, sim.CrashPlan{Victim: victim, Deliver: a.halfMask(v)})
 			if est2, ok2 := a.classify(v, refined); ok2 && !est2.Class.Univalent() {
+				a.walk = refined
 				return refined
 			}
 			// The paper's case 2: "we shall not fail this process and
 			// send all its messages" — keep the prefix without it.
+			a.walk = plan
 			return plan
 		default:
 			// Still the same valence: keep implementing the strategy.
@@ -120,6 +132,7 @@ func (a *Stepwise) Plan(v *sim.View) []sim.CrashPlan {
 			current = est
 		}
 	}
+	a.walk = plan
 	return plan
 }
 
@@ -139,23 +152,29 @@ func (a *Stepwise) classify(v *sim.View, plan []sim.CrashPlan) (*Estimate, bool)
 	return est, true
 }
 
-// sendersWithBit lists this round's plain senders carrying the bit.
-func sendersWithBit(v *sim.View, bit int) []int {
-	var out []int
+// appendSendersWithBit appends this round's plain senders carrying the
+// bit to dst.
+func appendSendersWithBit(dst []int, v *sim.View, bit int) []int {
 	for i := 0; i < v.N; i++ {
 		if !v.IsSending(i) || wire.IsFlood(v.Payload(i)) {
 			continue
 		}
 		if wire.Bit(v.Payload(i)) == bit {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
-// halfMask covers the lower-id half of the live processes.
-func halfMask(v *sim.View) *sim.BitSet {
-	mask := sim.NewBitSet(v.N)
+// halfMask covers the lower-id half of the live processes; the scratch
+// mask is only read before the next Plan call (the engine copies it).
+func (a *Stepwise) halfMask(v *sim.View) *sim.BitSet {
+	if a.half == nil {
+		a.half = sim.NewBitSet(v.N)
+	} else {
+		a.half.Reset(v.N)
+	}
+	mask := a.half
 	cnt, want := 0, v.AliveCount()/2
 	for i := 0; i < v.N && cnt < want; i++ {
 		if v.IsAlive(i) {

@@ -101,6 +101,12 @@ type Estimator struct {
 	// calls: a Stepwise adversary classifying hundreds of successor
 	// states reuses the same fleet throughout.
 	arenas []*sim.SnapshotArena
+	// advCache caches one continuation-adversary instance per
+	// (worker, pool entry). Instances implementing sim.ReusableAdversary
+	// are reset and reused across rollouts instead of rebuilt, removing
+	// the per-rollout factory allocations; others are rebuilt each time.
+	// Worker w only ever touches advCache[w], mirroring the arena rule.
+	advCache [][]sim.Adversary
 }
 
 // NewEstimator returns an estimator with the default pool for an
@@ -131,6 +137,7 @@ func NewEstimator(n int, seed uint64) *Estimator {
 func (e *Estimator) Clone() *Estimator {
 	c := *e
 	c.arenas = nil
+	c.advCache = nil
 	return &c
 }
 
@@ -141,6 +148,22 @@ func (e *Estimator) growArenas(w int) {
 	for len(e.arenas) < w {
 		e.arenas = append(e.arenas, &sim.SnapshotArena{Metrics: e.Metrics, Shard: len(e.arenas)})
 	}
+	for len(e.advCache) < w {
+		e.advCache = append(e.advCache, make([]sim.Adversary, len(e.Pool)))
+	}
+}
+
+// pooledAdversary returns worker's instance of pool member ai, reusing
+// (and resetting) it when the adversary supports it.
+func (e *Estimator) pooledAdversary(worker, ai int) sim.Adversary {
+	row := e.advCache[worker]
+	if r, ok := row[ai].(sim.ReusableAdversary); ok {
+		r.ResetAdversary()
+		return r
+	}
+	adv := e.Pool[ai]()
+	row[ai] = adv
+	return adv
 }
 
 // Classify estimates the valency of the state of exec at the beginning
@@ -188,9 +211,8 @@ func (e *Estimator) Classify(exec *sim.Execution, k int) (*Estimate, error) {
 			defer e.arenas[worker].Release(c)
 		}
 		counter := counterBase + uint64(idx) + 1
-		c.ReseedProcesses(e.Seed ^ rng.New(uint64(ai)<<32|counter).Uint64())
-		res, err := c.Run(e.Pool[ai]())
-		if err != nil {
+		c.ReseedProcesses(e.Seed ^ rng.Uint64At(uint64(ai)<<32|counter))
+		if err := c.Drive(e.pooledAdversary(worker, ai)); err != nil {
 			// A rollout hitting MaxRounds means the continuation
 			// adversary pinned the protocol; treat as undecided and
 			// skip (it contributes to neither extreme).
@@ -198,8 +220,8 @@ func (e *Estimator) Classify(exec *sim.Execution, k int) (*Estimate, error) {
 		}
 		return rollout{
 			decided: true,
-			one:     res.DecidedValue() == 1,
-			extra:   float64(res.HaltRounds - startRound),
+			one:     c.ConsensusValue() == 1,
+			extra:   float64(c.HaltRound() - startRound),
 		}, nil
 	})
 	if rerr != nil {

@@ -115,6 +115,11 @@ type Spec struct {
 	Seed uint64
 	// MaxRounds overrides the engine's safety valve (0 = default).
 	MaxRounds int
+	// Engine selects the lock-step engine backend: "" or "object" for the
+	// object-per-process engine, "soa" for the columnar
+	// structure-of-arrays fast path (identical results; see internal/sim).
+	// Incompatible with Live/Chaos: the live runner has no columnar core.
+	Engine string
 	// Live selects the goroutine-per-process runner instead of the
 	// lock-step engine (results are identical; see internal/netsim).
 	Live bool
@@ -171,13 +176,17 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	cfg := sim.Config{
-		N: spec.N, T: spec.T, MaxRounds: spec.MaxRounds, Observer: spec.Observer,
-		Metrics: spec.Metrics, MetricsShard: spec.MetricsShard,
+		N: spec.N, T: spec.T, MaxRounds: spec.MaxRounds, Engine: spec.Engine,
+		Observer: spec.Observer,
+		Metrics:  spec.Metrics, MetricsShard: spec.MetricsShard,
 	}
 	if spec.Live || spec.Chaos != nil {
 		if spec.Adversary == AdversaryLowerBound || spec.Adversary == AdversaryStepwise ||
 			spec.Adversary == AdversaryEquivocator {
 			return nil, fmt.Errorf("synran: adversary %q needs the lock-step engine", spec.Adversary)
+		}
+		if spec.Engine == sim.EngineSoA {
+			return nil, fmt.Errorf("synran: the %q engine is lock-step only (drop Live/Chaos or the engine override)", spec.Engine)
 		}
 		var opts netsim.Options
 		if spec.Chaos != nil {

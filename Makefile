@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check chaos conformance experiments experiments-quick metrics metrics-golden examples clean
+.PHONY: all build test test-short race cover bench bench-json bench-check chaos conformance scenarios experiments experiments-quick metrics metrics-golden examples clean
 
 all: build test
 
@@ -60,6 +60,19 @@ conformance:
 	$(GO) test -count=1 ./internal/conformance
 	$(GO) run ./cmd/conformance -quick -seed 42
 	$(GO) run ./cmd/conformance -quick -seed 42 -engine soa
+	$(GO) run ./cmd/conformance -scenario-dir testdata/corpus
+
+# The declarative scenario surface: codec round-trip and corpus tests,
+# the checked-in corpus through every lane of the conformance binary
+# and as a bench outcome table, then a short coverage-guided fuzz that
+# mutates corpus entries hunting for engine divergences — any finding
+# is minimized and written back into testdata/corpus as a repro.
+scenarios:
+	$(GO) test -count=1 ./internal/scenario
+	$(GO) test -count=1 -run 'Scenario|Corpus' ./internal/conformance ./internal/cli
+	$(GO) run ./cmd/conformance -scenario-dir testdata/corpus
+	$(GO) run ./cmd/synran-bench -scenario-dir testdata/corpus
+	$(GO) test -run '^$$' -fuzz FuzzScenario -fuzztime 10s ./internal/conformance
 
 # Regenerate every experiment table at full size (minutes) or quick size
 # (seconds). Exit status is non-zero if any paper claim fails.
@@ -85,6 +98,7 @@ metrics-golden:
 
 examples:
 	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/replay
 	$(GO) run ./examples/commitvote
 	$(GO) run ./examples/coingame
 	$(GO) run ./examples/livecluster

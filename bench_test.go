@@ -1,4 +1,4 @@
-package synran
+package synran_test
 
 import (
 	"fmt"

@@ -7,6 +7,7 @@
 //
 //	asyncsim -n 7 -t 3 -scheduler splitter -trials 20
 //	asyncsim -n 4 -t 1 -coin parity -scheduler splitter   # FLP loop
+//	asyncsim -scenario testdata/corpus/async-splitter.scenario
 package main
 
 import (
@@ -20,10 +21,10 @@ import (
 func main() {
 	var opts cli.AsyncOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
 	flag.IntVar(&opts.N, "n", 7, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default (n-1)/2; Ben-Or needs t < n/2)")
-	flag.StringVar(&opts.Scheduler, "scheduler", "fifo", "scheduler: fifo|random|splitter")
+	flag.StringVar(&opts.Scheduler, "scheduler", "fifo", "scheduler: fifo|random|splitter|syncround")
 	flag.StringVar(&opts.Coin, "coin", "random", "coin: random|parity (parity = deterministic, FLP)")
 	flag.StringVar(&opts.Workload, "workload", "half", "inputs: zeros|ones|half|random")
 	flag.IntVar(&opts.Trials, "trials", 1, "number of runs")
@@ -39,7 +40,12 @@ func main() {
 	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
 	defer stop()
 
-	runErr := cli.AsyncSim(opts, os.Stdout)
+	var runErr error
+	if common.ScenarioMode() {
+		runErr = cli.RunScenarios(&common, opts.Metrics, os.Stdout)
+	} else {
+		runErr = cli.AsyncSim(opts, os.Stdout)
+	}
 	if err := common.WriteMetrics(opts.Metrics, os.Stdout); err != nil {
 		fmt.Fprintln(errw, "asyncsim:", err)
 		os.Exit(1)

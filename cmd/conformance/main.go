@@ -9,6 +9,8 @@
 //
 //	conformance -quick -seed 42
 //	conformance -one "protocol=floodset,adversary=waves,workload=half,n=5,t=2,seed=3"
+//	conformance -scenario-dir testdata/corpus
+//	conformance -scenario testdata/corpus/benor-unsafe.scenario
 package main
 
 import (
@@ -22,7 +24,7 @@ import (
 func main() {
 	var opts cli.ConformanceOptions
 	common := cli.CommonFlags{Seed: 42}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
 	flag.StringVar(&opts.One, "one", "", "check a single case spec (as printed in a divergence repro) instead of the grid")
 	flag.IntVar(&opts.Seeds, "seeds", 1, "seeds per grid point")
 	flag.IntVar(&opts.MaxRounds, "maxrounds", 0, "per-lane round cap (0 = harness default)")
@@ -37,6 +39,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Quick, opts.Seed, opts.Workers, opts.Engine = common.Quick, common.Seed, common.Workers, common.Engine
+	opts.Scenario, opts.ScenarioDir = common.Scenario, common.ScenarioDir
 	opts.Metrics = common.NewMetricsEngine()
 	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
 	defer stop()

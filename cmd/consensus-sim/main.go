@@ -6,6 +6,8 @@
 //	consensus-sim -n 101 -t 100 -protocol synran -adversary splitvote \
 //	    -workload half -seed 42 -trace
 //	consensus-sim -n 256 -adversary splitvote -trials 50 -metrics
+//	consensus-sim -scenario testdata/corpus/synran-clean.scenario
+//	consensus-sim -scenario-dir testdata/corpus
 package main
 
 import (
@@ -19,7 +21,7 @@ import (
 func main() {
 	var opts cli.SimOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
 	flag.IntVar(&opts.N, "n", 64, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default n-1)")
 	flag.StringVar(&opts.Protocol, "protocol", "synran", "protocol: synran|benor|floodset|leadercoin|earlystop|phaseking")
@@ -53,7 +55,12 @@ func main() {
 	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
 	defer stop()
 
-	runErr := cli.ConsensusSim(opts, os.Stdout)
+	var runErr error
+	if common.ScenarioMode() {
+		runErr = cli.RunScenarios(&common, opts.Metrics, os.Stdout)
+	} else {
+		runErr = cli.ConsensusSim(opts, os.Stdout)
+	}
 	if err := common.WriteMetrics(opts.Metrics, os.Stdout); err != nil {
 		fmt.Fprintln(errw, "consensus-sim:", err)
 		os.Exit(1)

@@ -8,6 +8,7 @@
 //
 //	lowerbound -n 10 -seed 7
 //	lowerbound -n 8 -metrics         # count rollouts and rounds
+//	lowerbound -scenario testdata/corpus/synran-lowerbound.scenario
 package main
 
 import (
@@ -30,7 +31,7 @@ func main() {
 
 func run() error {
 	common := cli.CommonFlags{Seed: 7}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
 	var (
 		n        = flag.Int("n", 10, "number of processes (look-ahead is exponential-ish; keep small)")
 		rollouts = flag.Int("rollouts", 16, "Monte-Carlo rollouts per pool adversary")
@@ -42,6 +43,16 @@ func run() error {
 	}
 	stop := cli.StartWatchdog(common.Deadline, cli.NewSyncWriter(os.Stderr), os.Exit)
 	defer stop()
+	if common.ScenarioMode() {
+		// Scenario files run through the shared dispatch (a lowerbound
+		// scenario is a synchronous one with the valency adversary); the
+		// round-by-round narration below is the flag surface's extra.
+		m := common.NewMetricsEngine()
+		if err := cli.RunScenarios(&common, m, os.Stdout); err != nil {
+			return err
+		}
+		return common.WriteMetrics(m, os.Stdout)
+	}
 	seed, workers := &common.Seed, &common.Workers
 	t := *n - 1
 	m := common.NewMetricsEngine()

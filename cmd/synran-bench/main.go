@@ -8,6 +8,7 @@
 //	synran-bench -only E3,E4  # a subset
 //	synran-bench -csv         # machine-readable output
 //	synran-bench -quick -metrics-out metrics.json
+//	synran-bench -scenario-dir testdata/corpus   # corpus outcome table
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 func main() {
 	var opts cli.BenchOptions
 	common := cli.CommonFlags{Seed: 42}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagDeadline|cli.FlagMetrics)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
 	flag.StringVar(&opts.Only, "only", "", "comma-separated experiment ids (e.g. E3,E7)")
 	flag.BoolVar(&opts.CSV, "csv", false, "emit CSV instead of aligned tables")
 	flag.BoolVar(&opts.Markdown, "markdown", false, "emit GitHub-flavored markdown tables")
@@ -32,6 +33,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Seed, opts.Workers, opts.Quick = common.Seed, common.Workers, common.Quick
+	opts.Scenario, opts.ScenarioDir = common.Scenario, common.ScenarioDir
 	opts.Metrics = common.NewMetricsEngine()
 	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
 	defer stop()

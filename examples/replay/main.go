@@ -1,8 +1,9 @@
-// Replay: the reproducibility contract, demonstrated. An execution is
-// recorded as a structured JSON event trace, serialized, reloaded, and
-// re-run from the same seed — the replay must match the recording event
-// for event (trace.Diff == ""). This is how a result in EXPERIMENTS.md
-// can be handed to someone else: the seed IS the experiment.
+// Replay: the reproducibility contract, demonstrated — starting from a
+// checked-in declarative scenario file. The corpus entry is parsed, run
+// with a trace recorder attached, serialized, reloaded, and re-run from
+// the same scenario — the replay must match the recording event for
+// event (trace.Diff == ""). This is how a result in EXPERIMENTS.md can
+// be handed to someone else: the .scenario file IS the experiment.
 package main
 
 import (
@@ -11,8 +12,13 @@ import (
 	"os"
 
 	"synran"
+	"synran/internal/scenario"
 	"synran/internal/trace"
 )
+
+// scenarioFile is resolved from the repository root (examples run via
+// `go run ./examples/replay`).
+const scenarioFile = "testdata/corpus/synran-splitvote.scenario"
 
 func main() {
 	if err := run(); err != nil {
@@ -21,16 +27,14 @@ func main() {
 	}
 }
 
-func record(seed uint64) (*trace.Log, *synran.Result, error) {
-	const n = 32
-	rec := trace.NewRecorder(n, n-1, seed)
-	res, err := synran.Run(synran.Spec{
-		N: n, T: n - 1,
-		Inputs:    synran.HalfHalfInputs(n),
-		Adversary: synran.AdversarySplitVote,
-		Seed:      seed,
-		Observer:  rec,
-	})
+func record(s scenario.Scenario) (*trace.Log, *synran.Result, error) {
+	rec := trace.NewRecorder(s.N, s.T, s.Seed)
+	spec, err := s.Spec(0, nil, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec.Observer = rec
+	res, err := synran.Run(spec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -38,9 +42,17 @@ func record(seed uint64) (*trace.Log, *synran.Result, error) {
 }
 
 func run() error {
-	const seed = 2026
+	s, err := scenario.LoadFile(scenarioFile)
+	if err != nil {
+		return err
+	}
+	compact, err := scenario.Compact(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %s\n", scenarioFile, compact)
 
-	original, res, err := record(seed)
+	original, res, err := record(s)
 	if err != nil {
 		return err
 	}
@@ -58,8 +70,8 @@ func run() error {
 		return err
 	}
 
-	// Re-run from the same seed and compare event for event.
-	replayed, _, err := record(seed)
+	// Re-run the same scenario and compare event for event.
+	replayed, _, err := record(s)
 	if err != nil {
 		return err
 	}
@@ -69,11 +81,13 @@ func run() error {
 	fmt.Println("replay matches the recording event for event ✓")
 
 	// A different seed is a different execution — Diff catches it.
-	other, _, err := record(seed + 1)
+	other := s
+	other.Seed++
+	diverged, _, err := record(other)
 	if err != nil {
 		return err
 	}
-	if d := trace.Diff(loaded, other); d == "" {
+	if d := trace.Diff(loaded, diverged); d == "" {
 		return fmt.Errorf("different seeds produced identical traces")
 	}
 	fmt.Println("a different seed diverges, and Diff pinpoints where ✓")

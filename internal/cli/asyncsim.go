@@ -7,12 +7,15 @@ import (
 
 	"synran/internal/async"
 	"synran/internal/metrics"
+	"synran/internal/scenario"
 	"synran/internal/stats"
 	"synran/internal/trials"
 	"synran/internal/workload"
 )
 
-// AsyncOptions configures AsyncSim.
+// AsyncOptions configures AsyncSim. Like SimOptions, the semantic
+// fields are a façade over scenario.Scenario (see Scenario); Workers
+// and Metrics are presentation knobs.
 type AsyncOptions struct {
 	N, T      int
 	Scheduler string
@@ -30,6 +33,29 @@ type AsyncOptions struct {
 	Metrics *metrics.Engine
 }
 
+// Scenario is the declarative form of the flag surface: an async-benor
+// scenario whose adversary is the scheduler and whose round budget is
+// the delivery cap. The -t<0 default ((n-1)/2, the Ben-Or resilience
+// maximum) resolves here before the scenario is built.
+func (opts AsyncOptions) Scenario() (scenario.Scenario, error) {
+	t := opts.T
+	if t < 0 {
+		t = (opts.N - 1) / 2
+	}
+	s := scenario.Scenario{
+		Protocol:  scenario.ProtocolAsyncBenOr,
+		Adversary: opts.Scheduler,
+		Coin:      opts.Coin,
+		Workload:  opts.Workload,
+		N:         opts.N,
+		T:         t,
+		Seed:      opts.Seed,
+		MaxRounds: opts.MaxSteps,
+		Trials:    opts.Trials,
+	}
+	return s.Normalized()
+}
+
 // asyncTrial is one run's observations, aggregated in index order.
 type asyncTrial struct {
 	timeout bool
@@ -37,75 +63,81 @@ type asyncTrial struct {
 	steps   float64
 	phase   float64
 	flips   float64
+	expect  []string
 }
 
-// AsyncSim is the command core of cmd/asyncsim.
+// AsyncSim is the command core of cmd/asyncsim: the flags convert to a
+// Scenario and run through AsyncScenario, the same code path a
+// -scenario file takes.
 func AsyncSim(opts AsyncOptions, w io.Writer) error {
-	if opts.T < 0 {
-		opts.T = (opts.N - 1) / 2
+	s, err := opts.Scenario()
+	if err != nil {
+		return err
 	}
-	mode := async.CoinRandom
-	switch opts.Coin {
-	case "", "random":
-	case "parity":
-		mode = async.CoinParity
-	default:
-		return fmt.Errorf("unknown coin %q (want random|parity)", opts.Coin)
+	return AsyncScenario(s, opts, w)
+}
+
+// AsyncScenario runs one async-benor scenario through asyncsim's
+// execution core; synchronous scenarios dispatch to SimScenario so
+// every binary accepts every scenario. The scheduler and coin come from
+// the scenario package's constructors — the same ones the conformance
+// harness and -scenario files use.
+func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
+	if !s.IsAsync() {
+		return SimScenario(s, SimOptions{Workers: opts.Workers, Metrics: opts.Metrics}, w)
 	}
-	mkSched := func() (async.Scheduler, error) {
-		switch opts.Scheduler {
-		case "", "fifo":
-			return async.FIFO{}, nil
-		case "random":
-			return &async.RandomSched{CrashProb: 0.01}, nil
-		case "splitter":
-			return async.NewSplitter(), nil
-		default:
-			return nil, fmt.Errorf("unknown scheduler %q (want fifo|random|splitter)", opts.Scheduler)
-		}
+	mode, err := scenario.CoinMode(s.Coin)
+	if err != nil {
+		return err
 	}
-	if _, err := mkSched(); err != nil {
+	if _, err := scenario.NewAsyncScheduler(s.Adversary); err != nil {
 		return err // validate before fanning out
 	}
-	if opts.Trials <= 0 {
-		opts.Trials = 1
-	}
 
-	outs, err := trials.RunWorker(opts.Workers, opts.Trials, trials.Metered(opts.Metrics, func(worker, i int) (asyncTrial, error) {
-		runSeed := opts.Seed + uint64(i)
-		inputs, err := workload.Named(opts.Workload, opts.N, runSeed)
+	outs, err := trials.RunWorker(opts.Workers, s.Trials, trials.Metered(opts.Metrics, func(worker, i int) (asyncTrial, error) {
+		runSeed := s.TrialSeed(i)
+		inputs, err := workload.Named(s.Workload, s.N, runSeed)
 		if err != nil {
 			return asyncTrial{}, err
 		}
-		procs, err := async.NewBenOrProcs(opts.N, opts.T, inputs, mode, runSeed)
+		procs, err := async.NewBenOrProcs(s.N, s.T, inputs, mode, runSeed)
 		if err != nil {
 			return asyncTrial{}, err
 		}
 		exec, err := async.NewExecution(async.Config{
-			N: opts.N, T: opts.T, MaxSteps: opts.MaxSteps,
+			N: s.N, T: s.T, MaxSteps: s.MaxRounds,
 		}, procs, inputs, runSeed)
 		if err != nil {
 			return asyncTrial{}, err
 		}
-		sched, _ := mkSched()
+		sched, _ := scenario.NewAsyncScheduler(s.Adversary)
 		res, err := exec.Run(sched)
 		if err != nil {
 			if errors.Is(err, async.ErrMaxSteps) {
-				return asyncTrial{timeout: true}, nil
+				out := asyncTrial{timeout: true}
+				if s.Expect.Any() {
+					out.expect = s.CheckExpect(scenario.Outcome{
+						Decided: -1, Rounds: exec.Steps(), Partial: true,
+					})
+				}
+				return out, nil
 			}
 			return asyncTrial{}, err
+		}
+		if s.Expect.Any() {
+			out := asyncTrial{decided: res.DecidedValue(), steps: float64(res.Steps)}
+			out.expect = s.CheckExpect(scenario.Outcome{
+				Agreement: res.Agreement, Validity: res.Validity,
+				Decided: res.DecidedValue(), Rounds: res.Steps, Crashes: res.Crashes,
+			})
+			fillAsyncStats(&out, procs)
+			return out, nil
 		}
 		if !res.Agreement || !res.Validity {
 			return asyncTrial{}, fmt.Errorf("safety violated on seed %d", runSeed)
 		}
 		out := asyncTrial{decided: res.DecidedValue(), steps: float64(res.Steps)}
-		for _, p := range procs {
-			b := p.(*async.BenOr)
-			if ph := float64(b.Phase()); ph > out.phase {
-				out.phase = ph
-			}
-			out.flips += float64(b.Flips())
-		}
+		fillAsyncStats(&out, procs)
 		return out, nil
 	}))
 	if err != nil {
@@ -114,10 +146,15 @@ func AsyncSim(opts AsyncOptions, w io.Writer) error {
 
 	var (
 		stepsSeen, phases, flips []float64
-		timeouts                 int
+		timeouts, expectFails    int
+		expectLines              []string
 		decided                  = map[int]int{}
 	)
-	for _, o := range outs {
+	for i, o := range outs {
+		for _, v := range o.expect {
+			expectFails++
+			expectLines = append(expectLines, fmt.Sprintf("trial %d (seed %d): %s", i, s.TrialSeed(i), v))
+		}
 		if o.timeout {
 			timeouts++
 			continue
@@ -129,24 +166,37 @@ func AsyncSim(opts AsyncOptions, w io.Writer) error {
 	}
 
 	fmt.Fprintf(w, "async benor: n=%d t=%d coin=%s scheduler=%s workload=%s trials=%d\n",
-		opts.N, opts.T, orWord(opts.Coin, "random"), orWord(opts.Scheduler, "fifo"),
-		opts.Workload, opts.Trials)
-	fmt.Fprintf(w, "terminated : %d/%d (timeouts: %d)\n", opts.Trials-timeouts, opts.Trials, timeouts)
+		s.N, s.T, s.Coin, s.Adversary, s.Workload, s.Trials)
+	fmt.Fprintf(w, "terminated : %d/%d (timeouts: %d)\n", s.Trials-timeouts, s.Trials, timeouts)
 	if len(stepsSeen) > 0 {
 		fmt.Fprintf(w, "deliveries : %s\n", stats.Summarize(stepsSeen))
 		fmt.Fprintf(w, "phases     : %s\n", stats.Summarize(phases))
 		fmt.Fprintf(w, "coin flips : %s\n", stats.Summarize(flips))
 		fmt.Fprintf(w, "decisions  : 0 → %d, 1 → %d\n", decided[0], decided[1])
 	}
-	if timeouts == opts.Trials && mode == async.CoinParity {
+	if timeouts == s.Trials && mode == async.CoinParity {
 		fmt.Fprintln(w, "every run looped forever: the FLP schedule, demonstrated")
+	}
+	if s.Expect.Any() {
+		for _, line := range expectLines {
+			fmt.Fprintf(w, "expect     : FAIL %s\n", line)
+		}
+		if expectFails > 0 {
+			return fmt.Errorf("%d expectation(s) violated across %d trials", expectFails, s.Trials)
+		}
+		fmt.Fprintf(w, "expect     : ok (%d trials)\n", s.Trials)
 	}
 	return nil
 }
 
-func orWord(s, def string) string {
-	if s == "" {
-		return def
+// fillAsyncStats pulls the per-process phase and coin-flip observations
+// out of the Ben-Or processes after a completed run.
+func fillAsyncStats(out *asyncTrial, procs []async.Process) {
+	for _, p := range procs {
+		b := p.(*async.BenOr)
+		if ph := float64(b.Phase()); ph > out.phase {
+			out.phase = ph
+		}
+		out.flips += float64(b.Flips())
 	}
-	return s
 }

@@ -27,6 +27,12 @@ type ConformanceOptions struct {
 	// One, when non-empty, checks a single case spec (the -one repro flag
 	// a Divergence prints) instead of the grid.
 	One string
+	// Scenario, when non-empty, checks a single .scenario file through
+	// every applicable lane (the repro line a corpus violation prints).
+	Scenario string
+	// ScenarioDir sweeps every *.scenario file in a directory — the
+	// checked-in corpus under testdata/corpus is the CI consumer.
+	ScenarioDir string
 	// Metrics, when non-nil, counts conformance cases as trials.
 	Metrics *metrics.Engine
 }
@@ -38,6 +44,9 @@ type ConformanceOptions struct {
 func Conformance(opts ConformanceOptions, w io.Writer) error {
 	if opts.One != "" {
 		return conformanceOne(opts, w)
+	}
+	if opts.Scenario != "" || opts.ScenarioDir != "" {
+		return conformanceScenarios(opts, w)
 	}
 	cfg := conformance.SweepConfig{
 		Quick:     opts.Quick,
@@ -85,6 +94,38 @@ func conformanceOne(opts ConformanceOptions, w io.Writer) error {
 	renderFindings(w, divs, violations)
 	if len(divs) > 0 || len(violations) > 0 {
 		return fmt.Errorf("%d divergences, %d violations", len(divs), len(violations))
+	}
+	fmt.Fprintln(w, "all lanes agree; all oracles hold")
+	return nil
+}
+
+// conformanceScenarios runs the declarative path: every entry of the
+// -scenario/-scenario-dir selection goes through conformance.SweepCorpus
+// — the sync differential lanes or the async replay check, plus the
+// expectation lane for entries that assert outcomes.
+func conformanceScenarios(opts ConformanceOptions, w io.Writer) error {
+	entries, err := loadScenarioEntries(opts.Scenario, opts.ScenarioDir)
+	if err != nil {
+		return err
+	}
+	src := opts.Scenario
+	if src == "" {
+		src = opts.ScenarioDir
+	}
+	// Scenario files pin their own engine and round caps; only the
+	// presentation knobs apply here.
+	sum, err := conformance.SweepCorpus(entries, conformance.SweepConfig{
+		Workers: opts.Workers, Metrics: opts.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "conformance scenario sweep: %d entries from %s\n", len(entries), src)
+	fmt.Fprintf(w, "sync cases : %d (differential lanes + expectations)\n", sum.SyncCases)
+	fmt.Fprintf(w, "async cases: %d (replay determinism + expectations)\n", sum.AsyncCases)
+	renderFindings(w, sum.Divergences, sum.Violations)
+	if !sum.Ok() {
+		return fmt.Errorf("%d divergences, %d violations", len(sum.Divergences), len(sum.Violations))
 	}
 	fmt.Fprintln(w, "all lanes agree; all oracles hold")
 	return nil

@@ -12,14 +12,17 @@ import (
 
 	"synran"
 	"synran/internal/metrics"
+	"synran/internal/scenario"
 	"synran/internal/sim"
 	"synran/internal/stats"
 	"synran/internal/trace"
 	"synran/internal/trials"
-	"synran/internal/workload"
 )
 
-// SimOptions configures ConsensusSim.
+// SimOptions configures ConsensusSim. The semantic fields (everything
+// up to Chaos/FaultBudget) are a façade over scenario.Scenario — see
+// Scenario — while the remainder are presentation knobs a scenario
+// file does not carry.
 type SimOptions struct {
 	N, T      int
 	Protocol  string
@@ -51,45 +54,68 @@ type SimOptions struct {
 	Metrics *metrics.Engine
 }
 
-// ConsensusSim is the command core of cmd/consensus-sim.
+// Scenario is the declarative form of the flag surface. The -t<0
+// default (crash budget n-1) resolves here, before the scenario is
+// built, and the result is normalized and validated exactly like a
+// parsed .scenario file — so a flag-built run and its Format-ed file
+// are the same execution.
+func (opts SimOptions) Scenario() (scenario.Scenario, error) {
+	t := opts.T
+	if t < 0 {
+		t = opts.N - 1
+	}
+	s := scenario.Scenario{
+		Protocol:    opts.Protocol,
+		Adversary:   opts.Adversary,
+		Workload:    opts.Workload,
+		N:           opts.N,
+		T:           t,
+		Seed:        opts.Seed,
+		Engine:      opts.Engine,
+		Live:        opts.Live,
+		Chaos:       opts.Chaos,
+		FaultBudget: opts.FaultBudget,
+		Trials:      opts.Trials,
+	}
+	return s.Normalized()
+}
+
+// ConsensusSim is the command core of cmd/consensus-sim: the flags
+// convert to a Scenario and run through SimScenario, the same code path
+// a -scenario file takes.
 func ConsensusSim(opts SimOptions, w io.Writer) error {
-	if opts.T < 0 {
-		opts.T = opts.N - 1
-	}
-	if opts.Trials <= 1 {
-		return simOnce(opts, w)
-	}
-	return simMany(opts, w)
-}
-
-func buildSpec(opts SimOptions, seed uint64, shard int) (synran.Spec, error) {
-	inputs, err := workload.Named(opts.Workload, opts.N, seed)
+	s, err := opts.Scenario()
 	if err != nil {
-		return synran.Spec{}, err
+		return err
 	}
-	spec := synran.Spec{
-		N: opts.N, T: opts.T, Inputs: inputs,
-		Protocol:     opts.Protocol,
-		Adversary:    opts.Adversary,
-		Seed:         seed,
-		Live:         opts.Live,
-		Engine:       opts.Engine,
-		Metrics:      opts.Metrics,
-		MetricsShard: shard,
-	}
-	if opts.Chaos != "" {
-		cfg, err := synran.ParseChaosSpec(opts.Chaos)
-		if err != nil {
-			return synran.Spec{}, err
-		}
-		spec.Chaos = &cfg
-		spec.FaultBudget = opts.FaultBudget
-	}
-	return spec, nil
+	return SimScenario(s, opts, w)
 }
 
-func simOnce(opts SimOptions, w io.Writer) error {
-	spec, err := buildSpec(opts, opts.Seed, 0)
+// SimScenario runs one scenario through consensus-sim's execution core.
+// opts supplies only the presentation knobs a scenario file does not
+// carry (trace, digest, trace file, workers, metrics); the execution is
+// fully determined by s. Async scenarios dispatch to AsyncScenario —
+// every binary accepts every scenario.
+func SimScenario(s scenario.Scenario, opts SimOptions, w io.Writer) error {
+	if s.IsAsync() {
+		return AsyncScenario(s, AsyncOptions{Workers: opts.Workers, Metrics: opts.Metrics}, w)
+	}
+	if s.Trials <= 1 {
+		return simOnce(s, opts, w)
+	}
+	return simMany(s, opts, w)
+}
+
+// gracefulPartial reports whether err is the hardened runner's typed
+// graceful degradation for a partial result — the one error class that
+// expectation-carrying scenarios may legitimately assert about.
+func gracefulPartial(res *synran.Result, err error) bool {
+	return res != nil && res.Partial &&
+		(errors.Is(err, synran.ErrFaultBudget) || errors.Is(err, sim.ErrMaxRounds))
+}
+
+func simOnce(s scenario.Scenario, opts SimOptions, w io.Writer) error {
+	spec, err := s.Spec(0, opts.Metrics, 0)
 	if err != nil {
 		return err
 	}
@@ -106,7 +132,7 @@ func simOnce(opts SimOptions, w io.Writer) error {
 		observers = append(observers, dg)
 	}
 	if opts.TraceFile != "" {
-		rec = trace.NewRecorder(opts.N, opts.T, opts.Seed)
+		rec = trace.NewRecorder(s.N, s.T, s.Seed)
 		observers = append(observers, rec)
 	}
 	if len(observers) > 0 {
@@ -120,18 +146,18 @@ func simOnce(opts SimOptions, w io.Writer) error {
 	// graceful degradation: report what happened, then fail.
 
 	fmt.Fprintf(w, "protocol=%s adversary=%s n=%d t=%d workload=%s seed=%d\n",
-		opts.Protocol, opts.Adversary, opts.N, opts.T, opts.Workload, opts.Seed)
+		s.Protocol, s.Adversary, s.N, s.T, s.Workload, s.Seed)
 	fmt.Fprintf(w, "decided value : %d\n", res.DecidedValue())
 	fmt.Fprintf(w, "rounds        : %d (all decided), %d (all halted)\n", res.DecideRounds, res.HaltRounds)
 	fmt.Fprintf(w, "messages      : %d delivered\n", res.Messages)
-	fmt.Fprintf(w, "crashes       : %d of budget %d; survivors %d\n", res.Crashes, opts.T, res.Survivors)
+	fmt.Fprintf(w, "crashes       : %d of budget %d; survivors %d\n", res.Crashes, s.T, res.Survivors)
 	fmt.Fprintf(w, "agreement     : %v\n", res.Agreement)
 	fmt.Fprintf(w, "validity      : %v\n", res.Validity)
 	fmt.Fprintf(w, "theory        : upper-bound shape %.2f rounds, lower-bound floor %.2f rounds\n",
-		synran.UpperBoundRounds(opts.N, opts.T), synran.LowerBoundRounds(opts.N, opts.T))
+		synran.UpperBoundRounds(s.N, s.T), synran.LowerBoundRounds(s.N, s.T))
 	if spec.Chaos != nil {
 		f := res.Faults
-		fmt.Fprintf(w, "chaos         : %s (fault budget %d)\n", spec.Chaos.Spec(), opts.FaultBudget)
+		fmt.Fprintf(w, "chaos         : %s (fault budget %d)\n", spec.Chaos.Spec(), s.FaultBudget)
 		fmt.Fprintf(w, "faults        : dropped=%d duplicated=%d delayed=%d stalled=%d panics=%d demoted=%d (crash-equivalent %d)\n",
 			f.Dropped, f.Duplicated, f.Delayed, f.Stalled, f.Panics, f.Demoted, f.CrashEquivalent())
 		for _, note := range res.FaultNotes {
@@ -156,7 +182,22 @@ func simOnce(opts SimOptions, w io.Writer) error {
 		fmt.Fprintf(w, "trace written : %s (%d events)\n", opts.TraceFile, len(rec.Log().Events))
 	}
 	if runErr != nil {
-		return runErr
+		// With expectations present, graceful degradation is judged by
+		// them (a scenario may assert partial = true); anything else
+		// stays an error.
+		if !(s.Expect.Any() && gracefulPartial(res, runErr)) {
+			return runErr
+		}
+	}
+	if s.Expect.Any() {
+		if vs := s.CheckExpect(scenario.OutcomeOf(res)); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Fprintf(w, "expect        : FAIL %s\n", v)
+			}
+			return fmt.Errorf("%d expectation(s) violated", len(vs))
+		}
+		fmt.Fprintf(w, "expect        : ok\n")
+		return nil
 	}
 	if !res.Agreement || !res.Validity {
 		return fmt.Errorf("safety violated (expected only for the symmetric baseline under mass crashes)")
@@ -164,7 +205,7 @@ func simOnce(opts SimOptions, w io.Writer) error {
 	return nil
 }
 
-func simMany(opts SimOptions, w io.Writer) error {
+func simMany(s scenario.Scenario, opts SimOptions, w io.Writer) error {
 	type outcome struct {
 		rounds   float64
 		crashes  float64
@@ -172,9 +213,10 @@ func simMany(opts SimOptions, w io.Writer) error {
 		violated bool
 		degraded bool
 		faults   sim.Faults
+		expect   []string
 	}
-	outs, err := trials.RunWorker(opts.Workers, opts.Trials, trials.Metered(opts.Metrics, func(worker, i int) (outcome, error) {
-		spec, err := buildSpec(opts, opts.Seed+uint64(i), worker)
+	outs, err := trials.RunWorker(opts.Workers, s.Trials, trials.Metered(opts.Metrics, func(worker, i int) (outcome, error) {
+		spec, err := s.Spec(i, opts.Metrics, worker)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -182,38 +224,50 @@ func simMany(opts SimOptions, w io.Writer) error {
 		if err != nil {
 			// Graceful degradation of the hardened runner is a counted
 			// outcome in chaos mode, not a harness failure.
-			if opts.Chaos != "" && res != nil && res.Partial &&
-				(errors.Is(err, synran.ErrFaultBudget) || errors.Is(err, sim.ErrMaxRounds)) {
+			if s.Chaos != "" && gracefulPartial(res, err) {
 				if m := opts.Metrics; m != nil {
 					m.TrialsDegraded.Inc(worker)
 				}
-				return outcome{degraded: true, faults: res.Faults}, nil
+				o := outcome{degraded: true, faults: res.Faults}
+				if s.Expect.Any() {
+					o.expect = s.CheckExpect(scenario.OutcomeOf(res))
+				}
+				return o, nil
 			}
 			return outcome{}, err
 		}
-		return outcome{
+		o := outcome{
 			rounds:   float64(res.HaltRounds),
 			crashes:  float64(res.Crashes),
 			decided:  res.DecidedValue(),
 			violated: !res.Agreement || !res.Validity,
 			faults:   res.Faults,
-		}, nil
+		}
+		if s.Expect.Any() {
+			o.expect = s.CheckExpect(scenario.OutcomeOf(res))
+		}
+		return o, nil
 	}))
 	if err != nil {
 		return err
 	}
-	rounds := make([]float64, 0, opts.Trials)
-	crashes := make([]float64, 0, opts.Trials)
+	rounds := make([]float64, 0, s.Trials)
+	crashes := make([]float64, 0, s.Trials)
 	decided := map[int]int{}
-	violations, degraded := 0, 0
+	violations, degraded, expectFails := 0, 0, 0
 	var faults sim.Faults
-	for _, o := range outs {
+	var expectLines []string
+	for i, o := range outs {
 		faults.Dropped += o.faults.Dropped
 		faults.Duplicated += o.faults.Duplicated
 		faults.Delayed += o.faults.Delayed
 		faults.Stalled += o.faults.Stalled
 		faults.Panics += o.faults.Panics
 		faults.Demoted += o.faults.Demoted
+		for _, v := range o.expect {
+			expectFails++
+			expectLines = append(expectLines, fmt.Sprintf("trial %d (seed %d): %s", i, s.TrialSeed(i), v))
+		}
 		if o.degraded {
 			degraded++
 			continue
@@ -226,19 +280,29 @@ func simMany(opts SimOptions, w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "protocol=%s adversary=%s n=%d t=%d workload=%s trials=%d (seeds %d..%d)\n",
-		opts.Protocol, opts.Adversary, opts.N, opts.T, opts.Workload, opts.Trials,
-		opts.Seed, opts.Seed+uint64(opts.Trials)-1)
+		s.Protocol, s.Adversary, s.N, s.T, s.Workload, s.Trials,
+		s.Seed, s.Seed+uint64(s.Trials)-1)
 	fmt.Fprintf(w, "rounds   : %s  %s\n", stats.Summarize(rounds), stats.Sparkline(rounds, 12))
 	fmt.Fprintf(w, "crashes  : %s\n", stats.Summarize(crashes))
 	fmt.Fprintf(w, "decisions: 0 → %d, 1 → %d\n", decided[0], decided[1])
 	fmt.Fprintf(w, "safety   : %d violations\n", violations)
-	if opts.Chaos != "" {
+	if s.Chaos != "" {
 		fmt.Fprintf(w, "chaos    : %s (fault budget %d); %d of %d trials degraded gracefully\n",
-			opts.Chaos, opts.FaultBudget, degraded, opts.Trials)
+			s.Chaos, s.FaultBudget, degraded, s.Trials)
 		fmt.Fprintf(w, "faults   : dropped=%d duplicated=%d delayed=%d stalled=%d panics=%d demoted=%d\n",
 			faults.Dropped, faults.Duplicated, faults.Delayed, faults.Stalled, faults.Panics, faults.Demoted)
 	}
-	fmt.Fprintf(w, "theory   : upper-bound shape %.2f rounds\n", synran.UpperBoundRounds(opts.N, opts.T))
+	fmt.Fprintf(w, "theory   : upper-bound shape %.2f rounds\n", synran.UpperBoundRounds(s.N, s.T))
+	if s.Expect.Any() {
+		for _, line := range expectLines {
+			fmt.Fprintf(w, "expect   : FAIL %s\n", line)
+		}
+		if expectFails > 0 {
+			return fmt.Errorf("%d expectation(s) violated across %d trials", expectFails, s.Trials)
+		}
+		fmt.Fprintf(w, "expect   : ok (%d trials)\n", s.Trials)
+		return nil
+	}
 	if violations > 0 {
 		return fmt.Errorf("%d safety violations", violations)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"synran/internal/metrics"
+	"synran/internal/sim"
 	"synran/internal/trials"
 )
 
@@ -47,6 +48,16 @@ type CommonFlags struct {
 	// addition to) stdout; a non-empty value enables collection on its
 	// own.
 	MetricsOut string
+	// Scenario runs the command from a declarative scenario file instead
+	// of the per-binary flags (see internal/scenario and the DESIGN.md
+	// "Scenario API" section). The flag surface is a façade over the same
+	// Scenario struct, so a flag-built run and its Format-ed file are the
+	// same execution.
+	Scenario string
+	// ScenarioDir runs every *.scenario file in a directory, in name
+	// order — the checked-in corpus under testdata/corpus is the primary
+	// consumer.
+	ScenarioDir string
 }
 
 // Flag selects which of the shared flags a command registers.
@@ -65,6 +76,8 @@ const (
 	FlagDeadline
 	// FlagMetrics registers -metrics and -metrics-out.
 	FlagMetrics
+	// FlagScenario registers -scenario and -scenario-dir.
+	FlagScenario
 )
 
 // Register installs the selected flags on fs, using the struct's
@@ -89,6 +102,10 @@ func (c *CommonFlags) Register(fs *flag.FlagSet, mask Flag) {
 		fs.BoolVar(&c.Metrics, "metrics", c.Metrics, "print a deterministic metrics report (JSON) after the output")
 		fs.StringVar(&c.MetricsOut, "metrics-out", c.MetricsOut, "write the metrics report to this file (implies collection)")
 	}
+	if mask&FlagScenario != 0 {
+		fs.StringVar(&c.Scenario, "scenario", c.Scenario, "run this declarative .scenario file instead of the per-binary flags")
+		fs.StringVar(&c.ScenarioDir, "scenario-dir", c.ScenarioDir, "run every *.scenario file in this directory, in name order")
+	}
 }
 
 // Validate checks the parsed values, returning the uniform error
@@ -100,8 +117,11 @@ func (c *CommonFlags) Validate() error {
 	if c.Deadline < 0 {
 		return fmt.Errorf("-deadline must be >= 0 (0 disables the guard), got %v", c.Deadline)
 	}
-	if c.Engine != "" && c.Engine != "object" && c.Engine != "soa" {
-		return fmt.Errorf(`-engine must be "object" or "soa", got %q`, c.Engine)
+	if err := sim.ValidEngine(c.Engine); err != nil {
+		return fmt.Errorf("-engine: %v", err)
+	}
+	if c.Scenario != "" && c.ScenarioDir != "" {
+		return fmt.Errorf("-scenario and -scenario-dir are mutually exclusive")
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"synran/internal/metrics"
+	"synran/internal/scenario"
+)
+
+// This file is the shared -scenario surface: every binary registers the
+// same two flags (CommonFlags.Scenario/ScenarioDir via FlagScenario),
+// resolves them through the same loader, and the execution binaries
+// dispatch each entry to the same cores their flag façades use — so a
+// .scenario file means the same thing everywhere.
+
+// ScenarioMode reports whether the shared -scenario/-scenario-dir flags
+// selected declarative input instead of the per-binary flags.
+func (c *CommonFlags) ScenarioMode() bool {
+	return c.Scenario != "" || c.ScenarioDir != ""
+}
+
+// LoadScenarios resolves the -scenario/-scenario-dir flags to parsed,
+// validated entries: the single file, or every *.scenario in the
+// directory in name order.
+func (c *CommonFlags) LoadScenarios() ([]scenario.Entry, error) {
+	return loadScenarioEntries(c.Scenario, c.ScenarioDir)
+}
+
+func loadScenarioEntries(file, dir string) ([]scenario.Entry, error) {
+	if file != "" {
+		s, err := scenario.LoadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return []scenario.Entry{{Path: file, Scenario: s}}, nil
+	}
+	return scenario.LoadDir(dir)
+}
+
+// RunScenarios is the shared -scenario dispatch of the execution
+// binaries (consensus-sim, asyncsim, lowerbound): every entry runs
+// through the same cores the flag façades use — SimScenario for
+// synchronous scenarios, AsyncScenario for async-benor. A single
+// -scenario file produces exactly the output of the equivalent flag
+// run; -scenario-dir adds a banner per entry and a failure summary.
+func RunScenarios(common *CommonFlags, m *metrics.Engine, w io.Writer) error {
+	entries, err := common.LoadScenarios()
+	if err != nil {
+		return err
+	}
+	banner := common.ScenarioDir != ""
+	var failed []string
+	for i, e := range entries {
+		if banner {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "=== %s (%s)\n", e.Name(), e.Path)
+		}
+		var runErr error
+		if e.Scenario.IsAsync() {
+			runErr = AsyncScenario(e.Scenario, AsyncOptions{Workers: common.Workers, Metrics: m}, w)
+		} else {
+			runErr = SimScenario(e.Scenario, SimOptions{Workers: common.Workers, Metrics: m}, w)
+		}
+		if runErr != nil {
+			if !banner {
+				return runErr
+			}
+			fmt.Fprintf(w, "FAIL: %v\n", runErr)
+			failed = append(failed, e.Name())
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d of %d scenarios failed: %s",
+			len(failed), len(entries), strings.Join(failed, ", "))
+	}
+	return nil
+}

@@ -28,12 +28,11 @@ package conformance
 import (
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"synran"
 	"synran/internal/metrics"
 	"synran/internal/netsim"
+	"synran/internal/scenario"
 	"synran/internal/sim"
 	"synran/internal/trials"
 	"synran/internal/valency"
@@ -78,12 +77,18 @@ func (c Case) Name() string {
 	return name
 }
 
-// Spec renders the case in the -one flag syntax ParseCase accepts.
+// Spec renders the case in the -one flag syntax ParseCase accepts —
+// the scenario package's compact encoding of the case's Scenario view.
+// A case no scenario can express (the async wrapper, a doctored test
+// value) falls back to the identity rendering.
 func (c Case) Spec() string {
-	spec := fmt.Sprintf("protocol=%s,adversary=%s,workload=%s,n=%d,t=%d,seed=%d",
-		c.Protocol, c.Adversary, c.Workload, c.N, c.T, c.Seed)
-	if c.Engine != "" {
-		spec += ",engine=" + c.Engine
+	spec, err := scenario.Compact(c.Scenario())
+	if err != nil {
+		spec = fmt.Sprintf("protocol=%s,adversary=%s,workload=%s,n=%d,t=%d,seed=%d",
+			c.Protocol, c.Adversary, c.Workload, c.N, c.T, c.Seed)
+		if c.Engine != "" {
+			spec += ",engine=" + c.Engine
+		}
 	}
 	return spec
 }
@@ -95,62 +100,28 @@ func (c Case) Repro() string {
 
 // ParseCase parses the -one flag syntax emitted by Repro:
 // "protocol=synran,adversary=splitvote,workload=half,n=5,t=2,seed=42".
-// Omitted keys keep their zero defaults (protocol synran, adversary
-// none, workload half, n=5, t=(n-1)/2).
+// It delegates to the scenario package's compact codec on the harness's
+// historical grid defaults (protocol synran, adversary none, workload
+// half, n=5, t = the protocol default), so -one accepts exactly the
+// validated scenario vocabulary.
 func ParseCase(spec string) (Case, error) {
-	c := Case{Protocol: "synran", Adversary: "none", Workload: "half", N: 5, T: -1}
-	for _, kv := range strings.Split(spec, ",") {
-		kv = strings.TrimSpace(kv)
-		if kv == "" {
-			continue
-		}
-		k, v, ok := strings.Cut(kv, "=")
-		if !ok {
-			return Case{}, fmt.Errorf("conformance: bad case field %q (want key=value)", kv)
-		}
-		var err error
-		switch k {
-		case "protocol":
-			c.Protocol = v
-		case "adversary":
-			c.Adversary = v
-		case "workload":
-			c.Workload = v
-		case "n":
-			c.N, err = strconv.Atoi(v)
-		case "t":
-			c.T, err = strconv.Atoi(v)
-		case "seed":
-			c.Seed, err = strconv.ParseUint(v, 10, 64)
-		case "engine":
-			if v != "" && v != sim.EngineObject && v != sim.EngineSoA {
-				return Case{}, fmt.Errorf("conformance: unknown engine %q (want %q or %q)",
-					v, sim.EngineObject, sim.EngineSoA)
-			}
-			c.Engine = v
-		case "maxrounds":
-			c.MaxRounds, err = strconv.Atoi(v)
-		default:
-			return Case{}, fmt.Errorf("conformance: unknown case key %q", k)
-		}
-		if err != nil {
-			return Case{}, fmt.Errorf("conformance: bad value for %q: %v", k, err)
-		}
+	s, err := scenario.ParseCompactWith(scenario.Scenario{
+		Protocol: "synran", Adversary: "none", Workload: "half", N: 5, T: -1,
+	}, spec)
+	if err != nil {
+		return Case{}, err
 	}
-	if c.N <= 0 {
-		return Case{}, fmt.Errorf("conformance: n = %d, want > 0", c.N)
-	}
-	if c.T < 0 {
-		c.T = (c.N - 1) / 2
-	}
-	c.normalize()
-	return c, nil
+	return FromScenario(s)
 }
 
 // normalize applies the per-protocol/per-adversary gates a constructed
 // case needs: unsafe combinations and engines a lane cannot run.
 func (c *Case) normalize() {
-	if c.Adversary == synran.AdversaryLowerBound || c.Adversary == synran.AdversaryStepwise {
+	// Look-ahead adversaries need the clonable Exec; the Byzantine
+	// equivocator needs the Forger hook. Neither exists in the live
+	// runner, so every lock-step-only adversary skips the netsim lane
+	// (synran.LockStepOnly is the single source of truth for the list).
+	if synran.LockStepOnly(c.Adversary) {
 		c.SkipNetsim = true
 	}
 	// Ben-Or's resilience condition is t < n/2 against an adaptive
@@ -467,7 +438,11 @@ func (c Case) runReset(oracles []Oracle) (*lane, []string, error) {
 }
 
 // driveTo advances exec round by round until round snap (or
-// termination), firing the observer's OnRound exactly as Run would.
+// termination), firing the observer's OnRound exactly as Run would —
+// including the Forger extension: a Byzantine adversary's forgeries
+// must be applied in the driven prefix too, or the fork lanes diverge
+// from the sequential lane on every corrupted round (found by the
+// scenario corpus's phaseking/equivocator entry).
 func driveTo(exec *sim.Execution, adv sim.Adversary, log *eventLog, snap, maxRounds int) error {
 	for exec.Round() < snap && !exec.Done() {
 		if exec.Round() >= maxRounds {
@@ -478,7 +453,14 @@ func driveTo(exec *sim.Execution, adv sim.Adversary, log *eventLog, snap, maxRou
 			return err
 		}
 		log.OnRound(v.Round, v)
-		if err := exec.FinishRound(adv.Plan(v)); err != nil {
+		plans := adv.Plan(v)
+		if forger, ok := adv.(sim.Forger); ok {
+			if err := exec.FinishRoundForged(plans, forger.Forge(v)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := exec.FinishRound(plans); err != nil {
 			return err
 		}
 	}

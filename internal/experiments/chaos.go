@@ -4,16 +4,11 @@ import (
 	"errors"
 	"fmt"
 
-	"synran/internal/adversary"
-	"synran/internal/chaos"
-	"synran/internal/core"
-	"synran/internal/netsim"
-	"synran/internal/protocol/benor"
-	"synran/internal/protocol/floodset"
+	"synran"
+	"synran/internal/scenario"
 	"synran/internal/sim"
 	"synran/internal/stats"
 	"synran/internal/trials"
-	"synran/internal/workload"
 )
 
 // E16ChaosDegradation measures how termination degrades as the live
@@ -24,7 +19,10 @@ import (
 // so fail-stop semantics — and therefore the protocols' safety — must
 // survive any omission rate; what gives way is termination: demotions
 // consume the budget and runs start degrading into typed partial
-// results. Three claims per protocol:
+// results. Each (protocol, rate) cell is configured by a declarative
+// scenario.Scenario — the same form a corpus file carries — whose seed
+// base preserves the historical per-trial seed formula
+// cfg.Seed + pi*10000 + ri*1000 + i. Three claims per protocol:
 //
 //  1. At rate 0 the hardened runner is byte-identical to a fault-free
 //     execution: every trial completes and the fault counters stay zero.
@@ -45,45 +43,40 @@ func E16ChaosDegradation(cfg Config) (*Result, error) {
 		"protocol", "drop rate", "n", "t", "completed", "degraded", "mean rounds", "dropped", "demoted")
 	res := &Result{ID: "E16", Table: tb}
 
-	protocols := []struct {
-		name string
-		mk   func(seed uint64) ([]sim.Process, error)
-	}{
-		{"synran", func(seed uint64) ([]sim.Process, error) {
-			return core.NewProcs(n, workload.HalfHalf(n), seed, core.Options{})
-		}},
-		{"floodset", func(seed uint64) ([]sim.Process, error) {
-			return floodset.NewProcs(n, t, workload.HalfHalf(n))
-		}},
-		{"benor", func(seed uint64) ([]sim.Process, error) {
-			return benor.NewProcs(n, workload.HalfHalf(n), seed)
-		}},
-	}
+	protocols := []string{synran.ProtocolSynRan, synran.ProtocolFloodSet, synran.ProtocolBenOr}
 
 	safetyHolds := true
 	safetyGot := "no violation at any rate"
 	for pi, p := range protocols {
 		for ri, rate := range rates {
+			// Rate 0 is spelled "none": the hardened runner with an armed
+			// zero-fault injector, so claim 1 exercises the full substrate.
+			chaosSpec := "none"
+			if rate > 0 {
+				chaosSpec = fmt.Sprintf("drop=%v", rate)
+			}
+			scn, err := scenario.Scenario{
+				Protocol: p, Adversary: synran.AdversaryNone, Workload: "half",
+				N: n, T: t, Seed: cfg.Seed + uint64(pi*10000+ri*1000),
+				Chaos: chaosSpec, FaultBudget: t, Trials: reps,
+			}.Normalized()
+			if err != nil {
+				return nil, err
+			}
 			type outcome struct {
 				completed bool
 				rounds    float64
 				faults    sim.Faults
 			}
 			outs, err := trials.RunWorker(cfg.Workers, reps, trials.Metered(cfg.Metrics, func(worker, i int) (outcome, error) {
-				seed := cfg.Seed + uint64(pi*10000+ri*1000+i)
-				procs, err := p.mk(seed)
+				seed := scn.TrialSeed(i)
+				spec, err := scn.Spec(i, cfg.Metrics, worker)
 				if err != nil {
 					return outcome{}, err
 				}
-				inj, err := chaos.New(seed, chaos.Config{Drop: rate})
+				run, err := synran.Run(spec)
 				if err != nil {
-					return outcome{}, err
-				}
-				run, err := netsim.RunChaos(sim.Config{N: n, T: t, Metrics: cfg.Metrics, MetricsShard: worker},
-					procs, workload.HalfHalf(n),
-					adversary.None{}, seed, netsim.Options{Injector: inj, FaultBudget: t})
-				if err != nil {
-					if !errors.Is(err, netsim.ErrFaultBudget) && !errors.Is(err, sim.ErrMaxRounds) {
+					if !errors.Is(err, synran.ErrFaultBudget) && !errors.Is(err, sim.ErrMaxRounds) {
 						return outcome{}, err
 					}
 					// Degraded gracefully: partial result, typed error. The
@@ -96,7 +89,7 @@ func E16ChaosDegradation(cfg Config) (*Result, error) {
 						if seen == -1 {
 							seen = run.Decisions[j]
 						} else if seen != run.Decisions[j] {
-							return outcome{}, fmt.Errorf("%s drop=%.2f seed=%d: partial result disagrees", p.name, rate, seed)
+							return outcome{}, fmt.Errorf("%s drop=%.2f seed=%d: partial result disagrees", p, rate, seed)
 						}
 					}
 					if m := cfg.Metrics; m != nil {
@@ -105,7 +98,7 @@ func E16ChaosDegradation(cfg Config) (*Result, error) {
 					return outcome{faults: run.Faults}, nil
 				}
 				if !run.Agreement || !run.Validity {
-					return outcome{}, fmt.Errorf("%s drop=%.2f seed=%d: safety violated", p.name, rate, seed)
+					return outcome{}, fmt.Errorf("%s drop=%.2f seed=%d: safety violated", p, rate, seed)
 				}
 				return outcome{completed: true, rounds: float64(run.HaltRounds), faults: run.Faults}, nil
 			}))
@@ -130,19 +123,19 @@ func E16ChaosDegradation(cfg Config) (*Result, error) {
 					degraded++
 				}
 			}
-			tb.AddRow(p.name, fmt.Sprintf("%.2f", rate), n, t,
+			tb.AddRow(p, fmt.Sprintf("%.2f", rate), n, t,
 				fmt.Sprintf("%d/%d", completed, reps), degraded,
 				stats.Summarize(rounds).Mean, agg.Dropped, agg.Demoted)
 			switch {
 			case rate == 0:
 				res.Claims = append(res.Claims, Claim{
-					Name: fmt.Sprintf("%s: rate 0 is fault-free and always completes", p.name),
+					Name: fmt.Sprintf("%s: rate 0 is fault-free and always completes", p),
 					OK:   completed == reps && agg == (sim.Faults{}),
 					Got:  fmt.Sprintf("completed %d/%d, faults %+v", completed, reps, agg),
 				})
 			case rate == rates[len(rates)-1]:
 				res.Claims = append(res.Claims, Claim{
-					Name: fmt.Sprintf("%s: the top omission rate visibly bites", p.name),
+					Name: fmt.Sprintf("%s: the top omission rate visibly bites", p),
 					OK:   agg.Dropped > 0 && agg.Demoted > 0,
 					Got:  fmt.Sprintf("dropped %d, demoted %d, degraded %d/%d", agg.Dropped, agg.Demoted, degraded, reps),
 				})

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+
+	"synran"
+	"synran/internal/async"
+	"synran/internal/chaos"
+	"synran/internal/metrics"
+	"synran/internal/sim"
+	"synran/internal/workload"
+)
+
+// Spec builds trial i's synran.Spec: the single bridge from the
+// declarative form to the engines, used identically by the flag façades
+// and the -scenario file path. The caller attaches any Observer.
+func (s *Scenario) Spec(trial int, m *metrics.Engine, shard int) (synran.Spec, error) {
+	if s.IsAsync() {
+		return synran.Spec{}, errf("protocol %q has no synchronous spec", s.Protocol)
+	}
+	seed := s.TrialSeed(trial)
+	inputs, err := workload.Named(s.Workload, s.N, seed)
+	if err != nil {
+		return synran.Spec{}, err
+	}
+	spec := synran.Spec{
+		N: s.N, T: s.T, Inputs: inputs,
+		Protocol:      s.Protocol,
+		Adversary:     s.Adversary,
+		Seed:          seed,
+		MaxRounds:     s.MaxRounds,
+		Engine:        s.Engine,
+		Live:          s.Live,
+		RoundDeadline: s.Deadline,
+		Retransmits:   s.Retransmits,
+		Metrics:       m, MetricsShard: shard,
+	}
+	if s.Chaos != "" {
+		cfg, err := chaos.ParseSpec(s.Chaos)
+		if err != nil {
+			return synran.Spec{}, errf("%v", err)
+		}
+		// "none" parses to the zero config: the hardened runner with an
+		// armed zero-fault injector, preserving -chaos none semantics.
+		spec.Chaos = &cfg
+		spec.FaultBudget = s.FaultBudget
+	}
+	return spec, nil
+}
+
+// NewAsyncScheduler builds an async scheduler by scenario name (the
+// Adversary field of an async-benor scenario). The random scheduler's
+// crash probability matches asyncsim's, so a scenario run and the
+// equivalent asyncsim flag run execute the same schedule.
+func NewAsyncScheduler(name string) (async.Scheduler, error) {
+	switch name {
+	case "", "fifo":
+		return async.FIFO{}, nil
+	case "random":
+		return &async.RandomSched{CrashProb: 0.01}, nil
+	case "splitter":
+		return async.NewSplitter(), nil
+	case "syncround":
+		return async.NewSyncRound(), nil
+	default:
+		return nil, errf("unknown async scheduler %q (want %s)", name, strings.Join(Schedulers(), "|"))
+	}
+}
+
+// CoinMode maps a scenario coin name to the async engine's mode.
+func CoinMode(name string) (async.CoinMode, error) {
+	switch name {
+	case "", "random":
+		return async.CoinRandom, nil
+	case "parity":
+		return async.CoinParity, nil
+	default:
+		return 0, errf("unknown coin %q (want %s)", name, strings.Join(Coins(), "|"))
+	}
+}
+
+// RunOutcome executes one trial of a normalized scenario and reduces
+// the result to the comparable Outcome that Expect assertions check.
+// Graceful degradation (fault budget, round or step cap, with a partial
+// result) is an Outcome with Partial set, not an error.
+func RunOutcome(s *Scenario, trial int, m *metrics.Engine, shard int) (Outcome, error) {
+	if s.IsAsync() {
+		return runAsync(s, trial)
+	}
+	spec, err := s.Spec(trial, m, shard)
+	if err != nil {
+		return Outcome{}, err
+	}
+	res, err := synran.Run(spec)
+	if err != nil {
+		if res != nil && res.Partial &&
+			(errors.Is(err, synran.ErrFaultBudget) || errors.Is(err, sim.ErrMaxRounds)) {
+			return OutcomeOf(res), nil
+		}
+		return Outcome{}, err
+	}
+	return OutcomeOf(res), nil
+}
+
+// OutcomeOf reduces an engine result to the comparable Outcome that
+// Expect assertions check. Exported for the command cores, which hold a
+// result already (observers attached) and only need the reduction.
+func OutcomeOf(res *synran.Result) Outcome {
+	return Outcome{
+		Agreement: res.Agreement,
+		Validity:  res.Validity,
+		Decided:   res.DecidedValue(),
+		Rounds:    res.HaltRounds,
+		Crashes:   res.Crashes,
+		Partial:   res.Partial,
+	}
+}
+
+// runAsync executes one async-benor trial. A schedule that exhausts the
+// delivery cap (async.ErrMaxSteps) is a Partial outcome with nobody
+// decided — the FLP-style non-termination the adversarial schedules
+// exist to demonstrate.
+func runAsync(s *Scenario, trial int) (Outcome, error) {
+	seed := s.TrialSeed(trial)
+	inputs, err := workload.Named(s.Workload, s.N, seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	mode, err := CoinMode(s.Coin)
+	if err != nil {
+		return Outcome{}, err
+	}
+	procs, err := async.NewBenOrProcs(s.N, s.T, inputs, mode, seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	exec, err := async.NewExecution(async.Config{N: s.N, T: s.T, MaxSteps: s.MaxRounds},
+		procs, inputs, seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	sched, err := NewAsyncScheduler(s.Adversary)
+	if err != nil {
+		return Outcome{}, err
+	}
+	res, err := exec.Run(sched)
+	if err != nil {
+		if errors.Is(err, async.ErrMaxSteps) {
+			return Outcome{Decided: -1, Rounds: exec.Steps(), Partial: true}, nil
+		}
+		return Outcome{}, err
+	}
+	return Outcome{
+		Agreement: res.Agreement,
+		Validity:  res.Validity,
+		Decided:   res.DecidedValue(),
+		Rounds:    res.Steps,
+		Crashes:   res.Crashes,
+	}, nil
+}

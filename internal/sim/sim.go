@@ -434,8 +434,8 @@ func (e *Execution) Reset(cfg Config, procs []Process, inputs []int, advSeed uin
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = DefaultMaxRounds(n)
 	}
-	if !validEngine(cfg.Engine) {
-		return fmt.Errorf("sim: unknown engine %q (want %q or %q)", cfg.Engine, EngineObject, EngineSoA)
+	if err := ValidEngine(cfg.Engine); err != nil {
+		return err
 	}
 	e.cfg = cfg
 	e.procs = procs

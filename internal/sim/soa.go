@@ -38,9 +38,16 @@ const (
 	EngineSoA = "soa"
 )
 
-// validEngine reports whether name is an accepted Config.Engine value.
-func validEngine(name string) bool {
-	return name == "" || name == EngineObject || name == EngineSoA
+// ValidEngine returns nil iff name is an accepted Config.Engine value
+// ("", EngineObject, or EngineSoA). It is the single source of truth for
+// engine-name validation: flag parsing (internal/cli), scenario
+// validation (internal/scenario), and the conformance case parser all
+// delegate here instead of re-encoding the name list.
+func ValidEngine(name string) error {
+	if name == "" || name == EngineObject || name == EngineSoA {
+		return nil
+	}
+	return fmt.Errorf("sim: unknown engine %q (want %q or %q)", name, EngineObject, EngineSoA)
 }
 
 // TallyColumns are the per-receiver delivery aggregates of one exchange

@@ -24,6 +24,8 @@ package synran
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"synran/internal/adversary"
 	"synran/internal/chaos"
@@ -131,6 +133,12 @@ type Spec struct {
 	// panics) the hardened runner may absorb; keep adversary crashes +
 	// FaultBudget ≤ T to stay inside the protocols' resilience condition.
 	FaultBudget int
+	// RoundDeadline overrides the hardened runner's per-round wall-clock
+	// budget (0 = the netsim default; only meaningful with Live/Chaos).
+	RoundDeadline time.Duration
+	// Retransmits overrides the hardened runner's re-send attempts for
+	// dropped or delayed messages (0 = the netsim default).
+	Retransmits int
 	// Observer, when set, receives engine events.
 	Observer Observer
 	// Metrics, when set, receives the execution's instrument emissions
@@ -181,14 +189,16 @@ func Run(spec Spec) (*Result, error) {
 		Metrics:  spec.Metrics, MetricsShard: spec.MetricsShard,
 	}
 	if spec.Live || spec.Chaos != nil {
-		if spec.Adversary == AdversaryLowerBound || spec.Adversary == AdversaryStepwise ||
-			spec.Adversary == AdversaryEquivocator {
+		if LockStepOnly(spec.Adversary) {
 			return nil, fmt.Errorf("synran: adversary %q needs the lock-step engine", spec.Adversary)
 		}
 		if spec.Engine == sim.EngineSoA {
 			return nil, fmt.Errorf("synran: the %q engine is lock-step only (drop Live/Chaos or the engine override)", spec.Engine)
 		}
-		var opts netsim.Options
+		opts := netsim.Options{
+			RoundDeadline: spec.RoundDeadline,
+			Retransmits:   spec.Retransmits,
+		}
 		if spec.Chaos != nil {
 			inj, err := chaos.New(spec.Seed, *spec.Chaos)
 			if err != nil {
@@ -204,6 +214,57 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	return exec.Run(adv)
+}
+
+// Protocols returns every Spec.Protocol name NewProtocol accepts, in
+// documentation order.
+func Protocols() []string {
+	return []string{ProtocolSynRan, ProtocolBenOr, ProtocolFloodSet,
+		ProtocolLeaderCoin, ProtocolEarlyStop, ProtocolPhaseKing}
+}
+
+// Adversaries returns every Spec.Adversary name NewAdversary accepts.
+func Adversaries() []string {
+	return []string{AdversaryNone, AdversaryRandom, AdversarySplitVote,
+		AdversaryMassCrash, AdversaryPush0, AdversaryPush1, AdversaryLowerBound,
+		AdversaryWaves, AdversaryLeaderKiller, AdversaryEquivocator, AdversaryStepwise}
+}
+
+// ValidProtocol returns nil iff name is a Spec.Protocol value ("" is
+// accepted as the ProtocolSynRan default). It is the name check
+// NewProtocol applies, without constructing anything.
+func ValidProtocol(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, p := range Protocols() {
+		if name == p {
+			return nil
+		}
+	}
+	return fmt.Errorf("synran: unknown protocol %q (want %s)", name, strings.Join(Protocols(), "|"))
+}
+
+// ValidAdversary returns nil iff name is a Spec.Adversary value ("" is
+// accepted as the AdversaryNone default).
+func ValidAdversary(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, a := range Adversaries() {
+		if name == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("synran: unknown adversary %q (want %s)", name, strings.Join(Adversaries(), "|"))
+}
+
+// LockStepOnly reports whether the adversary needs the clonable
+// lock-step engine (look-ahead rollouts or Byzantine corruption), which
+// excludes the live/chaos runner and the netsim conformance lane.
+func LockStepOnly(adversaryName string) bool {
+	return adversaryName == AdversaryLowerBound || adversaryName == AdversaryStepwise ||
+		adversaryName == AdversaryEquivocator
 }
 
 // NewProtocol builds a process vector by protocol name.

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check chaos conformance scenarios experiments experiments-quick metrics metrics-golden examples clean
+.PHONY: all build test test-short race cover bench bench-json bench-check chaos soak conformance scenarios experiments experiments-quick metrics metrics-golden examples clean
 
 all: build test
 
@@ -51,6 +51,18 @@ chaos:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/netsim
 	$(GO) run ./cmd/consensus-sim -n 16 -t 7 -adversary none -seed 42 \
 		-chaos 'drop=0.05,dup=0.02,stall=0.05,maxstall=2ms,until=25' -faultbudget 5 -trials 8
+
+# Crash-chaos soak for the durability layer, under the race detector:
+# the journal's format/truncation/corruption properties and fuzz corpus,
+# the DurableWorker retry/hedge/interrupt suite, the in-process
+# kill-at-seeded-checkpoints soak (resume must reproduce the
+# uninterrupted tables byte for byte at every worker count), and the
+# cmd-level SIGKILL/re-exec and -deadline/-resume smokes, then a short
+# coverage-guided fuzz of the journal decoder.
+soak:
+	$(GO) test -race -count=1 -run 'Journal|Durable|Soak|Checkpoint|KillResume|DeadlineFlush|Watchdog' \
+		./internal/journal ./internal/trials ./internal/cli
+	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime 10s ./internal/journal
 
 # Cross-engine conformance: the differential harness (sequential sim vs
 # zero-chaos netsim vs Reset vs snapshot forks vs the columnar SoA

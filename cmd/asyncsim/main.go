@@ -21,7 +21,7 @@ import (
 func main() {
 	var opts cli.AsyncOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario|cli.FlagCheckpoint)
 	flag.IntVar(&opts.N, "n", 7, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default (n-1)/2; Ben-Or needs t < n/2)")
 	flag.StringVar(&opts.Scheduler, "scheduler", "fifo", "scheduler: fifo|random|splitter|syncround")
@@ -37,7 +37,8 @@ func main() {
 	}
 	opts.Seed, opts.Workers = common.Seed, common.Workers
 	opts.Metrics = common.NewMetricsEngine()
-	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
+	opts.Durable = common.Durable()
+	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit, common.FlushCheckpoints)
 	defer stop()
 
 	var runErr error

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"synran/internal/benchfmt"
+	"synran/internal/cli"
 )
 
 func main() {
@@ -56,15 +57,9 @@ func run() error {
 			return err
 		}
 	} else {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic, so an interrupted run never tears the artifact CI diffs
+		// against its baseline.
+		if err := cli.AtomicWriteFile(*out, rep.WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)

@@ -24,7 +24,7 @@ import (
 func main() {
 	var opts cli.ConformanceOptions
 	common := cli.CommonFlags{Seed: 42}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario|cli.FlagCheckpoint)
 	flag.StringVar(&opts.One, "one", "", "check a single case spec (as printed in a divergence repro) instead of the grid")
 	flag.IntVar(&opts.Seeds, "seeds", 1, "seeds per grid point")
 	flag.IntVar(&opts.MaxRounds, "maxrounds", 0, "per-lane round cap (0 = harness default)")
@@ -41,7 +41,8 @@ func main() {
 	opts.Quick, opts.Seed, opts.Workers, opts.Engine = common.Quick, common.Seed, common.Workers, common.Engine
 	opts.Scenario, opts.ScenarioDir = common.Scenario, common.ScenarioDir
 	opts.Metrics = common.NewMetricsEngine()
-	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
+	opts.Durable = common.Durable()
+	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit, common.FlushCheckpoints)
 	defer stop()
 
 	runErr := cli.Conformance(opts, os.Stdout)

@@ -21,7 +21,7 @@ import (
 func main() {
 	var opts cli.SimOptions
 	common := cli.CommonFlags{Seed: 1}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagEngine|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario|cli.FlagCheckpoint)
 	flag.IntVar(&opts.N, "n", 64, "number of processes")
 	flag.IntVar(&opts.T, "t", -1, "crash budget (default n-1)")
 	flag.StringVar(&opts.Protocol, "protocol", "synran", "protocol: synran|benor|floodset|leadercoin|earlystop|phaseking")
@@ -43,6 +43,7 @@ func main() {
 	}
 	opts.Seed, opts.Workers, opts.Engine = common.Seed, common.Workers, common.Engine
 	opts.Metrics = common.NewMetricsEngine()
+	opts.Durable = common.Durable()
 	if *pprofAddr != "" {
 		addr, stopPprof, err := cli.StartPprof(*pprofAddr, opts.Metrics.Registry())
 		if err != nil {
@@ -52,7 +53,7 @@ func main() {
 		defer stopPprof()
 		fmt.Fprintf(errw, "pprof: http://%s/debug/pprof/ (expvar at /debug/vars)\n", addr)
 	}
-	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
+	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit, common.FlushCheckpoints)
 	defer stop()
 
 	var runErr error

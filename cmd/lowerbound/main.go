@@ -31,7 +31,7 @@ func main() {
 
 func run() error {
 	common := cli.CommonFlags{Seed: 7}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario|cli.FlagCheckpoint)
 	var (
 		n        = flag.Int("n", 10, "number of processes (look-ahead is exponential-ish; keep small)")
 		rollouts = flag.Int("rollouts", 16, "Monte-Carlo rollouts per pool adversary")
@@ -41,7 +41,7 @@ func run() error {
 	if err := common.Validate(); err != nil {
 		return err
 	}
-	stop := cli.StartWatchdog(common.Deadline, cli.NewSyncWriter(os.Stderr), os.Exit)
+	stop := cli.StartWatchdog(common.Deadline, cli.NewSyncWriter(os.Stderr), os.Exit, common.FlushCheckpoints)
 	defer stop()
 	if common.ScenarioMode() {
 		// Scenario files run through the shared dispatch (a lowerbound

@@ -22,7 +22,7 @@ import (
 func main() {
 	var opts cli.BenchOptions
 	common := cli.CommonFlags{Seed: 42}
-	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario)
+	common.Register(flag.CommandLine, cli.FlagSeed|cli.FlagWorkers|cli.FlagQuick|cli.FlagDeadline|cli.FlagMetrics|cli.FlagScenario|cli.FlagCheckpoint)
 	flag.StringVar(&opts.Only, "only", "", "comma-separated experiment ids (e.g. E3,E7)")
 	flag.BoolVar(&opts.CSV, "csv", false, "emit CSV instead of aligned tables")
 	flag.BoolVar(&opts.Markdown, "markdown", false, "emit GitHub-flavored markdown tables")
@@ -35,7 +35,8 @@ func main() {
 	opts.Seed, opts.Workers, opts.Quick = common.Seed, common.Workers, common.Quick
 	opts.Scenario, opts.ScenarioDir = common.Scenario, common.ScenarioDir
 	opts.Metrics = common.NewMetricsEngine()
-	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit)
+	opts.Durable = common.Durable()
+	stop := cli.StartWatchdog(common.Deadline, errw, os.Exit, common.FlushCheckpoints)
 	defer stop()
 
 	runErr := cli.Bench(opts, os.Stdout, errw)

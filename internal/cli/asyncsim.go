@@ -31,6 +31,10 @@ type AsyncOptions struct {
 	// Metrics, when non-nil, counts trials (the async engine itself is
 	// not instrumented — the lock-step and live engines are).
 	Metrics *metrics.Engine
+	// Durable configures checkpointing, retry, and hedging for the
+	// multi-trial batch (CommonFlags.Durable). The zero value runs the
+	// batch exactly as before.
+	Durable trials.Durability
 }
 
 // Scenario is the declarative form of the flag surface: an async-benor
@@ -57,13 +61,15 @@ func (opts AsyncOptions) Scenario() (scenario.Scenario, error) {
 }
 
 // asyncTrial is one run's observations, aggregated in index order.
+// Fields are exported because shard results cross the checkpoint
+// journal as JSON when -checkpoint is set.
 type asyncTrial struct {
-	timeout bool
-	decided int
-	steps   float64
-	phase   float64
-	flips   float64
-	expect  []string
+	Timeout bool
+	Decided int
+	Steps   float64
+	Phase   float64
+	Flips   float64
+	Expect  []string
 }
 
 // AsyncSim is the command core of cmd/asyncsim: the flags convert to a
@@ -84,7 +90,7 @@ func AsyncSim(opts AsyncOptions, w io.Writer) error {
 // harness and -scenario files use.
 func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
 	if !s.IsAsync() {
-		return SimScenario(s, SimOptions{Workers: opts.Workers, Metrics: opts.Metrics}, w)
+		return SimScenario(s, SimOptions{Workers: opts.Workers, Metrics: opts.Metrics, Durable: opts.Durable}, w)
 	}
 	mode, err := scenario.CoinMode(s.Coin)
 	if err != nil {
@@ -94,7 +100,11 @@ func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
 		return err // validate before fanning out
 	}
 
-	outs, err := trials.RunWorker(opts.Workers, s.Trials, trials.Metered(opts.Metrics, func(worker, i int) (asyncTrial, error) {
+	fp, err := scenario.Compact(s)
+	if err != nil {
+		return err
+	}
+	outs, drep, derr := trials.DurableWorker(opts.Durable, BatchScope("async", fp), fp, opts.Workers, s.Trials, opts.Metrics, func(worker, i int) (asyncTrial, error) {
 		runSeed := s.TrialSeed(i)
 		inputs, err := workload.Named(s.Workload, s.N, runSeed)
 		if err != nil {
@@ -114,9 +124,9 @@ func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
 		res, err := exec.Run(sched)
 		if err != nil {
 			if errors.Is(err, async.ErrMaxSteps) {
-				out := asyncTrial{timeout: true}
+				out := asyncTrial{Timeout: true}
 				if s.Expect.Any() {
-					out.expect = s.CheckExpect(scenario.Outcome{
+					out.Expect = s.CheckExpect(scenario.Outcome{
 						Decided: -1, Rounds: exec.Steps(), Partial: true,
 					})
 				}
@@ -125,8 +135,8 @@ func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
 			return asyncTrial{}, err
 		}
 		if s.Expect.Any() {
-			out := asyncTrial{decided: res.DecidedValue(), steps: float64(res.Steps)}
-			out.expect = s.CheckExpect(scenario.Outcome{
+			out := asyncTrial{Decided: res.DecidedValue(), Steps: float64(res.Steps)}
+			out.Expect = s.CheckExpect(scenario.Outcome{
 				Agreement: res.Agreement, Validity: res.Validity,
 				Decided: res.DecidedValue(), Rounds: res.Steps, Crashes: res.Crashes,
 			})
@@ -136,12 +146,20 @@ func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
 		if !res.Agreement || !res.Validity {
 			return asyncTrial{}, fmt.Errorf("safety violated on seed %d", runSeed)
 		}
-		out := asyncTrial{decided: res.DecidedValue(), steps: float64(res.Steps)}
+		out := asyncTrial{Decided: res.DecidedValue(), Steps: float64(res.Steps)}
 		fillAsyncStats(&out, procs)
 		return out, nil
-	}))
-	if err != nil {
-		return err
+	})
+	// Same durable error discipline as simMany: interrupted batches print
+	// nothing (the journal carries the work to the -resume re-run);
+	// permanently-failed shards yield a partial table plus FAIL lines.
+	var batchErr *trials.BatchError
+	if derr != nil && !errors.As(derr, &batchErr) {
+		return derr
+	}
+	failed := make(map[int]bool, len(drep.Failures))
+	for _, f := range drep.Failures {
+		failed[f.Trial] = true
 	}
 
 	var (
@@ -151,18 +169,21 @@ func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
 		decided                  = map[int]int{}
 	)
 	for i, o := range outs {
-		for _, v := range o.expect {
+		if failed[i] {
+			continue
+		}
+		for _, v := range o.Expect {
 			expectFails++
 			expectLines = append(expectLines, fmt.Sprintf("trial %d (seed %d): %s", i, s.TrialSeed(i), v))
 		}
-		if o.timeout {
+		if o.Timeout {
 			timeouts++
 			continue
 		}
-		decided[o.decided]++
-		stepsSeen = append(stepsSeen, o.steps)
-		phases = append(phases, o.phase)
-		flips = append(flips, o.flips)
+		decided[o.Decided]++
+		stepsSeen = append(stepsSeen, o.Steps)
+		phases = append(phases, o.Phase)
+		flips = append(flips, o.Flips)
 	}
 
 	fmt.Fprintf(w, "async benor: n=%d t=%d coin=%s scheduler=%s workload=%s trials=%d\n",
@@ -176,6 +197,13 @@ func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
 	}
 	if timeouts == s.Trials && mode == async.CoinParity {
 		fmt.Fprintln(w, "every run looped forever: the FLP schedule, demonstrated")
+	}
+	if batchErr != nil {
+		for _, f := range drep.Failures {
+			fmt.Fprintf(w, "durable    : FAIL trial %d (seed %d) after %d attempt(s): %v\n",
+				f.Trial, s.TrialSeed(f.Trial), f.Attempts, f.Err)
+		}
+		return derr
 	}
 	if s.Expect.Any() {
 		for _, line := range expectLines {
@@ -194,9 +222,9 @@ func AsyncScenario(s scenario.Scenario, opts AsyncOptions, w io.Writer) error {
 func fillAsyncStats(out *asyncTrial, procs []async.Process) {
 	for _, p := range procs {
 		b := p.(*async.BenOr)
-		if ph := float64(b.Phase()); ph > out.phase {
-			out.phase = ph
+		if ph := float64(b.Phase()); ph > out.Phase {
+			out.Phase = ph
 		}
-		out.flips += float64(b.Flips())
+		out.Flips += float64(b.Flips())
 	}
 }

@@ -1,0 +1,35 @@
+package cli
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"synran/internal/journal"
+)
+
+// BatchScope names a durable trial batch inside a shared -checkpoint
+// root: a readable kind prefix ("sim", "async", "conf-grid", ...) plus
+// a short hash of the batch fingerprint, so distinct batches — e.g. the
+// entries of a multi-scenario run — journal into distinct directories
+// and can never mix shards. The full fingerprint is additionally
+// embedded in the journal header, so a hash collision is detected at
+// open time rather than silently tolerated.
+func BatchScope(kind, fingerprint string) string {
+	h := fnv.New32a()
+	io.WriteString(h, fingerprint)
+	return fmt.Sprintf("%s-%08x", kind, h.Sum32())
+}
+
+// AtomicWriteFile writes a result file via the crash-safe
+// temp-file-then-rename protocol every artifact writer in this
+// repository shares (the implementation lives in internal/journal,
+// which uses it for sealing checkpoint segments): write is handed a
+// buffered writer backed by a temp file in the destination directory,
+// and only after a successful flush + fsync does an atomic rename
+// publish the new content. On any error the previous file — if one
+// existed — is left untouched, so readers never observe a torn or
+// half-written artifact, no matter when the process dies.
+func AtomicWriteFile(path string, write func(w io.Writer) error) error {
+	return journal.WriteFileAtomic(path, write)
+}

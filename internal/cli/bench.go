@@ -7,6 +7,7 @@ import (
 
 	"synran/internal/experiments"
 	"synran/internal/metrics"
+	"synran/internal/trials"
 )
 
 // BenchOptions configures Bench (cmd/synran-bench's core).
@@ -28,12 +29,15 @@ type BenchOptions struct {
 	// Metrics, when non-nil, collects instrument emissions from every
 	// experiment execution (see experiments.Config.Metrics).
 	Metrics *metrics.Engine
+	// Durable configures checkpointing, retry, and hedging for the
+	// experiments' trial batches (see experiments.Config.Durable).
+	Durable trials.Durability
 }
 
 // Bench runs the selected experiments, writing tables to out and
 // progress lines to errw. It returns an error listing failed claims.
 func Bench(opts BenchOptions, out, errw io.Writer) error {
-	cfg := experiments.Config{Quick: opts.Quick, Seed: opts.Seed, Workers: opts.Workers, Metrics: opts.Metrics}
+	cfg := experiments.Config{Quick: opts.Quick, Seed: opts.Seed, Workers: opts.Workers, Metrics: opts.Metrics, Durable: opts.Durable}
 	if opts.Scenario != "" || opts.ScenarioDir != "" {
 		return benchScenarios(opts, cfg, out, errw)
 	}

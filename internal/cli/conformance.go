@@ -6,6 +6,7 @@ import (
 
 	"synran/internal/conformance"
 	"synran/internal/metrics"
+	"synran/internal/trials"
 )
 
 // ConformanceOptions configures Conformance.
@@ -35,6 +36,9 @@ type ConformanceOptions struct {
 	ScenarioDir string
 	// Metrics, when non-nil, counts conformance cases as trials.
 	Metrics *metrics.Engine
+	// Durable configures checkpointing, retry, and hedging for the case
+	// batches (conformance.SweepConfig.Durable).
+	Durable trials.Durability
 }
 
 // Conformance is the command core of cmd/conformance: it runs the
@@ -56,6 +60,7 @@ func Conformance(opts ConformanceOptions, w io.Writer) error {
 		Engine:    opts.Engine,
 		MaxRounds: opts.MaxRounds,
 		Metrics:   opts.Metrics,
+		Durable:   opts.Durable,
 	}
 	sum, err := conformance.Sweep(cfg)
 	if err != nil {
@@ -115,7 +120,7 @@ func conformanceScenarios(opts ConformanceOptions, w io.Writer) error {
 	// Scenario files pin their own engine and round caps; only the
 	// presentation knobs apply here.
 	sum, err := conformance.SweepCorpus(entries, conformance.SweepConfig{
-		Workers: opts.Workers, Metrics: opts.Metrics,
+		Workers: opts.Workers, Metrics: opts.Metrics, Durable: opts.Durable,
 	})
 	if err != nil {
 		return err

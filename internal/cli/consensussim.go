@@ -8,7 +8,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 
 	"synran"
 	"synran/internal/metrics"
@@ -52,6 +51,10 @@ type SimOptions struct {
 	// execution, sharded by the trial worker. The exported report obeys
 	// the same worker-count invariance as the summary.
 	Metrics *metrics.Engine
+	// Durable configures checkpointing, retry, and hedging for the
+	// multi-trial batch (CommonFlags.Durable). The zero value runs the
+	// batch exactly as before.
+	Durable trials.Durability
 }
 
 // Scenario is the declarative form of the flag surface. The -t<0
@@ -98,7 +101,7 @@ func ConsensusSim(opts SimOptions, w io.Writer) error {
 // every binary accepts every scenario.
 func SimScenario(s scenario.Scenario, opts SimOptions, w io.Writer) error {
 	if s.IsAsync() {
-		return AsyncScenario(s, AsyncOptions{Workers: opts.Workers, Metrics: opts.Metrics}, w)
+		return AsyncScenario(s, AsyncOptions{Workers: opts.Workers, Metrics: opts.Metrics, Durable: opts.Durable}, w)
 	}
 	if s.Trials <= 1 {
 		return simOnce(s, opts, w)
@@ -171,12 +174,7 @@ func simOnce(s scenario.Scenario, opts SimOptions, w io.Writer) error {
 		fmt.Fprintf(w, "digest        : %s\n", dg)
 	}
 	if rec != nil {
-		f, err := os.Create(opts.TraceFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := rec.Log().WriteJSON(f); err != nil {
+		if err := AtomicWriteFile(opts.TraceFile, rec.Log().WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "trace written : %s (%d events)\n", opts.TraceFile, len(rec.Log().Events))
@@ -206,16 +204,22 @@ func simOnce(s scenario.Scenario, opts SimOptions, w io.Writer) error {
 }
 
 func simMany(s scenario.Scenario, opts SimOptions, w io.Writer) error {
+	// Fields are exported because shard results cross the checkpoint
+	// journal as JSON when -checkpoint is set.
 	type outcome struct {
-		rounds   float64
-		crashes  float64
-		decided  int
-		violated bool
-		degraded bool
-		faults   sim.Faults
-		expect   []string
+		Rounds   float64
+		Crashes  float64
+		Decided  int
+		Violated bool
+		Degraded bool
+		Faults   sim.Faults
+		Expect   []string
 	}
-	outs, err := trials.RunWorker(opts.Workers, s.Trials, trials.Metered(opts.Metrics, func(worker, i int) (outcome, error) {
+	fp, err := scenario.Compact(s)
+	if err != nil {
+		return err
+	}
+	outs, drep, derr := trials.DurableWorker(opts.Durable, BatchScope("sim", fp), fp, opts.Workers, s.Trials, opts.Metrics, func(worker, i int) (outcome, error) {
 		spec, err := s.Spec(i, opts.Metrics, worker)
 		if err != nil {
 			return outcome{}, err
@@ -228,28 +232,38 @@ func simMany(s scenario.Scenario, opts SimOptions, w io.Writer) error {
 				if m := opts.Metrics; m != nil {
 					m.TrialsDegraded.Inc(worker)
 				}
-				o := outcome{degraded: true, faults: res.Faults}
+				o := outcome{Degraded: true, Faults: res.Faults}
 				if s.Expect.Any() {
-					o.expect = s.CheckExpect(scenario.OutcomeOf(res))
+					o.Expect = s.CheckExpect(scenario.OutcomeOf(res))
 				}
 				return o, nil
 			}
 			return outcome{}, err
 		}
 		o := outcome{
-			rounds:   float64(res.HaltRounds),
-			crashes:  float64(res.Crashes),
-			decided:  res.DecidedValue(),
-			violated: !res.Agreement || !res.Validity,
-			faults:   res.Faults,
+			Rounds:   float64(res.HaltRounds),
+			Crashes:  float64(res.Crashes),
+			Decided:  res.DecidedValue(),
+			Violated: !res.Agreement || !res.Validity,
+			Faults:   res.Faults,
 		}
 		if s.Expect.Any() {
-			o.expect = s.CheckExpect(scenario.OutcomeOf(res))
+			o.Expect = s.CheckExpect(scenario.OutcomeOf(res))
 		}
 		return o, nil
-	}))
-	if err != nil {
-		return err
+	})
+	// An interrupted durable batch prints nothing: the journal holds the
+	// completed shards and a -resume re-run produces the full table,
+	// byte-identical to an uninterrupted one. Permanently-failed shards
+	// (retry budget spent) yield a partial table plus FAIL lines instead
+	// of discarding the completed work.
+	var batchErr *trials.BatchError
+	if derr != nil && !errors.As(derr, &batchErr) {
+		return derr
+	}
+	failed := make(map[int]bool, len(drep.Failures))
+	for _, f := range drep.Failures {
+		failed[f.Trial] = true
 	}
 	rounds := make([]float64, 0, s.Trials)
 	crashes := make([]float64, 0, s.Trials)
@@ -258,24 +272,27 @@ func simMany(s scenario.Scenario, opts SimOptions, w io.Writer) error {
 	var faults sim.Faults
 	var expectLines []string
 	for i, o := range outs {
-		faults.Dropped += o.faults.Dropped
-		faults.Duplicated += o.faults.Duplicated
-		faults.Delayed += o.faults.Delayed
-		faults.Stalled += o.faults.Stalled
-		faults.Panics += o.faults.Panics
-		faults.Demoted += o.faults.Demoted
-		for _, v := range o.expect {
+		if failed[i] {
+			continue
+		}
+		faults.Dropped += o.Faults.Dropped
+		faults.Duplicated += o.Faults.Duplicated
+		faults.Delayed += o.Faults.Delayed
+		faults.Stalled += o.Faults.Stalled
+		faults.Panics += o.Faults.Panics
+		faults.Demoted += o.Faults.Demoted
+		for _, v := range o.Expect {
 			expectFails++
 			expectLines = append(expectLines, fmt.Sprintf("trial %d (seed %d): %s", i, s.TrialSeed(i), v))
 		}
-		if o.degraded {
+		if o.Degraded {
 			degraded++
 			continue
 		}
-		rounds = append(rounds, o.rounds)
-		crashes = append(crashes, o.crashes)
-		decided[o.decided]++
-		if o.violated {
+		rounds = append(rounds, o.Rounds)
+		crashes = append(crashes, o.Crashes)
+		decided[o.Decided]++
+		if o.Violated {
 			violations++
 		}
 	}
@@ -293,6 +310,13 @@ func simMany(s scenario.Scenario, opts SimOptions, w io.Writer) error {
 			faults.Dropped, faults.Duplicated, faults.Delayed, faults.Stalled, faults.Panics, faults.Demoted)
 	}
 	fmt.Fprintf(w, "theory   : upper-bound shape %.2f rounds\n", synran.UpperBoundRounds(s.N, s.T))
+	if batchErr != nil {
+		for _, f := range drep.Failures {
+			fmt.Fprintf(w, "durable  : FAIL trial %d (seed %d) after %d attempt(s): %v\n",
+				f.Trial, s.TrialSeed(f.Trial), f.Attempts, f.Err)
+		}
+		return derr
+	}
 	if s.Expect.Any() {
 		for _, line := range expectLines {
 			fmt.Fprintf(w, "expect   : FAIL %s\n", line)

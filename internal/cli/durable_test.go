@@ -1,0 +1,123 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"sync"
+	"testing"
+
+	"synran/internal/trials"
+)
+
+func simTestOptions(trialsN int) SimOptions {
+	return SimOptions{
+		N: 16, T: 15, Protocol: "synran", Adversary: "splitvote",
+		Workload: "half", Seed: 5, Trials: trialsN, Workers: 4,
+	}
+}
+
+// TestSimScenarioInterruptResumeByteIdentical is the CLI half of the
+// crash-chaos soak: a consensus-sim batch killed mid-run prints nothing,
+// and the -resume re-run's stdout is byte-identical to an uninterrupted
+// run's — the tables cannot tell resumed shards from computed ones.
+func TestSimScenarioInterruptResumeByteIdentical(t *testing.T) {
+	opts := simTestOptions(24)
+	s, err := opts.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean bytes.Buffer
+	if err := SimScenario(s, opts, &clean); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	intr := make(chan struct{})
+	var once sync.Once
+	dopts := opts
+	dopts.Durable = trials.Durability{
+		Dir: dir,
+		AppendHook: func(appends int) {
+			if appends >= 6 {
+				once.Do(func() { close(intr) })
+			}
+		},
+		Interrupt: intr,
+	}
+	var killed bytes.Buffer
+	err = SimScenario(s, dopts, &killed)
+	if !errors.Is(err, trials.ErrInterrupted) {
+		t.Fatalf("interrupted batch: got %v, want ErrInterrupted", err)
+	}
+	if killed.Len() != 0 {
+		t.Fatalf("interrupted batch printed output:\n%s", killed.String())
+	}
+
+	ropts := opts
+	ropts.Durable = trials.Durability{Dir: dir, Resume: true}
+	var resumed bytes.Buffer
+	if err := SimScenario(s, ropts, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != clean.String() {
+		t.Fatalf("resumed stdout differs from the clean run\nclean:\n%s\nresumed:\n%s",
+			clean.String(), resumed.String())
+	}
+}
+
+// TestSimScenarioDurableMatchesPlain pins the core output contract:
+// enabling journaling, retries, and hedging must not change a single
+// byte of a successful run's stdout — durable accounting is visible
+// only through the metrics counters. (The failure rendering is pinned
+// at the trials layer.)
+func TestSimScenarioDurableMatchesPlain(t *testing.T) {
+	opts := simTestOptions(10)
+	s, err := opts.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, durable bytes.Buffer
+	if err := SimScenario(s, opts, &plain); err != nil {
+		t.Fatal(err)
+	}
+	dopts := opts
+	dopts.Durable = trials.Durability{Dir: t.TempDir(), Retry: trials.RetryPolicy{Budget: 2}, Hedge: true}
+	if err := SimScenario(s, dopts, &durable); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != durable.String() {
+		t.Fatalf("durable run's stdout differs from the plain run\nplain:\n%s\ndurable:\n%s",
+			plain.String(), durable.String())
+	}
+}
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	newFlags := func(args ...string) (*CommonFlags, error) {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var c CommonFlags
+		c.Register(fs, FlagSeed|FlagWorkers|FlagCheckpoint)
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		return &c, c.Validate()
+	}
+	if _, err := newFlags("-resume"); err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("-resume without -checkpoint: got %v", err)
+	}
+	if _, err := newFlags("-retrybudget", "-1"); err == nil || !strings.Contains(err.Error(), "retrybudget") {
+		t.Fatalf("negative -retrybudget: got %v", err)
+	}
+	c, err := newFlags("-checkpoint", "/tmp/ck", "-resume", "-retrybudget", "3", "-hedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Durable()
+	if d.Dir != "/tmp/ck" || !d.Resume || d.Retry.Budget != 3 || !d.Hedge || d.Checkpointer == nil {
+		t.Fatalf("Durable() lost flag values: %+v", d)
+	}
+	if !d.Enabled() {
+		t.Fatal("checkpoint flags should enable durability")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"time"
 
 	"synran/internal/metrics"
@@ -58,6 +57,27 @@ type CommonFlags struct {
 	// order — the checked-in corpus under testdata/corpus is the primary
 	// consumer.
 	ScenarioDir string
+	// Checkpoint is the durability root: each trial batch journals its
+	// completed shards under this directory, so a killed run can be
+	// re-run with -resume instead of recomputed (see internal/journal and
+	// trials.DurableWorker). Empty disables checkpointing.
+	Checkpoint string
+	// Resume permits loading shards from an existing -checkpoint journal.
+	// Without it a non-empty journal directory is an error, so two
+	// different runs can never silently mix shards.
+	Resume bool
+	// RetryBudget is the total number of per-shard retries a command's
+	// trial batches may consume before failures become terminal (0 =
+	// fail on first error, the historical behavior).
+	RetryBudget int
+	// Hedge enables deterministic straggler hedging: idle trial workers
+	// re-dispatch the slowest in-flight shard; first completion wins and
+	// the duplicate is byte-identical by construction.
+	Hedge bool
+
+	// checkpointer tracks the journals of in-flight durable batches so
+	// the -deadline watchdog can flush a final checkpoint before exiting.
+	checkpointer trials.Checkpointer
 }
 
 // Flag selects which of the shared flags a command registers.
@@ -78,6 +98,9 @@ const (
 	FlagMetrics
 	// FlagScenario registers -scenario and -scenario-dir.
 	FlagScenario
+	// FlagCheckpoint registers -checkpoint, -resume, -retrybudget, and
+	// -hedge.
+	FlagCheckpoint
 )
 
 // Register installs the selected flags on fs, using the struct's
@@ -106,6 +129,12 @@ func (c *CommonFlags) Register(fs *flag.FlagSet, mask Flag) {
 		fs.StringVar(&c.Scenario, "scenario", c.Scenario, "run this declarative .scenario file instead of the per-binary flags")
 		fs.StringVar(&c.ScenarioDir, "scenario-dir", c.ScenarioDir, "run every *.scenario file in this directory, in name order")
 	}
+	if mask&FlagCheckpoint != 0 {
+		fs.StringVar(&c.Checkpoint, "checkpoint", c.Checkpoint, "journal completed trial shards under this directory (crash-safe; pair with -resume)")
+		fs.BoolVar(&c.Resume, "resume", c.Resume, "load completed shards from the -checkpoint journal instead of recomputing them")
+		fs.IntVar(&c.RetryBudget, "retrybudget", c.RetryBudget, "total retries failing trial shards may consume, with exponential backoff (0 = fail fast)")
+		fs.BoolVar(&c.Hedge, "hedge", c.Hedge, "re-dispatch the slowest in-flight trial shard to idle workers (first completion wins)")
+	}
 }
 
 // Validate checks the parsed values, returning the uniform error
@@ -123,7 +152,34 @@ func (c *CommonFlags) Validate() error {
 	if c.Scenario != "" && c.ScenarioDir != "" {
 		return fmt.Errorf("-scenario and -scenario-dir are mutually exclusive")
 	}
+	if c.Resume && c.Checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint (there is no journal to resume from)")
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("-retrybudget must be >= 0 (0 fails fast), got %d", c.RetryBudget)
+	}
 	return nil
+}
+
+// Durable assembles the trials.Durability configuration the checkpoint
+// flag group selected. The zero flag values produce a disabled
+// Durability, under which trials.DurableWorker is exactly RunWorker —
+// so call sites thread it through unconditionally.
+func (c *CommonFlags) Durable() trials.Durability {
+	return trials.Durability{
+		Dir:          c.Checkpoint,
+		Resume:       c.Resume,
+		Retry:        trials.RetryPolicy{Budget: c.RetryBudget},
+		Hedge:        c.Hedge,
+		Checkpointer: &c.checkpointer,
+	}
+}
+
+// FlushCheckpoints seals every in-flight trial journal (fsync + atomic
+// rename). The -deadline watchdog calls it before exiting so a
+// wall-clock abort is resumable up to its last completed shard.
+func (c *CommonFlags) FlushCheckpoints() {
+	_ = c.checkpointer.Flush()
 }
 
 // MetricsEnabled reports whether either metrics flag asked for
@@ -153,15 +209,9 @@ func (c *CommonFlags) WriteMetrics(m *metrics.Engine, w io.Writer) error {
 	}
 	rep := m.Registry().Report(false)
 	if c.MetricsOut != "" {
-		f, err := os.Create(c.MetricsOut)
-		if err != nil {
-			return err
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic so a crash (or the -deadline watchdog) mid-write can
+		// never leave a torn report behind a path a later run trusts.
+		if err := AtomicWriteFile(c.MetricsOut, rep.WriteJSON); err != nil {
 			return err
 		}
 	}

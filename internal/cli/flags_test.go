@@ -19,7 +19,7 @@ func TestCommonFlagsRegisterDefaultsAndParse(t *testing.T) {
 		t.Fatal(err)
 	}
 	if c.Seed != 42 || c.Workers != 0 || c.Quick {
-		t.Fatalf("defaults: %+v", c)
+		t.Fatalf("defaults: seed=%d workers=%d quick=%v", c.Seed, c.Workers, c.Quick)
 	}
 
 	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
@@ -30,7 +30,7 @@ func TestCommonFlagsRegisterDefaultsAndParse(t *testing.T) {
 		t.Fatal(err)
 	}
 	if c2.Seed != 99 || c2.Workers != 4 || !c2.Quick {
-		t.Fatalf("parsed: %+v", c2)
+		t.Fatalf("parsed: seed=%d workers=%d quick=%v", c2.Seed, c2.Workers, c2.Quick)
 	}
 }
 

@@ -1,0 +1,143 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildConsensusSim compiles the real binary once per test into a temp
+// dir — the cmd-level half of the crash-chaos soak needs an actual
+// process to SIGKILL.
+func buildConsensusSim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "consensus-sim")
+	cmd := exec.Command("go", "build", "-o", bin, "synran/cmd/consensus-sim")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build consensus-sim: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // internal/cli -> repo root
+}
+
+// journalHasRecords polls until some journal segment under root has
+// grown past its header — i.e. at least one shard is on disk — so the
+// kill lands mid-batch rather than before any work happened.
+func journalHasRecords(root string) bool {
+	found := false
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err == nil && info != nil && !info.IsDir() && info.Size() > 64 {
+			found = true
+		}
+		return nil
+	})
+	return found
+}
+
+// killArgs is sized so a clean run takes a few hundred ms: long enough
+// that the SIGKILL and the 150ms -deadline below land mid-batch on any
+// plausible machine, short enough to stay a smoke test. (If a fast
+// machine finishes first anyway, both tests degrade to a trivially
+// passing resume rather than a flake.)
+var killArgs = []string{
+	"-n", "48", "-t", "47", "-protocol", "synran", "-adversary", "splitvote",
+	"-workload", "half", "-seed", "5", "-trials", "4000", "-workers", "4",
+}
+
+// TestKillResumeByteIdentical is the cmd-level crash-chaos smoke:
+// consensus-sim is SIGKILLed mid-batch (the hardest crash — no handlers
+// run, only the unbuffered journal appends survive) and re-executed with
+// -resume; the resumed stdout must be byte-identical to a clean run's.
+func TestKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary; skipped in -short")
+	}
+	bin := buildConsensusSim(t)
+
+	clean, err := exec.Command(bin, killArgs...).Output()
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	ckpt := t.TempDir()
+	args := append(append([]string{}, killArgs...), "-checkpoint", ckpt)
+	cmd := exec.Command(bin, args...)
+	var victimOut bytes.Buffer
+	cmd.Stdout = &victimOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for !journalHasRecords(ckpt) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	cmd.Process.Kill() // SIGKILL; if the run already finished this is a no-op
+	cmd.Wait()
+
+	resume := append(append([]string{}, args...), "-resume")
+	resumed, err := exec.Command(bin, resume...).Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			t.Fatalf("resume run: %v\nstderr: %s", err, ee.Stderr)
+		}
+		t.Fatalf("resume run: %v", err)
+	}
+	if !bytes.Equal(resumed, clean) {
+		t.Fatalf("resumed stdout differs from the clean run\nclean:\n%s\nresumed:\n%s", clean, resumed)
+	}
+}
+
+// TestDeadlineFlushThenResume pins the -deadline/-checkpoint composition:
+// a run killed by the wall-clock watchdog exits with code 3, its flushed
+// journal resumes, and the final stdout is byte-identical to a clean run.
+func TestDeadlineFlushThenResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and deadline-kills a real binary; skipped in -short")
+	}
+	bin := buildConsensusSim(t)
+
+	clean, err := exec.Command(bin, killArgs...).Output()
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	ckpt := t.TempDir()
+	args := append(append([]string{}, killArgs...), "-checkpoint", ckpt, "-deadline", "150ms")
+	out, err := exec.Command(bin, args...).Output()
+	var ee *exec.ExitError
+	if err == nil {
+		// The machine outran the deadline; the journal is complete and the
+		// resume below still has to reproduce the clean bytes.
+		if !bytes.Equal(out, clean) {
+			t.Fatalf("undisturbed checkpointed run diverged from the clean run")
+		}
+	} else if !errors.As(err, &ee) || ee.ExitCode() != ExitCodeDeadline {
+		t.Fatalf("deadline run: %v (want exit code %d)", err, ExitCodeDeadline)
+	}
+
+	resume := append(append([]string{}, killArgs...), "-checkpoint", ckpt, "-resume")
+	resumed, err := exec.Command(bin, resume...).Output()
+	if err != nil {
+		if errors.As(err, &ee) {
+			t.Fatalf("resume run: %v\nstderr: %s", err, ee.Stderr)
+		}
+		t.Fatalf("resume run: %v", err)
+	}
+	if !bytes.Equal(resumed, clean) {
+		t.Fatalf("stdout after deadline+resume differs from the clean run\nclean:\n%s\nresumed:\n%s", clean, resumed)
+	}
+}

@@ -59,11 +59,13 @@ func RunScenarios(common *CommonFlags, m *metrics.Engine, w io.Writer) error {
 			}
 			fmt.Fprintf(w, "=== %s (%s)\n", e.Name(), e.Path)
 		}
+		// Each entry journals under its own fingerprint-derived scope, so a
+		// multi-entry run resumes per entry without mixing shards.
 		var runErr error
 		if e.Scenario.IsAsync() {
-			runErr = AsyncScenario(e.Scenario, AsyncOptions{Workers: common.Workers, Metrics: m}, w)
+			runErr = AsyncScenario(e.Scenario, AsyncOptions{Workers: common.Workers, Metrics: m, Durable: common.Durable()}, w)
 		} else {
-			runErr = SimScenario(e.Scenario, SimOptions{Workers: common.Workers, Metrics: m}, w)
+			runErr = SimScenario(e.Scenario, SimOptions{Workers: common.Workers, Metrics: m, Durable: common.Durable()}, w)
 		}
 		if runErr != nil {
 			if !banner {

@@ -27,7 +27,13 @@ const ExitCodeDeadline = 3
 // command's own output, pass the same *SyncWriter the command writes
 // through (wrapping here is idempotent: an incoming *SyncWriter is used
 // as-is, sharing its mutex).
-func StartWatchdog(d time.Duration, w io.Writer, exit func(int)) (stop func()) {
+//
+// Any flush funcs run after the notice and before exit — commands pass
+// CommonFlags.FlushCheckpoints so a deadline abort seals the trial
+// journals and the run is resumable up to its last completed shard. A
+// flush must be safe to call concurrently with the command's own work,
+// which is still in flight when the watchdog fires.
+func StartWatchdog(d time.Duration, w io.Writer, exit func(int), flush ...func()) (stop func()) {
 	if d <= 0 {
 		return func() {}
 	}
@@ -40,6 +46,9 @@ func StartWatchdog(d time.Duration, w io.Writer, exit func(int)) (stop func()) {
 		select {
 		case <-t.C:
 			fmt.Fprintf(w, "deadline: wall-clock budget %v exhausted; output so far is a partial report\n", d)
+			for _, f := range flush {
+				f()
+			}
 			exit(ExitCodeDeadline)
 		case <-done:
 		}

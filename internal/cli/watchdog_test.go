@@ -41,3 +41,21 @@ func TestWatchdogDisabled(t *testing.T) {
 	stop := StartWatchdog(0, io.Discard, func(int) { t.Error("disabled watchdog fired") })
 	stop()
 }
+
+func TestWatchdogRunsFlushBeforeExit(t *testing.T) {
+	var order []string
+	fired := make(chan struct{})
+	stop := StartWatchdog(10*time.Millisecond, io.Discard,
+		func(int) { order = append(order, "exit"); close(fired) },
+		func() { order = append(order, "flush1") },
+		func() { order = append(order, "flush2") })
+	defer stop()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+	if strings.Join(order, ",") != "flush1,flush2,exit" {
+		t.Fatalf("flush/exit order = %v, want flushes before exit", order)
+	}
+}

@@ -688,6 +688,11 @@ type SweepConfig struct {
 	Oracles []Oracle
 	// Metrics, when non-nil, counts cases through the trials harness.
 	Metrics *metrics.Engine
+	// Durable configures checkpointing, retry, and hedging for the case
+	// batches (trials.DurableWorker); the sync grid, async grid, and
+	// corpus journal under distinct scopes. The zero value changes
+	// nothing.
+	Durable trials.Durability
 }
 
 // Summary aggregates a sweep.
@@ -762,10 +767,20 @@ func Cases(cfg SweepConfig) []Case {
 }
 
 // caseOutcome is one case's findings, aggregated in index order so the
-// summary is identical at every worker count.
+// summary is identical at every worker count. Fields are exported
+// because outcomes cross the checkpoint journal as JSON when
+// SweepConfig.Durable is on.
 type caseOutcome struct {
-	divs       []Divergence
-	violations []string
+	Divs       []Divergence
+	Violations []string
+}
+
+// sweepFingerprint identifies a sweep batch for the checkpoint journal:
+// resuming under any changed knob (or grid size) is refused rather than
+// silently mixing cases.
+func sweepFingerprint(kind string, cfg SweepConfig, cases int) string {
+	return fmt.Sprintf("conformance=%s,quick=%v,seed=%d,seeds=%d,engine=%q,maxrounds=%d,cases=%d",
+		kind, cfg.Quick, cfg.Seed, cfg.Seeds, cfg.Engine, cfg.MaxRounds, cases)
 }
 
 // Sweep runs the full grid (sync differential lanes plus async replay
@@ -777,39 +792,41 @@ func Sweep(cfg SweepConfig) (*Summary, error) {
 		oracles = DefaultOracles()
 	}
 	cases := Cases(cfg)
-	outs, err := trials.RunWorker(cfg.Workers, len(cases), trials.Metered(cfg.Metrics,
+	outs, _, err := trials.DurableWorker(cfg.Durable, "conf-sync", sweepFingerprint("sync", cfg, len(cases)),
+		cfg.Workers, len(cases), cfg.Metrics,
 		func(worker, i int) (caseOutcome, error) {
 			divs, violations, err := CheckSync(cases[i], oracles)
 			if err != nil {
 				return caseOutcome{}, fmt.Errorf("case %s: %w", cases[i].Name(), err)
 			}
-			return caseOutcome{divs: divs, violations: violations}, nil
-		}))
+			return caseOutcome{Divs: divs, Violations: violations}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	sum := &Summary{SyncCases: len(cases)}
 	for _, o := range outs {
-		sum.Divergences = append(sum.Divergences, o.divs...)
-		sum.Violations = append(sum.Violations, o.violations...)
+		sum.Divergences = append(sum.Divergences, o.Divs...)
+		sum.Violations = append(sum.Violations, o.Violations...)
 	}
 
 	asyncCases := AsyncCases(cfg)
-	aouts, err := trials.RunWorker(cfg.Workers, len(asyncCases), trials.Metered(cfg.Metrics,
+	aouts, _, err := trials.DurableWorker(cfg.Durable, "conf-async", sweepFingerprint("async", cfg, len(asyncCases)),
+		cfg.Workers, len(asyncCases), cfg.Metrics,
 		func(worker, i int) (caseOutcome, error) {
 			divs, violations, err := CheckAsync(asyncCases[i])
 			if err != nil {
 				return caseOutcome{}, fmt.Errorf("async case %s: %w", asyncCases[i].Name(), err)
 			}
-			return caseOutcome{divs: divs, violations: violations}, nil
-		}))
+			return caseOutcome{Divs: divs, Violations: violations}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	sum.AsyncCases = len(asyncCases)
 	for _, o := range aouts {
-		sum.Divergences = append(sum.Divergences, o.divs...)
-		sum.Violations = append(sum.Violations, o.violations...)
+		sum.Divergences = append(sum.Divergences, o.Divs...)
+		sum.Violations = append(sum.Violations, o.Violations...)
 	}
 	return sum, nil
 }

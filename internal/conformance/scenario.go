@@ -2,11 +2,12 @@ package conformance
 
 import (
 	"fmt"
-	"os"
+	"io"
 	"path/filepath"
 	"strings"
 
 	"synran"
+	"synran/internal/journal"
 	"synran/internal/scenario"
 	"synran/internal/trials"
 )
@@ -140,14 +141,22 @@ func SweepCorpus(entries []scenario.Entry, cfg SweepConfig) (*Summary, error) {
 	if oracles == nil {
 		oracles = DefaultOracles()
 	}
-	outs, err := trials.RunWorker(cfg.Workers, len(entries), trials.Metered(cfg.Metrics,
+	// The corpus fingerprint covers the entry names, so a resumed sweep
+	// over a changed corpus is refused instead of mixing cases.
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	fp := sweepFingerprint("corpus", cfg, len(entries)) + ",entries=" + strings.Join(names, ";")
+	outs, _, err := trials.DurableWorker(cfg.Durable, "conf-corpus", fp,
+		cfg.Workers, len(entries), cfg.Metrics,
 		func(worker, i int) (caseOutcome, error) {
 			divs, violations, err := CheckScenario(entries[i], oracles)
 			if err != nil {
 				return caseOutcome{}, fmt.Errorf("corpus %s: %w", entries[i].Name(), err)
 			}
-			return caseOutcome{divs: divs, violations: violations}, nil
-		}))
+			return caseOutcome{Divs: divs, Violations: violations}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -158,8 +167,8 @@ func SweepCorpus(entries []scenario.Entry, cfg SweepConfig) (*Summary, error) {
 		} else {
 			sum.SyncCases++
 		}
-		sum.Divergences = append(sum.Divergences, o.divs...)
-		sum.Violations = append(sum.Violations, o.violations...)
+		sum.Divergences = append(sum.Divergences, o.Divs...)
+		sum.Violations = append(sum.Violations, o.Violations...)
 	}
 	return sum, nil
 }
@@ -286,7 +295,12 @@ func WriteRepro(dir, name string, s scenario.Scenario, finding string) (string, 
 	}
 	fmt.Fprintf(&b, "# repro: %s\n", expectRepro(path))
 	b.WriteString(text)
-	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+	// Atomic: a crash mid-write must not leave a torn .scenario in the
+	// corpus for the next sweep to choke on.
+	if err := journal.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, b.String())
+		return err
+	}); err != nil {
 		return "", err
 	}
 	return path, nil

@@ -11,6 +11,7 @@ import (
 
 	"synran/internal/metrics"
 	"synran/internal/stats"
+	"synran/internal/trials"
 )
 
 // Config scales the experiments.
@@ -30,6 +31,10 @@ type Config struct {
 	// execution the experiments run. The merged export obeys the same
 	// worker-count invariance as the tables; see internal/metrics.
 	Metrics *metrics.Engine
+	// Durable configures checkpointing, retry, and hedging for the
+	// long trial batches (today the paper-scale E17 sweep; see
+	// trials.DurableWorker). The zero value changes nothing.
+	Durable trials.Durability
 }
 
 // Claim is one checkable assertion extracted from an experiment run.

@@ -32,14 +32,19 @@ func E17ScaleSoA(cfg Config) (*Result, error) {
 		"n", "t", "mean rounds", "max", "crashes", "lower bound", "upper shape", "ratio")
 	res := &Result{ID: "E17", Table: tb}
 
+	// Fields are exported because E17's shards are the repository's
+	// longest (minutes at n = 10^6) and checkpoint through the journal as
+	// JSON when cfg.Durable is on — exactly the batches worth resuming.
 	type outcome struct {
-		rounds  float64
-		crashes float64
+		Rounds  float64
+		Crashes float64
 	}
 	var ratios []float64
 	for _, n := range ns {
 		t := n - 1
-		outs, err := trials.RunWorker(cfg.Workers, reps, trials.Metered(cfg.Metrics,
+		fp := fmt.Sprintf("experiment=E17,n=%d,t=%d,seed=%d,reps=%d", n, t, cfg.Seed, reps)
+		outs, _, err := trials.DurableWorker(cfg.Durable, fmt.Sprintf("E17-n%d", n), fp,
+			cfg.Workers, reps, cfg.Metrics,
 			func(worker, i int) (outcome, error) {
 				r, err := core.Run(core.RunSpec{
 					N: n, T: t,
@@ -57,15 +62,15 @@ func E17ScaleSoA(cfg Config) (*Result, error) {
 					return outcome{}, fmt.Errorf("safety violated at n=%d rep=%d", n, i)
 				}
 				return outcome{float64(r.HaltRounds), float64(r.Crashes)}, nil
-			}))
+			})
 		if err != nil {
 			return nil, err
 		}
 		rounds := make([]float64, 0, reps)
 		crashes := make([]float64, 0, reps)
 		for _, o := range outs {
-			rounds = append(rounds, o.rounds)
-			crashes = append(crashes, o.crashes)
+			rounds = append(rounds, o.Rounds)
+			crashes = append(crashes, o.Crashes)
 		}
 		rs, cs := stats.Summarize(rounds), stats.Summarize(crashes)
 		lower := core.LowerBoundRounds(n, t)

@@ -1,0 +1,60 @@
+package journal
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file through a temp-file+rename: write fills
+// a temp file in the destination's directory, the file is fsynced and
+// closed, and only then renamed over path. A crash at any point leaves
+// either the old file or the new one — never a truncated hybrid. The
+// repository's result-artifact writers (-metrics-out, -tracefile, bench
+// baselines, journal segment sealing) all go through this helper (CLI
+// callers use the cli.AtomicWriteFile re-export).
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Best
+// effort: some filesystems refuse directory fsync, which is not worth
+// failing an otherwise-committed write over.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

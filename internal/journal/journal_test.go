@@ -1,0 +1,377 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fp = "protocol=synran,n=64,t=63,seed=42,trials=100"
+
+func open(t *testing.T, dir string, resume bool) *Journal {
+	t.Helper()
+	j, err := Open(Options{Dir: dir, Fingerprint: fp, Resume: resume})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func payload(i int) []byte { return []byte(fmt.Sprintf(`{"trial":%d,"rounds":%d}`, i, 7*i+3)) }
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	for i := 0; i < 20; i++ {
+		if err := j.Append(i, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.Appends(); got != 20 {
+		t.Fatalf("appends = %d, want 20", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, true)
+	if r.Loaded() != 20 || r.Torn() || r.Duplicates() != 0 {
+		t.Fatalf("loaded=%d torn=%v dups=%d, want 20/false/0", r.Loaded(), r.Torn(), r.Duplicates())
+	}
+	for i := 0; i < 20; i++ {
+		b, ok := r.Shard(i)
+		if !ok || !bytes.Equal(b, payload(i)) {
+			t.Fatalf("shard %d = %q (ok=%v), want %q", i, b, ok, payload(i))
+		}
+	}
+	if _, ok := r.Shard(20); ok {
+		t.Fatal("shard 20 should be absent")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRefusesExistingWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	if err := j.Append(0, payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Options{Dir: dir, Fingerprint: fp})
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("got %v, want ErrExists", err)
+	}
+}
+
+func TestJournalFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	if err := j.Append(0, payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Options{Dir: dir, Fingerprint: "a different batch", Resume: true})
+	if !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("got %v, want ErrFingerprint", err)
+	}
+}
+
+// TestJournalResealsCrashedActiveSegment simulates a kill -9: the active
+// segment is left unsealed (we drop the Journal without Close). Reopen
+// must recover every record and seal the segment via temp+rename.
+func TestJournalResealsCrashedActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	for i := 0; i < 5; i++ {
+		if err := j.Append(i, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the .active file stays behind, like a killed process.
+	if n := countFiles(t, dir, activeSuffix); n != 1 {
+		t.Fatalf("%d active segments on disk, want 1", n)
+	}
+
+	r := open(t, dir, true)
+	if r.Loaded() != 5 || r.Torn() {
+		t.Fatalf("loaded=%d torn=%v, want 5/false", r.Loaded(), r.Torn())
+	}
+	if n := countFiles(t, dir, activeSuffix); n != 0 {
+		t.Fatalf("%d active segments after reseal, want 0", n)
+	}
+	if n := countFiles(t, dir, sealedSuffix); n != 1 {
+		t.Fatalf("%d sealed segments after reseal, want 1", n)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalCheckpointRotatesSegments pins the rotation discipline: a
+// Checkpoint seals the current segment, later appends open a new one,
+// and a resumed journal merges records across all of them.
+func TestJournalCheckpointRotatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(i, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint(); err != nil { // idempotent with nothing new
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		if err := j.Append(i, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countFiles(t, dir, sealedSuffix); n != 2 {
+		t.Fatalf("%d sealed segments, want 2", n)
+	}
+	r := open(t, dir, true)
+	if r.Loaded() != 6 {
+		t.Fatalf("loaded = %d, want 6", r.Loaded())
+	}
+	r.Close()
+}
+
+// TestJournalTruncationAtEveryRecordBoundary is the satellite property
+// test: a journal truncated at any record boundary must load exactly
+// the surviving prefix (resume recomputes the rest), while corrupting
+// any byte of a record must be rejected with ErrCorrupt.
+func TestJournalTruncationAtEveryRecordBoundary(t *testing.T) {
+	const n = 12
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	boundaries := []int{len(frameHeader(fp))}
+	for i := 0; i < n; i++ {
+		if err := j.Append(i, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, boundaries[len(boundaries)-1]+len(frameRecord(i, payload(i))))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlySegment(t, dir)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != boundaries[len(boundaries)-1] {
+		t.Fatalf("segment is %d bytes, expected %d from the frame sizes", len(full), boundaries[len(boundaries)-1])
+	}
+
+	for k, b := range boundaries {
+		sub := t.TempDir()
+		writeSegment(t, sub, full[:b])
+		r, err := Open(Options{Dir: sub, Fingerprint: fp, Resume: true})
+		if err != nil {
+			t.Fatalf("truncated at record boundary %d: %v", k, err)
+		}
+		if r.Loaded() != k {
+			t.Fatalf("truncated after %d records: loaded %d", k, r.Loaded())
+		}
+		for i := 0; i < k; i++ {
+			if b, ok := r.Shard(i); !ok || !bytes.Equal(b, payload(i)) {
+				t.Fatalf("truncation %d: shard %d = %q ok=%v", k, i, b, ok)
+			}
+		}
+		r.Close()
+	}
+
+	// Mid-record truncation is a torn write: the tail is dropped, the
+	// prefix survives.
+	mid := boundaries[5] + 7 // inside record 5's frame
+	sub := t.TempDir()
+	writeSegment(t, sub, full[:mid])
+	r, err := Open(Options{Dir: sub, Fingerprint: fp, Resume: true})
+	if err != nil {
+		t.Fatalf("mid-record truncation: %v", err)
+	}
+	if !r.Torn() || r.Loaded() != 5 {
+		t.Fatalf("mid-record truncation: torn=%v loaded=%d, want true/5", r.Torn(), r.Loaded())
+	}
+	r.Close()
+
+	// Corruption mid-record (full bytes present, one flipped) must be
+	// rejected, for every byte of record 3's frame.
+	start, end := boundaries[3], boundaries[4]
+	for off := start; off < end; off++ {
+		bad := append([]byte(nil), full...)
+		bad[off] ^= 0x40
+		sub := t.TempDir()
+		writeSegment(t, sub, bad)
+		if _, err := Open(Options{Dir: sub, Fingerprint: fp, Resume: true}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at offset %d: got %v, want ErrCorrupt", off, err)
+		}
+	}
+}
+
+// TestJournalTornNonFinalSegmentIsCorrupt pins that torn-tail tolerance
+// applies only to the last segment: an earlier sealed segment missing
+// bytes means the seal discipline was violated.
+func TestJournalTornNonFinalSegmentIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	if err := j.Append(0, payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := filepath.Join(dir, segmentName(1, sealedSuffix))
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Fingerprint: fp, Resume: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt for a torn non-final segment", err)
+	}
+}
+
+func TestJournalDivergentDuplicateIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	if err := j.Append(4, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(4, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Fingerprint: fp, Resume: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt for divergent duplicates", err)
+	}
+}
+
+func TestJournalIdenticalDuplicateTolerated(t *testing.T) {
+	dir := t.TempDir()
+	j := open(t, dir, false)
+	if err := j.Append(4, payload(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(4, payload(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, true)
+	if r.Loaded() != 1 || r.Duplicates() != 1 {
+		t.Fatalf("loaded=%d dups=%d, want 1/1", r.Loaded(), r.Duplicates())
+	}
+	r.Close()
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("content %q", b)
+	}
+
+	// A failing writer must leave the previous content untouched and no
+	// temp droppings behind.
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("failed write clobbered the file: %q", b)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"E17-n100000":       "E17-n100000",
+		"sim a/b:c":         "sim_a_b_c",
+		"":                  "batch",
+		"grid sync seed=42": "grid_sync_seed_42",
+	}
+	for in, want := range cases {
+		if got := Slug(in); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func countFiles(t *testing.T, dir, suffix string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("%d segments, want 1: %v", len(names), names)
+	}
+	return filepath.Join(dir, names[0])
+}
+
+func writeSegment(t *testing.T, dir string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1, sealedSuffix)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -32,6 +32,17 @@ const (
 	NameTrialsFailed   = "trials_failed"
 	NameTrialsDegraded = "trials_degraded"
 
+	// Durable trial runner (internal/trials.DurableWorker) accounting.
+	// The resume/journal/retry counters are worker-invariant for a
+	// deterministic trial function; the hedge counters depend on
+	// scheduling by construction (a hedge fires only when a worker goes
+	// idle) and are therefore volatile.
+	NameShardsResumed   = "shards_resumed"
+	NameShardsJournaled = "shards_journaled"
+	NameTrialsRetried   = "trials_retried"
+	NameHedges          = "hedges_dispatched"
+	NameHedgesWasted    = "hedges_wasted"
+
 	// Valency estimator rollouts.
 	NameRollouts = "valency_rollouts"
 
@@ -76,6 +87,12 @@ type Engine struct {
 	TrialsFailed   *Counter
 	TrialsDegraded *Counter
 
+	ShardsResumed   *Counter
+	ShardsJournaled *Counter
+	TrialsRetried   *Counter
+	Hedges          *Counter
+	HedgesWasted    *Counter
+
 	Rollouts *Counter
 
 	ArenaHits   *Counter
@@ -110,6 +127,12 @@ func NewEngine(reg *Registry) *Engine {
 		TrialsRun:      reg.Counter(NameTrialsRun),
 		TrialsFailed:   reg.Counter(NameTrialsFailed),
 		TrialsDegraded: reg.Counter(NameTrialsDegraded),
+
+		ShardsResumed:   reg.Counter(NameShardsResumed),
+		ShardsJournaled: reg.Counter(NameShardsJournaled),
+		TrialsRetried:   reg.Counter(NameTrialsRetried),
+		Hedges:          reg.VolatileCounter(NameHedges),
+		HedgesWasted:    reg.VolatileCounter(NameHedgesWasted),
 
 		Rollouts: reg.Counter(NameRollouts),
 

@@ -1,0 +1,533 @@
+package trials
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"synran/internal/journal"
+	"synran/internal/metrics"
+)
+
+// Typed durable-runner failures. They compose with errors.Is, so
+// callers can distinguish "some shards failed permanently after
+// retries" (partial results are valid) from "the batch was interrupted"
+// (resume from the checkpoint) from harness errors.
+var (
+	// ErrRetryBudget marks shards whose retries were exhausted — either
+	// the per-shard attempt cap or the batch-wide retry budget.
+	ErrRetryBudget = errors.New("trials: retry budget exhausted")
+	// ErrInterrupted marks a batch stopped by Durability.Interrupt
+	// before completion; the journal holds every completed shard.
+	ErrInterrupted = errors.New("trials: batch interrupted before completion")
+)
+
+// RetryPolicy bounds how a durable batch responds to failing shards.
+// The budget is the batch-wide analogue of the chaos runner's
+// FaultBudget: an explicit allowance of recoveries, charged one unit
+// per re-attempt, after which failures become terminal — never a hang,
+// never a silent drop, always a typed error plus a partial report.
+type RetryPolicy struct {
+	// Budget is the total number of retries the whole batch may consume
+	// (0 = failures are terminal on the first attempt).
+	Budget int
+	// MaxAttempts caps attempts per shard, including the first (0 = 3
+	// when Budget > 0, else 1).
+	MaxAttempts int
+	// Backoff is the wait before the first retry of a shard; each
+	// further retry doubles it, clamped at 64x like the netsim
+	// synchronizer's re-poll backoff (0 = 1ms).
+	Backoff time.Duration
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	if p.Budget > 0 {
+		return 3
+	}
+	return 1
+}
+
+func (p RetryPolicy) backoff() time.Duration {
+	if p.Backoff > 0 {
+		return p.Backoff
+	}
+	return time.Millisecond
+}
+
+// maxRetryShift caps the exponential retry backoff at 64x Backoff —
+// the same saturation discipline as netsim's maxBackoffShift (Go's
+// shift does not saturate on its own).
+const maxRetryShift = 6
+
+// retryWait returns the wait before retry number retry (1-based):
+// Backoff, 2·Backoff, 4·Backoff, ..., capped at Backoff<<maxRetryShift.
+func retryWait(backoff time.Duration, retry int) time.Duration {
+	shift := retry - 1
+	if shift > maxRetryShift {
+		shift = maxRetryShift
+	}
+	return backoff << shift
+}
+
+// Durability configures DurableWorker. The zero value disables every
+// feature, making DurableWorker exactly RunWorker+Metered.
+type Durability struct {
+	// Dir is the checkpoint root (the -checkpoint flag). Each batch
+	// journals under Dir/<slug of its scope>. Empty disables
+	// checkpointing.
+	Dir string
+	// Resume permits loading shards from an existing journal (the
+	// -resume flag). Without it, a non-empty journal directory is an
+	// error, so two different runs can never silently mix shards.
+	Resume bool
+	// Retry bounds panic/error recovery per shard and per batch.
+	Retry RetryPolicy
+	// Hedge enables deterministic straggler hedging: once every shard
+	// is claimed, idle workers re-dispatch the longest-running in-flight
+	// shard. Per-trial-index seeding makes the duplicate byte-identical,
+	// so first completion wins and the duplicate is only ever wasted
+	// work, never a different answer.
+	Hedge bool
+	// Interrupt, when non-nil, aborts the batch when closed: workers
+	// stop claiming shards, in-flight shards finish, the journal is
+	// sealed, and DurableWorker returns ErrInterrupted. The crash-chaos
+	// soak harness uses it for goroutine-level kills.
+	Interrupt <-chan struct{}
+	// Checkpointer, when non-nil, tracks the batch's journal while it is
+	// open so the -deadline watchdog can flush a final checkpoint before
+	// exiting.
+	Checkpointer *Checkpointer
+	// AppendHook, when non-nil, observes every journal append with the
+	// running count of appends this session — the soak harness's kill
+	// checkpoints are seeded off it. Called outside the journal lock.
+	AppendHook func(appends int)
+}
+
+// Enabled reports whether any durability feature is on.
+func (d Durability) Enabled() bool {
+	return d.Dir != "" || d.Retry.Budget > 0 || d.Hedge || d.Interrupt != nil
+}
+
+// ShardFailure is one shard that failed permanently.
+type ShardFailure struct {
+	// Trial is the failing shard's trial index.
+	Trial int
+	// Attempts is how many times it was tried.
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+// BatchError reports the shards of a durable batch that failed
+// permanently. It unwraps to ErrRetryBudget; the accompanying results
+// slice and DurableReport are still valid for every other shard.
+type BatchError struct {
+	// Failures lists the failed shards in ascending trial order.
+	Failures []ShardFailure
+}
+
+func (e *BatchError) Error() string {
+	f := e.Failures[0]
+	return fmt.Sprintf("%d shard(s) failed permanently (first: trial %d after %d attempt(s): %v)",
+		len(e.Failures), f.Trial, f.Attempts, f.Err)
+}
+
+func (e *BatchError) Unwrap() error { return ErrRetryBudget }
+
+// DurableReport is a durable batch's accounting: how completion was
+// reached, not what was computed. Resumed/Journaled/Retries are
+// worker-invariant for a deterministic trial function; Hedged and
+// HedgeWins depend on scheduling by nature (they are exported through
+// volatile metrics instruments for the same reason).
+type DurableReport struct {
+	// Trials is the batch size.
+	Trials int
+	// Resumed counts shards loaded from the journal instead of rerun.
+	Resumed int
+	// Journaled counts fresh shards appended to the journal (equals
+	// Trials - Resumed - len(Failures) when checkpointing is on).
+	Journaled int
+	// Retries counts re-attempts consumed from the retry budget.
+	Retries int
+	// Hedged counts straggler duplicates dispatched; HedgeWins counts
+	// those that finished before their primary.
+	Hedged    int
+	HedgeWins int
+	// Failures lists permanently-failed shards (ascending trial order).
+	Failures []ShardFailure
+	// Interrupted is set when the batch stopped on Durability.Interrupt.
+	Interrupted bool
+}
+
+// shard states for the durable scheduler.
+const (
+	shardPending int32 = iota
+	shardRunning
+	shardSettled // result committed or permanently failed
+)
+
+// DurableWorker is RunWorker hardened for long batches: completed
+// shards checkpoint to an on-disk journal keyed by (scope,
+// fingerprint), a resumed run loads them instead of recomputing,
+// failing shards retry with exponential backoff against an explicit
+// budget, and idle workers hedge the slowest in-flight shard. The
+// worker-count-invariance contract is unchanged — fn must derive
+// everything from i — and extends to resume: because shard payloads are
+// pure functions of the trial index, a table built from any mix of
+// resumed and recomputed shards is byte-identical to an uninterrupted
+// run's.
+//
+// Shard results cross the journal as JSON, so T must round-trip through
+// encoding/json losslessly (exported fields, finite floats); the first
+// fresh shard is round-trip-checked and a lossy T is a loud error, not
+// silent data loss on resume.
+//
+// Unlike RunWorker, a durable batch does not cancel on the first
+// failure: failed shards retry and, when retries are exhausted, are
+// recorded in the report while the rest of the batch completes. The
+// returned slice always has len n; entries named in report.Failures (or
+// not yet run when interrupted) hold T's zero value.
+func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n int, m *metrics.Engine, fn func(worker, i int) (T, error)) ([]T, DurableReport, error) {
+	if !d.Enabled() {
+		out, err := RunWorker(workers, n, Metered(m, fn))
+		return out, DurableReport{Trials: n}, err
+	}
+	rep := DurableReport{Trials: n}
+	if n <= 0 {
+		return nil, rep, nil
+	}
+
+	// Instruments are pulled into locals because a *Counter no-ops on a
+	// nil receiver but a nil *Engine would panic on field access.
+	var cRun, cFailed, cResumed, cJournaled, cRetried, cHedges, cHedgesWasted *metrics.Counter
+	if m != nil {
+		cRun, cFailed = m.TrialsRun, m.TrialsFailed
+		cResumed, cJournaled, cRetried = m.ShardsResumed, m.ShardsJournaled, m.TrialsRetried
+		cHedges, cHedgesWasted = m.Hedges, m.HedgesWasted
+	}
+
+	var jl *journal.Journal
+	if d.Dir != "" {
+		var err error
+		jl, err = journal.Open(journal.Options{
+			Dir:         filepath.Join(d.Dir, journal.Slug(scope)),
+			Fingerprint: fingerprint,
+			Resume:      d.Resume,
+		})
+		if err != nil {
+			return nil, rep, err
+		}
+		d.Checkpointer.track(jl)
+		defer d.Checkpointer.untrack(jl)
+	}
+
+	out := make([]T, n)
+	state := make([]atomic.Int32, n)
+	committed := make([]atomic.Bool, n) // outcome decided: value committed or failure recorded
+
+	if jl != nil {
+		for i, b := range jl.Shards() {
+			if i >= n {
+				jl.Close()
+				return nil, rep, fmt.Errorf("trials: journal %s holds shard %d but this batch has only %d trials (wrong journal for this run?)", jl.Dir(), i, n)
+			}
+			var v T
+			if err := json.Unmarshal(b, &v); err != nil {
+				jl.Close()
+				return nil, rep, fmt.Errorf("trials: journal %s shard %d: decode: %w", jl.Dir(), i, err)
+			}
+			out[i] = v
+			state[i].Store(shardSettled)
+			committed[i].Store(true)
+			rep.Resumed++
+		}
+		cResumed.Add(0, uint64(rep.Resumed))
+	}
+
+	var (
+		w        = WorkerCount(workers, n)
+		next     atomic.Int64
+		claimSeq atomic.Int64
+		stamp    = make([]atomic.Int64, n) // claim order; "slowest" = smallest live stamp
+		hedges   = make([]atomic.Int32, n) // duplicates dispatched per shard
+
+		budget    atomic.Int64 // remaining retry budget
+		stop      atomic.Bool
+		intr      atomic.Bool
+		retries   atomic.Int64
+		journaled atomic.Int64
+		hedged    atomic.Int64
+		hedgeWins atomic.Int64
+
+		mu       sync.Mutex
+		failures []ShardFailure
+		fatalErr error
+
+		codecChecked atomic.Bool
+		wg           sync.WaitGroup
+	)
+	budget.Store(int64(d.Retry.Budget))
+
+	canceled := func() bool {
+		if stop.Load() {
+			return true
+		}
+		if d.Interrupt != nil {
+			select {
+			case <-d.Interrupt:
+				intr.Store(true)
+				stop.Store(true)
+				return true
+			default:
+			}
+		}
+		return false
+	}
+
+	fatal := func(err error) {
+		mu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+
+	// commit publishes a completed shard: exactly one runner of trial i
+	// (primary or hedge) wins the CAS, writes the result, and journals
+	// it. Hedge losers discard byte-identical duplicates.
+	commit := func(worker, i int, v T) bool {
+		if !committed[i].CompareAndSwap(false, true) {
+			return false
+		}
+		out[i] = v
+		state[i].Store(shardSettled)
+		if jl != nil {
+			b, err := json.Marshal(v)
+			if err != nil {
+				fatal(fmt.Errorf("trials: shard %d: encode for journal: %w", i, err))
+				return true
+			}
+			if codecChecked.CompareAndSwap(false, true) {
+				// One-time codec guard: a T that loses data through JSON
+				// (unexported fields, say) would resume into silently
+				// wrong tables. Fail loudly instead.
+				var back T
+				if err := json.Unmarshal(b, &back); err != nil || !reflect.DeepEqual(v, back) {
+					fatal(fmt.Errorf("trials: shard type %T does not round-trip through the journal codec (unexported fields?): %v", v, err))
+					return true
+				}
+			}
+			if err := jl.Append(i, b); err != nil {
+				fatal(err)
+				return true
+			}
+			cJournaled.Inc(worker)
+			if d.AppendHook != nil {
+				d.AppendHook(int(journaled.Add(1)))
+			} else {
+				journaled.Add(1)
+			}
+		}
+		return true
+	}
+
+	// runPrimary owns trial i's attempt loop: bounded retries with
+	// exponential backoff, each retry charged to the shared budget.
+	runPrimary := func(worker, i int) {
+		maxAttempts := d.Retry.maxAttempts()
+		attempt := 0
+		for {
+			attempt++
+			v, err := safeCall(fn, worker, i)
+			cRun.Inc(worker)
+			if err == nil {
+				commit(worker, i, v)
+				return
+			}
+			cFailed.Inc(worker)
+			if committed[i].Load() {
+				// A hedge already landed this shard; the primary's late
+				// failure is moot.
+				return
+			}
+			terminal := attempt >= maxAttempts
+			if !terminal && budget.Add(-1) < 0 {
+				budget.Add(1)
+				terminal = true
+				err = fmt.Errorf("trial %d: %w after %d attempt(s) (batch budget spent): %w", i, ErrRetryBudget, attempt, err)
+			} else if terminal {
+				err = fmt.Errorf("trial %d: %w after %d attempt(s): %w", i, ErrRetryBudget, attempt, err)
+			}
+			if terminal {
+				// The committed CAS is the single authority for a shard's
+				// outcome: winning it here means no hedge can later land a
+				// value on a shard the report names as failed.
+				if committed[i].CompareAndSwap(false, true) {
+					state[i].Store(shardSettled)
+					mu.Lock()
+					failures = append(failures, ShardFailure{Trial: i, Attempts: attempt, Err: err})
+					mu.Unlock()
+				}
+				return
+			}
+			retries.Add(1)
+			cRetried.Inc(worker)
+			wait := retryWait(d.Retry.backoff(), attempt)
+			if d.Interrupt != nil {
+				select {
+				case <-time.After(wait):
+				case <-d.Interrupt:
+				}
+			} else {
+				time.Sleep(wait)
+			}
+			if canceled() {
+				// The shard neither completed nor failed permanently;
+				// an interrupted batch reports ErrInterrupted and the
+				// resume reruns it.
+				return
+			}
+		}
+	}
+
+	// pickHedge claims a duplicate of the longest-running shard, or -1.
+	pickHedge := func() int {
+		best, bestStamp := -1, int64(1<<62)
+		for i := 0; i < n; i++ {
+			if state[i].Load() != shardRunning || hedges[i].Load() != 0 {
+				continue
+			}
+			if s := stamp[i].Load(); s > 0 && s < bestStamp {
+				best, bestStamp = i, s
+			}
+		}
+		if best >= 0 && hedges[best].CompareAndSwap(0, 1) {
+			return best
+		}
+		return -1
+	}
+
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if canceled() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i < n {
+					if state[i].CompareAndSwap(shardPending, shardRunning) {
+						stamp[i].Store(claimSeq.Add(1))
+						runPrimary(worker, i)
+					}
+					continue
+				}
+				if !d.Hedge {
+					return
+				}
+				hi := pickHedge()
+				if hi < 0 {
+					return
+				}
+				hedged.Add(1)
+				cHedges.Inc(worker)
+				// One attempt, no retries: the duplicate exists to beat a
+				// straggler, and the primary still owns failure reporting.
+				if v, err := safeCall(fn, worker, hi); err == nil {
+					if commit(worker, hi, v) {
+						hedgeWins.Add(1)
+					} else {
+						cHedgesWasted.Inc(worker)
+					}
+				} else {
+					cHedgesWasted.Inc(worker)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if jl != nil {
+		if err := jl.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep.Retries = int(retries.Load())
+	rep.Journaled = int(journaled.Load())
+	rep.Hedged = int(hedged.Load())
+	rep.HedgeWins = int(hedgeWins.Load())
+	rep.Interrupted = intr.Load()
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Trial < failures[b].Trial })
+	rep.Failures = failures
+
+	switch {
+	case fatalErr != nil:
+		return out, rep, fatalErr
+	case rep.Interrupted:
+		return out, rep, fmt.Errorf("%w (%d of %d shards checkpointed)", ErrInterrupted, rep.Resumed+rep.Journaled, n)
+	case len(failures) > 0:
+		return out, rep, &BatchError{Failures: failures}
+	}
+	return out, rep, nil
+}
+
+// Checkpointer tracks the journals of in-flight durable batches so a
+// single flush point — the -deadline watchdog — can seal them all
+// before the process exits, making a wall-clock abort resumable.
+type Checkpointer struct {
+	mu   sync.Mutex
+	open []*journal.Journal
+}
+
+func (c *Checkpointer) track(j *journal.Journal) {
+	if c == nil || j == nil {
+		return
+	}
+	c.mu.Lock()
+	c.open = append(c.open, j)
+	c.mu.Unlock()
+}
+
+func (c *Checkpointer) untrack(j *journal.Journal) {
+	if c == nil || j == nil {
+		return
+	}
+	c.mu.Lock()
+	for i, o := range c.open {
+		if o == j {
+			c.open = append(c.open[:i], c.open[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Flush checkpoints every tracked journal (fsync + atomic seal). Safe
+// to call concurrently with appends; errors are joined.
+func (c *Checkpointer) Flush() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	open := append([]*journal.Journal(nil), c.open...)
+	c.mu.Unlock()
+	var errs []error
+	for _, j := range open {
+		if err := j.Checkpoint(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,416 @@
+package trials
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"synran/internal/journal"
+	"synran/internal/metrics"
+)
+
+// durableOutcome is the shard payload used throughout these tests; like
+// every real experiment outcome it must round-trip through JSON.
+type durableOutcome struct {
+	Trial int
+	Value uint64
+}
+
+func durableFn(base uint64) func(worker, i int) (durableOutcome, error) {
+	return func(_, i int) (durableOutcome, error) {
+		return durableOutcome{Trial: i, Value: trialValue(base, i)}, nil
+	}
+}
+
+const durableScope = "unit"
+const durableFP = "protocol=test,n=8,seed=1,trials=40"
+
+func TestDurableDisabledMatchesRunWorker(t *testing.T) {
+	const n = 25
+	want, err := RunWorker(4, n, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := DurableWorker(Durability{}, durableScope, durableFP, 4, n, nil, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("zero-value Durability diverged from RunWorker")
+	}
+	if rep.Trials != n || rep.Resumed != 0 || rep.Journaled != 0 {
+		t.Fatalf("unexpected report for disabled durability: %+v", rep)
+	}
+}
+
+func TestDurableCheckpointThenResumeRunsNothing(t *testing.T) {
+	const n = 40
+	dir := t.TempDir()
+	d := Durability{Dir: dir}
+
+	want, rep, err := DurableWorker(d, durableScope, durableFP, 4, n, nil, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Journaled != n || rep.Resumed != 0 {
+		t.Fatalf("fresh run report: %+v", rep)
+	}
+
+	var calls atomic.Int64
+	d.Resume = true
+	got, rep, err := DurableWorker(d, durableScope, durableFP, 4, n, nil,
+		func(worker, i int) (durableOutcome, error) {
+			calls.Add(1)
+			return durableFn(7)(worker, i)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("resume of a complete journal re-ran %d trials", calls.Load())
+	}
+	if rep.Resumed != n || rep.Journaled != 0 {
+		t.Fatalf("resume report: %+v", rep)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed results differ from the original run")
+	}
+}
+
+func TestDurableResumeRequiresFlag(t *testing.T) {
+	dir := t.TempDir()
+	d := Durability{Dir: dir}
+	if _, _, err := DurableWorker(d, durableScope, durableFP, 2, 10, nil, durableFn(7)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := DurableWorker(d, durableScope, durableFP, 2, 10, nil, durableFn(7))
+	if !errors.Is(err, journal.ErrExists) {
+		t.Fatalf("re-run without -resume: got %v, want ErrExists", err)
+	}
+}
+
+func TestDurableFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	d := Durability{Dir: dir}
+	if _, _, err := DurableWorker(d, durableScope, durableFP, 2, 10, nil, durableFn(7)); err != nil {
+		t.Fatal(err)
+	}
+	d.Resume = true
+	_, _, err := DurableWorker(d, durableScope, "protocol=other", 2, 10, nil, durableFn(7))
+	if !errors.Is(err, journal.ErrFingerprint) {
+		t.Fatalf("resume with a different fingerprint: got %v, want ErrFingerprint", err)
+	}
+}
+
+func TestDurableJournalLargerThanBatch(t *testing.T) {
+	dir := t.TempDir()
+	d := Durability{Dir: dir}
+	if _, _, err := DurableWorker(d, durableScope, durableFP, 2, 10, nil, durableFn(7)); err != nil {
+		t.Fatal(err)
+	}
+	d.Resume = true
+	_, _, err := DurableWorker(d, durableScope, durableFP, 2, 5, nil, durableFn(7))
+	if err == nil || !strings.Contains(err.Error(), "wrong journal") {
+		t.Fatalf("journal with out-of-range shard: got %v", err)
+	}
+}
+
+func TestDurableRetrySucceedsWithinBudget(t *testing.T) {
+	const n = 20
+	// Trials 3 and 11 fail on their first two attempts and then succeed;
+	// attempt counting is per-shard so the schedule is deterministic.
+	var attempts [n]atomic.Int32
+	fn := func(worker, i int) (durableOutcome, error) {
+		if (i == 3 || i == 11) && attempts[i].Add(1) <= 2 {
+			return durableOutcome{}, errors.New("transient")
+		}
+		return durableFn(7)(worker, i)
+	}
+	want, err := RunWorker(4, n, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New(4)
+	m := metrics.NewEngine(reg)
+	d := Durability{Retry: RetryPolicy{Budget: 8, Backoff: time.Microsecond}}
+	got, rep, err := DurableWorker(d, durableScope, durableFP, 4, n, m, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("retried batch diverged from the clean run")
+	}
+	if rep.Retries != 4 {
+		t.Fatalf("retries = %d, want 4 (2 shards x 2 transient failures)", rep.Retries)
+	}
+	if v := m.TrialsRetried.Value(); v != 4 {
+		t.Fatalf("trials_retried = %d, want 4", v)
+	}
+	if v := m.TrialsFailed.Value(); v != 4 {
+		t.Fatalf("trials_failed = %d, want 4", v)
+	}
+	if v := m.TrialsRun.Value(); v != n+4 {
+		t.Fatalf("trials_run = %d, want %d", v, n+4)
+	}
+}
+
+func TestDurableRetryBudgetExhausted(t *testing.T) {
+	const n = 12
+	fn := func(worker, i int) (durableOutcome, error) {
+		if i == 5 {
+			return durableOutcome{}, errors.New("permanent")
+		}
+		if i == 9 {
+			panic("kaboom")
+		}
+		return durableFn(7)(worker, i)
+	}
+	d := Durability{Retry: RetryPolicy{Budget: 3, MaxAttempts: 2, Backoff: time.Microsecond}}
+	got, rep, err := DurableWorker(d, durableScope, durableFP, 3, n, nil, fn)
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("got %v, want ErrRetryBudget", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BatchError", err)
+	}
+	if len(rep.Failures) != 2 || rep.Failures[0].Trial != 5 || rep.Failures[1].Trial != 9 {
+		t.Fatalf("failures = %+v, want trials 5 and 9 in order", rep.Failures)
+	}
+	var pe *PanicError
+	if !errors.As(rep.Failures[1].Err, &pe) || pe.Trial != 9 {
+		t.Fatalf("trial 9's failure does not unwrap to its PanicError: %v", rep.Failures[1].Err)
+	}
+	// The batch does not cancel on failure: every other shard completes.
+	for i := 0; i < n; i++ {
+		if i == 5 || i == 9 {
+			if got[i] != (durableOutcome{}) {
+				t.Fatalf("failed shard %d holds a value: %+v", i, got[i])
+			}
+			continue
+		}
+		if got[i].Trial != i {
+			t.Fatalf("shard %d missing from a partially-failed batch", i)
+		}
+	}
+}
+
+func TestDurableZeroBudgetFailsFast(t *testing.T) {
+	fn := func(worker, i int) (durableOutcome, error) {
+		if i == 2 {
+			return durableOutcome{}, errors.New("boom")
+		}
+		return durableFn(7)(worker, i)
+	}
+	// Durability enabled via a journal, but no retry budget: the failure
+	// is terminal on the first attempt and the rest of the batch lands.
+	d := Durability{Dir: t.TempDir()}
+	_, rep, err := DurableWorker(d, durableScope, durableFP, 2, 8, nil, fn)
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("got %v, want ErrRetryBudget", err)
+	}
+	if rep.Retries != 0 || len(rep.Failures) != 1 || rep.Failures[0].Attempts != 1 {
+		t.Fatalf("report = %+v, want one single-attempt failure and no retries", rep)
+	}
+	if rep.Journaled != 7 {
+		t.Fatalf("journaled = %d, want 7 (every non-failing shard)", rep.Journaled)
+	}
+}
+
+func TestDurableCodecGuardRejectsLossyType(t *testing.T) {
+	type lossy struct {
+		Exported   int
+		unexported int //nolint:unused // the point: JSON drops it
+	}
+	d := Durability{Dir: t.TempDir()}
+	_, _, err := DurableWorker(d, durableScope, durableFP, 2, 4, nil,
+		func(_, i int) (lossy, error) { return lossy{Exported: i, unexported: 1}, nil })
+	if err == nil || !strings.Contains(err.Error(), "round-trip") {
+		t.Fatalf("lossy shard type not rejected: %v", err)
+	}
+}
+
+func TestDurableHedgingStress(t *testing.T) {
+	const n = 60
+	want, err := RunWorker(8, n, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 7th trial is a straggler; with hedging on, idle workers
+	// re-dispatch them. Results must be untouched by who wins.
+	fn := func(worker, i int) (durableOutcome, error) {
+		if i%7 == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return durableFn(7)(worker, i)
+	}
+	reg := metrics.New(8)
+	m := metrics.NewEngine(reg)
+	d := Durability{Hedge: true}
+	got, rep, err := DurableWorker(d, durableScope, durableFP, 8, n, m, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("hedged batch diverged from the clean run")
+	}
+	if rep.HedgeWins > rep.Hedged {
+		t.Fatalf("report counts %d hedge wins out of %d hedges", rep.HedgeWins, rep.Hedged)
+	}
+	if v := m.Hedges.Value(); int(v) != rep.Hedged {
+		t.Fatalf("hedges_dispatched = %d, report says %d", v, rep.Hedged)
+	}
+	if v := m.HedgesWasted.Value(); int(v) != rep.Hedged-rep.HedgeWins {
+		t.Fatalf("hedges_wasted = %d, want %d", v, rep.Hedged-rep.HedgeWins)
+	}
+}
+
+func TestDurableMetricsCrossCheckJournal(t *testing.T) {
+	const n = 30
+	dir := t.TempDir()
+	for _, workers := range []int{1, 2, 4, 8} {
+		sub := filepath.Join(dir, "w")
+		reg := metrics.New(workers)
+		m := metrics.NewEngine(reg)
+		d := Durability{Dir: sub}
+		got, rep, err := DurableWorker(d, durableScope, durableFP, workers, n, m, durableFn(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The journal on disk must hold exactly what the counters claim.
+		jl, err := journal.Open(journal.Options{
+			Dir:         filepath.Join(sub, journal.Slug(durableScope)),
+			Fingerprint: durableFP,
+			Resume:      true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jl.Loaded() != rep.Journaled || int(m.ShardsJournaled.Value()) != jl.Loaded() {
+			t.Fatalf("workers=%d: journal holds %d shards, report says %d, counter says %d",
+				workers, jl.Loaded(), rep.Journaled, m.ShardsJournaled.Value())
+		}
+		for i := 0; i < n; i++ {
+			if _, ok := jl.Shard(i); !ok {
+				t.Fatalf("workers=%d: shard %d missing from journal", workers, i)
+			}
+		}
+		jl.Close()
+		if v := m.TrialsRun.Value(); v != n {
+			t.Fatalf("workers=%d: trials_run = %d, want %d", workers, v, n)
+		}
+		want, _ := RunWorker(1, n, durableFn(7))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results diverged", workers)
+		}
+		// Each worker count gets a fresh directory.
+		if err := os.RemoveAll(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDurableInterruptThenResume(t *testing.T) {
+	const n = 32
+	want, err := RunWorker(1, n, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Kill the batch at the 10th journal append, then resume to
+	// completion. The final table must be byte-identical to the
+	// uninterrupted run's.
+	intr := make(chan struct{})
+	var once sync.Once
+	d := Durability{
+		Dir: dir,
+		AppendHook: func(appends int) {
+			if appends >= 10 {
+				once.Do(func() { close(intr) })
+			}
+		},
+		Interrupt: intr,
+	}
+	_, rep, err := DurableWorker(d, durableScope, durableFP, 4, n, nil, durableFn(7))
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("got %v, want ErrInterrupted", err)
+	}
+	if rep.Journaled < 10 {
+		t.Fatalf("only %d shards checkpointed before the interrupt fired at 10", rep.Journaled)
+	}
+
+	d2 := Durability{Dir: dir, Resume: true}
+	got, rep2, err := DurableWorker(d2, durableScope, durableFP, 4, n, nil, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != rep.Journaled {
+		t.Fatalf("resumed %d shards, the interrupted run journaled %d", rep2.Resumed, rep.Journaled)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed results differ from the uninterrupted run")
+	}
+}
+
+func TestCheckpointerFlushMidBatch(t *testing.T) {
+	const n = 24
+	dir := t.TempDir()
+	cp := &Checkpointer{}
+	// Flush at the 5th append, as the -deadline watchdog would, while
+	// appends continue; the journal must rotate cleanly and a resume must
+	// still see one coherent shard set.
+	var once sync.Once
+	d := Durability{
+		Dir:          dir,
+		Checkpointer: cp,
+		AppendHook: func(appends int) {
+			if appends >= 5 {
+				once.Do(func() {
+					if err := cp.Flush(); err != nil {
+						t.Errorf("flush: %v", err)
+					}
+				})
+			}
+		},
+	}
+	want, _, err := DurableWorker(d, durableScope, durableFP, 4, n, nil, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Flush(); err != nil { // all journals untracked by now
+		t.Fatal(err)
+	}
+	d2 := Durability{Dir: dir, Resume: true}
+	got, rep, err := DurableWorker(d2, durableScope, durableFP, 4, n, nil, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != n {
+		t.Fatalf("resumed %d of %d shards after a mid-batch flush", rep.Resumed, n)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("results differ after mid-batch flush + resume")
+	}
+}
+
+func TestRetryWaitClampsAtShift(t *testing.T) {
+	b := time.Millisecond
+	cases := []struct {
+		retry int
+		want  time.Duration
+	}{
+		{1, b}, {2, 2 * b}, {3, 4 * b}, {7, 64 * b}, {8, 64 * b}, {100, 64 * b},
+	}
+	for _, c := range cases {
+		if got := retryWait(b, c.retry); got != c.want {
+			t.Fatalf("retryWait(%v, %d) = %v, want %v", b, c.retry, got, c.want)
+		}
+	}
+}

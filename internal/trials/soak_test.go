@@ -1,0 +1,111 @@
+package trials
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"synran/internal/metrics"
+	"synran/internal/rng"
+)
+
+// TestSoakCrashResumeByteIdentical is the in-process half of the
+// crash-chaos soak harness (the cmd-level kill -9 half lives in
+// internal/cli): at every worker count it repeatedly kills a durable
+// batch at seeded journal checkpoints, resumes from the journal, and
+// asserts the final table is byte-identical to an uninterrupted run —
+// with the retry and hedging machinery enabled throughout, and the
+// journal's shard set cross-checked against the summed reports.
+//
+// `make soak` runs this file under -race without -short; the default
+// test run keeps a trimmed version.
+func TestSoakCrashResumeByteIdentical(t *testing.T) {
+	const n = 48
+	base := uint64(42)
+	// The reference: one uninterrupted run. Trial values are pure
+	// functions of the index, so any schedule must reproduce this.
+	want, err := RunWorker(1, n, durableFn(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workerCounts := []int{1, 2, 4, 8}
+	rounds := 6
+	if testing.Short() {
+		workerCounts = []int{1, 4}
+		rounds = 3
+	}
+
+	for _, workers := range workerCounts {
+		// Seeded kill schedule: the crash points vary per worker count
+		// but are reproducible run to run.
+		r := rng.New(base).Split(uint64(workers))
+		dir := t.TempDir()
+		reg := metrics.New(workers)
+		m := metrics.NewEngine(reg)
+
+		var out []durableOutcome
+		totalJournaled, sessions := 0, 0
+		for round := 0; ; round++ {
+			if round > rounds+n {
+				t.Fatalf("workers=%d: batch did not complete after %d sessions", workers, round)
+			}
+			killAt := -1
+			// A kill can land on the final append, leaving an interrupted
+			// session with nothing left to produce; only schedule the next
+			// kill while shards remain.
+			if remaining := n - totalJournaled; round < rounds && remaining > 0 {
+				// Kill somewhere in the shards this session still has to
+				// produce (at least 1 so every kill loses in-flight work).
+				killAt = 1 + int(r.Uint64()%uint64(remaining))
+			}
+			intr := make(chan struct{})
+			var once sync.Once
+			var appends atomic.Int64
+			d := Durability{
+				Dir:    dir,
+				Resume: round > 0,
+				Retry:  RetryPolicy{Budget: 4},
+				Hedge:  true,
+				AppendHook: func(int) {
+					if killAt >= 0 && int(appends.Add(1)) >= killAt {
+						once.Do(func() { close(intr) })
+					}
+				},
+				Interrupt: intr,
+			}
+			var rep DurableReport
+			out, rep, err = DurableWorker(d, "soak", durableFP, workers, n, m, durableFn(base))
+			sessions++
+			if rep.Resumed != totalJournaled {
+				t.Fatalf("workers=%d round %d: resumed %d shards, journal should hold %d",
+					workers, round, rep.Resumed, totalJournaled)
+			}
+			totalJournaled += rep.Journaled
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("workers=%d round %d: %v", workers, round, err)
+			}
+		}
+		if totalJournaled != n {
+			t.Fatalf("workers=%d: sessions journaled %d shards in total, want %d", workers, totalJournaled, n)
+		}
+		if !reflect.DeepEqual(out, want) {
+			t.Fatalf("workers=%d: table after %d kill/resume cycles differs from the uninterrupted run",
+				workers, sessions-1)
+		}
+		// Counter cross-check across all sessions: every shard was
+		// journaled exactly once, and resumes re-loaded what the earlier
+		// sessions had journaled.
+		if v := m.ShardsJournaled.Value(); v != n {
+			t.Fatalf("workers=%d: shards_journaled = %d, want %d", workers, v, n)
+		}
+		if v, j := m.ShardsResumed.Value(), m.ShardsJournaled.Value(); sessions > 1 && v == 0 && j == n {
+			t.Fatalf("workers=%d: %d sessions but no shard was ever resumed", workers, sessions)
+		}
+	}
+}

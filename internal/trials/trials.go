@@ -18,16 +18,56 @@
 // stops claiming new trials as soon as any failure is observed. Because
 // indices are claimed in ascending order, the smallest failing index is
 // always among the claimed trials, so the returned error does not depend
-// on the worker count either.
+// on the worker count either. A panicking trial function is isolated the
+// same way: the panic is recovered on its own worker, converted to a
+// *PanicError naming the trial index, and fed through the failure path —
+// the pool drains instead of the process aborting from an arbitrary
+// goroutine with the other workers mid-flight.
+//
+// For long batches that must survive crashes of the host process, see
+// DurableWorker: the same contract plus an on-disk checkpoint journal,
+// bounded retry with exponential backoff, and straggler hedging.
 package trials
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"synran/internal/metrics"
 )
+
+// PanicError is the typed error a panicking trial function is converted
+// into: the panic is recovered on the worker that hit it, attributed to
+// its trial index, and fed through the normal smallest-failing-index
+// error path — so one buggy or crashing trial drains the pool cleanly
+// instead of aborting the process from an arbitrary goroutine and
+// leaking the in-flight workers.
+type PanicError struct {
+	// Trial is the index of the trial whose function panicked.
+	Trial int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("trial %d panicked: %v", e.Trial, e.Value)
+}
+
+// safeCall runs fn(worker, i) with panic isolation: a panic becomes a
+// *PanicError attributed to trial i.
+func safeCall[T any](fn func(worker, i int) (T, error), worker, i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Trial: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, i)
+}
 
 // DefaultWorkers resolves a configured worker count: values <= 0 select
 // runtime.NumCPU(), anything else is returned unchanged. Exposed so
@@ -76,9 +116,10 @@ func RunWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, e
 	out := make([]T, n)
 	if w == 1 {
 		// Serial fast path: no goroutines, same semantics as the pool
-		// (ascending claim order, first failure wins and cancels the rest).
+		// (ascending claim order, first failure wins and cancels the rest,
+		// panics become *PanicError).
 		for i := 0; i < n; i++ {
-			v, err := fn(0, i)
+			v, err := safeCall(fn, 0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -109,7 +150,7 @@ func RunWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, e
 				if i >= n {
 					return
 				}
-				v, err := fn(worker, i)
+				v, err := safeCall(fn, worker, i)
 				if err != nil {
 					mu.Lock()
 					if i < firstIdx {

@@ -176,23 +176,37 @@ func TestSeedStride(t *testing.T) {
 
 func TestRunPanicMessageNamesTrial(t *testing.T) {
 	// A panicking trial is a bug in the trial function; it must not be
-	// swallowed. We only check it propagates (in any goroutine a panic
-	// would abort the test binary, so exercise the serial path).
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("expected the trial panic to propagate")
+	// swallowed, and it must not abort the process from an arbitrary
+	// worker goroutine either. The pool drains and Run returns a
+	// *PanicError attributing the panic to its trial index, on the
+	// serial fast path and the parallel pool alike.
+	for _, workers := range []int{1, 4} {
+		out, err := Run(workers, 4, func(i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if out != nil {
+			t.Fatalf("workers=%d: expected nil results on failure, got %v", workers, out)
 		}
-		if !strings.Contains(fmt.Sprint(r), "kaboom") {
-			t.Fatalf("unexpected panic payload %v", r)
+		if err == nil {
+			t.Fatalf("workers=%d: expected the trial panic to surface as an error", workers)
 		}
-	}()
-	_, _ = Run(1, 4, func(i int) (int, error) {
-		if i == 2 {
-			panic("kaboom")
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error is %T, want *PanicError: %v", workers, err, err)
 		}
-		return 0, nil
-	})
+		if pe.Trial != 2 {
+			t.Fatalf("workers=%d: panic attributed to trial %d, want 2", workers, pe.Trial)
+		}
+		if !strings.Contains(err.Error(), "trial 2 panicked: kaboom") {
+			t.Fatalf("workers=%d: unexpected error message %q", workers, err)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError carries no stack", workers)
+		}
+	}
 }
 
 func TestWorkerCount(t *testing.T) {

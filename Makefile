@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check chaos soak conformance scenarios experiments experiments-quick metrics metrics-golden examples clean
+.PHONY: all build test test-short race cover bench bench-json bench-check chaos soak server-smoke conformance scenarios experiments experiments-quick metrics metrics-golden examples clean
 
 all: build test
 
@@ -63,6 +63,18 @@ soak:
 	$(GO) test -race -count=1 -run 'Journal|Durable|Soak|Checkpoint|KillResume|DeadlineFlush|Watchdog' \
 		./internal/journal ./internal/trials ./internal/cli
 	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime 10s ./internal/journal
+
+# Experiment-service smoke: the resident trial server's unit and soak
+# suites under the race detector (priority gate, job store replay,
+# backpressure, in-process restart and cmd-level SIGKILL byte-identity),
+# then the loadgen hammering a selfhost server with 8 mixed-priority
+# clients, the canary lane, and the typed queue-full probe — every
+# job's merged table must match the consensus-sim run of the same
+# scenario byte for byte.
+server-smoke:
+	$(GO) test -race -count=1 ./internal/server
+	$(GO) test -race -count=1 -run 'TestServer|TestSynrand|TestLoadgen' ./internal/cli
+	$(GO) run ./cmd/synrand loadgen -clients 8 -jobs 3 -canary 5
 
 # Cross-engine conformance: the differential harness (sequential sim vs
 # zero-chaos netsim vs Reset vs snapshot forks vs the columnar SoA

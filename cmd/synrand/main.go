@@ -1,0 +1,105 @@
+// Command synrand is the experiment-as-a-service surface: a resident
+// trial server plus its load generator.
+//
+//	synrand serve   -addr localhost:7070 -data ./synrand-data
+//	synrand loadgen -clients 8 -jobs 3            (selfhost smoke)
+//	synrand loadgen -server http://localhost:7070 (hammer a live server)
+//
+// The server accepts scenario jobs over HTTP/JSON, schedules their
+// trial shards through a priority gate (interactive preempts bulk),
+// journals every job and shard so a killed server resumes instead of
+// recomputing, and rejects beyond-capacity submissions with typed
+// 429s. The loadgen hammers it with mixed-priority clients and asserts
+// every merged table is byte-identical to the same scenario run via
+// `consensus-sim -trials`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"synran/internal/cli"
+	"synran/internal/metrics"
+)
+
+func usage(errw *cli.SyncWriter) {
+	fmt.Fprintln(errw, "usage: synrand serve|loadgen [flags] (run with -h for per-command flags)")
+	os.Exit(2)
+}
+
+func main() {
+	errw := cli.NewSyncWriter(os.Stderr)
+	if len(os.Args) < 2 {
+		usage(errw)
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:], errw)
+	case "loadgen":
+		loadgen(os.Args[2:], errw)
+	default:
+		usage(errw)
+	}
+}
+
+func serve(args []string, errw *cli.SyncWriter) {
+	fs := flag.NewFlagSet("synrand serve", flag.ExitOnError)
+	var cfg cli.ServeConfig
+	fs.StringVar(&cfg.Addr, "addr", "localhost:7070", "HTTP listen address (:0 picks a free port)")
+	fs.StringVar(&cfg.DataDir, "data", "", "persistence root: job log + shard checkpoints (required; restart resumes)")
+	fs.IntVar(&cfg.Workers, "workers", 0, "concurrent trial shard slots across all jobs (0 = all cores)")
+	fs.IntVar(&cfg.QueueLimit, "queue", 0, "max queued+running jobs before typed 429s (0 = default)")
+	fs.IntVar(&cfg.ClientLimit, "client-limit", 0, "max in-flight jobs per client before typed 429s (0 = default)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (empty = off)")
+	fs.Parse(args)
+	if cfg.DataDir == "" {
+		fmt.Fprintln(errw, "synrand serve: -data is required (the server is resident; its state must live somewhere)")
+		os.Exit(2)
+	}
+	cfg.Metrics = metrics.New(1)
+	if *pprofAddr != "" {
+		addr, stopPprof, err := cli.StartPprof(*pprofAddr, cfg.Metrics)
+		if err != nil {
+			fmt.Fprintln(errw, "synrand serve:", err)
+			os.Exit(2)
+		}
+		defer stopPprof()
+		fmt.Fprintf(errw, "pprof: http://%s/debug/pprof/ (expvar at /debug/vars)\n", addr)
+	}
+	addr, shutdown, err := cli.StartServer(cfg)
+	if err != nil {
+		fmt.Fprintln(errw, "synrand serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("synrand: serving on http://%s (data %s)\n", addr, cfg.DataDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(errw, "synrand: shutting down (journals seal; incomplete jobs resume on restart)")
+	if err := shutdown(); err != nil {
+		fmt.Fprintln(errw, "synrand serve:", err)
+		os.Exit(1)
+	}
+}
+
+func loadgen(args []string, errw *cli.SyncWriter) {
+	fs := flag.NewFlagSet("synrand loadgen", flag.ExitOnError)
+	var cfg cli.LoadgenConfig
+	fs.StringVar(&cfg.Server, "server", "", "server URL to hammer (empty = boot a selfhost server in-process)")
+	fs.StringVar(&cfg.DataDir, "data", "", "selfhost server persistence root (empty = temp dir)")
+	fs.IntVar(&cfg.Clients, "clients", 8, "concurrent clients (mixed priorities)")
+	fs.IntVar(&cfg.Jobs, "jobs", 3, "jobs per client")
+	fs.Uint64Var(&cfg.Seed, "seed", 1, "scenario menu assignment seed")
+	fs.IntVar(&cfg.Workers, "workers", 0, "selfhost server shard slots (0 = all cores)")
+	fs.IntVar(&cfg.Canary, "canary", 5, "canary submissions (interactive known-answer jobs with latency export)")
+	fs.BoolVar(&cfg.SkipRejectionProbe, "skip-probe", false, "skip the queue-full rejection probe (selfhost only)")
+	fs.Parse(args)
+	if err := cli.Loadgen(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(errw, "synrand loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -13,35 +13,59 @@ import (
 
 // pprofReg is the registry the expvar "synran_metrics" variable reads.
 // It is a process-global because expvar variables cannot be
-// unregistered; StartPprof swaps the pointer instead.
+// unregistered; re-registration swaps the pointer instead. The split of
+// responsibilities is deliberate and pprofReg.Store is the only refresh
+// path: pprofPublishOnce guards nothing but the one-time
+// expvar.Publish (a second Publish of the same name panics), while the
+// published closure always reads the current pointer — so a process
+// that builds a second metrics engine (the experiment server restarts
+// its engine per job) refreshes the surface with SetPprofRegistry and
+// never re-reads a stale registry.
 var (
 	pprofReg         atomic.Pointer[metrics.Registry]
 	pprofPublishOnce sync.Once
 )
+
+// SetPprofRegistry makes reg the registry behind the expvar
+// "synran_metrics" variable, replacing whatever engine published
+// before; a nil reg clears the surface (the variable reads as null).
+// This is the explicit re-registration path for processes that outlive
+// a single metrics engine — StartPprof need only be called once for
+// the listener, and every engine swap goes through here.
+func SetPprofRegistry(reg *metrics.Registry) {
+	pprofReg.Store(reg)
+	pprofPublishOnce.Do(publishPprofVar)
+}
+
+func publishPprofVar() {
+	expvar.Publish("synran_metrics", expvar.Func(func() any {
+		r := pprofReg.Load()
+		if r == nil {
+			return nil
+		}
+		return r.Report(true)
+	}))
+}
 
 // StartPprof serves net/http/pprof and expvar on addr (e.g.
 // "localhost:6060") from a background goroutine, for profiling the
 // metrics layer's overhead and watching instruments live. When reg is
 // non-nil its full report — volatile instruments included, since this
 // is a diagnostic surface, not the deterministic export — appears as
-// the expvar "synran_metrics" variable at /debug/vars.
+// the expvar "synran_metrics" variable at /debug/vars; a nil reg
+// leaves the currently-published registry (if any) in place. Processes
+// that replace their metrics engine after the listener is up must call
+// SetPprofRegistry with each new engine's registry, or the expvar
+// surface keeps reading the retired one.
 //
 // It returns the bound address (useful with a ":0" addr), a shutdown
 // function, and any listen error. The handlers go on a private mux, so
 // nothing leaks onto http.DefaultServeMux.
 func StartPprof(addr string, reg *metrics.Registry) (string, func() error, error) {
 	if reg != nil {
-		pprofReg.Store(reg)
+		SetPprofRegistry(reg)
 	}
-	pprofPublishOnce.Do(func() {
-		expvar.Publish("synran_metrics", expvar.Func(func() any {
-			r := pprofReg.Load()
-			if r == nil {
-				return nil
-			}
-			return r.Report(true)
-		}))
-	})
+	pprofPublishOnce.Do(publishPprofVar)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err

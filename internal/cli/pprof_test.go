@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+
+	"synran/internal/metrics"
+)
+
+// readPprofVar snapshots the expvar surface the pprof listener exposes.
+func readPprofVar(t *testing.T) string {
+	t.Helper()
+	v := expvar.Get("synran_metrics")
+	if v == nil {
+		t.Fatal("synran_metrics expvar not published")
+	}
+	return v.String()
+}
+
+// TestPprofRegistrySwap pins the Store/Once split: the sync.Once guards
+// only the one-time expvar.Publish, so a process that retires one
+// metrics engine and builds another (the experiment server does this
+// per restart) can refresh the surface with SetPprofRegistry — and the
+// published closure must read the new registry, not a stale snapshot of
+// the first one.
+func TestPprofRegistrySwap(t *testing.T) {
+	// First engine: publish via the same path the binaries use.
+	reg1 := metrics.New(1)
+	eng1 := metrics.NewEngine(reg1)
+	addr, stop, err := StartPprof("localhost:0", reg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if addr == "" {
+		t.Fatal("StartPprof returned an empty address")
+	}
+	eng1.Rounds.Add(0, 11)
+	if got := readPprofVar(t); !strings.Contains(got, `"engine_rounds","value":11`) {
+		t.Fatalf("expvar does not reflect the first engine: %s", got)
+	}
+
+	// Second engine in the same process: explicit re-registration must
+	// be enough — no second StartPprof, no stale reads.
+	reg2 := metrics.New(1)
+	eng2 := metrics.NewEngine(reg2)
+	eng2.Rounds.Add(0, 7)
+	SetPprofRegistry(reg2)
+	got := readPprofVar(t)
+	if !strings.Contains(got, `"engine_rounds","value":7`) {
+		t.Fatalf("expvar still reads the retired engine after SetPprofRegistry: %s", got)
+	}
+	if strings.Contains(got, `"value":11`) {
+		t.Fatalf("expvar mixes the retired engine's values into the new report: %s", got)
+	}
+
+	// The first engine keeps emitting after retirement (a drained job
+	// finishing late); the surface must stay pinned to the new registry.
+	eng1.Rounds.Add(0, 100)
+	if got := readPprofVar(t); !strings.Contains(got, `"engine_rounds","value":7`) {
+		t.Fatalf("late emission on the retired engine leaked into expvar: %s", got)
+	}
+
+	// Clearing is explicit too.
+	SetPprofRegistry(nil)
+	if got := readPprofVar(t); got != "null" {
+		t.Fatalf("cleared registry reads %s, want null", got)
+	}
+
+	// A second StartPprof with a fresh registry (metrics re-enabled on a
+	// new listener) must also refresh the surface via the same path.
+	reg3 := metrics.New(1)
+	metrics.NewEngine(reg3).Rounds.Add(0, 3)
+	_, stop3, err := StartPprof("localhost:0", reg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop3()
+	if got := readPprofVar(t); !strings.Contains(got, `"engine_rounds","value":3`) {
+		t.Fatalf("second StartPprof did not re-register its registry: %s", got)
+	}
+}

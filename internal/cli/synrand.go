@@ -1,0 +1,499 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"synran/internal/metrics"
+	"synran/internal/scenario"
+	"synran/internal/server"
+	"synran/internal/trials"
+)
+
+// ScenarioRunner adapts SimScenario to the experiment server's injected
+// run path. A server job therefore executes through exactly the code
+// `consensus-sim -trials` runs — same trial fan-out, same merge, same
+// output bytes — with the server's durability hooks (per-job shard
+// journal, priority gate, interrupt) threaded through trials.Durability.
+func ScenarioRunner() server.Runner {
+	return func(s scenario.Scenario, d trials.Durability, workers int, w io.Writer) error {
+		return SimScenario(s, SimOptions{Workers: workers, Durable: d}, w)
+	}
+}
+
+// ServeConfig configures the resident experiment server (cmd/synrand
+// serve). The zero value of each limit picks the server default.
+type ServeConfig struct {
+	// Addr is the HTTP listen address (e.g. "localhost:7070"; ":0" picks
+	// a free port, reported by StartServer's return).
+	Addr string
+	// DataDir is the persistence root: job event log + per-job shard
+	// checkpoints. A restarted server with the same DataDir resumes every
+	// incomplete job.
+	DataDir string
+	// Workers is the gate slot count — total concurrent trial executions
+	// across all jobs (0 = all cores).
+	Workers int
+	// QueueLimit / ClientLimit are the admission caps (server defaults
+	// when 0).
+	QueueLimit, ClientLimit int
+	// Metrics, when non-nil, receives the server's lifetime instruments.
+	Metrics *metrics.Registry
+}
+
+// StartServer boots the resident server and its HTTP listener,
+// returning the bound address and a shutdown function that drains
+// in-flight shards, seals every journal, and closes the listener.
+// cmd/synrand wraps it with signal handling; the loadgen's selfhost
+// mode and tests call it directly.
+func StartServer(cfg ServeConfig) (string, func() error, error) {
+	srv, err := server.New(server.Options{
+		DataDir:     cfg.DataDir,
+		Workers:     cfg.Workers,
+		QueueLimit:  cfg.QueueLimit,
+		ClientLimit: cfg.ClientLimit,
+		Runner:      ScenarioRunner(),
+		Metrics:     cfg.Metrics,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	addr, hs, err := srv.Serve(cfg.Addr)
+	if err != nil {
+		srv.Stop()
+		return "", nil, err
+	}
+	shutdown := func() error {
+		hs.Close()
+		return srv.Stop()
+	}
+	return addr, shutdown, nil
+}
+
+// LoadgenConfig configures the load generator (cmd/synrand loadgen).
+type LoadgenConfig struct {
+	// Server is the URL of a running server ("http://host:port"). Empty
+	// selects selfhost mode: the loadgen boots its own server in-process
+	// (under DataDir) and hammers it — the CI smoke path.
+	Server string
+	// DataDir is the selfhost server's persistence root ("" = temp dir).
+	DataDir string
+	// Clients is the concurrent client count (default 8; the acceptance
+	// floor for the mixed-priority soak).
+	Clients int
+	// Jobs is the submissions per client (default 3).
+	Jobs int
+	// Seed drives the scenario menu assignment; the same seed issues the
+	// same job mix.
+	Seed uint64
+	// Workers is the selfhost server's gate slot count (0 = all cores).
+	Workers int
+	// Canary is the canary submission count (default 5): a tiny
+	// known-answer scenario submitted at interactive priority while the
+	// bulk load runs, its submit→result latency exported through
+	// internal/metrics and its output checked every time.
+	Canary int
+	// SkipRejectionProbe disables the queue-full probe (selfhost only;
+	// probing a shared remote server would pollute its queue).
+	SkipRejectionProbe bool
+}
+
+// loadgenMenu is the deterministic scenario mix: small known-answer
+// jobs across protocols, adversaries, and both timing models (one
+// async entry), all cheap enough that a full loadgen run stays in CI
+// smoke territory. Every entry's expected bytes come from running the
+// identical scenario through SimScenario with zero durability — the
+// exact `consensus-sim -trials` path — so a divergence is a server-side
+// identity break, never a menu bug.
+func loadgenMenu(seed uint64) []scenario.Scenario {
+	base := []scenario.Scenario{
+		{Protocol: "synran", Adversary: "splitvote", Workload: "half", N: 7, T: 1, Trials: 6},
+		{Protocol: "benor", Adversary: "random", Workload: "random", N: 5, T: 1, Trials: 8},
+		{Protocol: "floodset", Adversary: "none", Workload: "ones", N: 9, T: 2, Trials: 4},
+		{Protocol: "earlystop", Adversary: "splitvote", Workload: "half", N: 7, T: 2, Trials: 6},
+		{Protocol: "phaseking", Adversary: "none", Workload: "zeros", N: 9, T: 1, Trials: 4},
+		{Protocol: "async-benor", Adversary: "fifo", Workload: "half", N: 5, T: 1, Trials: 4},
+	}
+	for i := range base {
+		base[i].Seed = seed + uint64(i)*101
+	}
+	return base
+}
+
+// canaryScenario is the tiny known-answer job the canary lane submits.
+func canaryScenario(seed uint64) scenario.Scenario {
+	return scenario.Scenario{Protocol: "synran", Adversary: "none", Workload: "half",
+		N: 5, T: 1, Seed: seed, Trials: 2}
+}
+
+// expectedOutputs runs every distinct scenario locally (plain, zero
+// durability — the consensus-sim path) and returns compact → bytes.
+func expectedOutputs(scs []scenario.Scenario, workers int) (map[string][]byte, error) {
+	out := map[string][]byte{}
+	for _, raw := range scs {
+		s, err := raw.Normalized()
+		if err != nil {
+			return nil, err
+		}
+		compact, err := scenario.Compact(s)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := out[compact]; ok {
+			continue
+		}
+		var buf syncBuffer
+		if err := SimScenario(s, SimOptions{Workers: workers}, &buf); err != nil {
+			return nil, fmt.Errorf("reference run %s: %w", compact, err)
+		}
+		out[compact] = buf.Bytes()
+	}
+	return out, nil
+}
+
+// newLoadgenClient builds a client without an HTTP timeout: the
+// blocking /result endpoint legitimately holds the connection open for
+// a big job's whole runtime (the test harness's own deadline is the
+// backstop against a genuinely hung server).
+func newLoadgenClient(baseURL, name string) *server.Client {
+	return &server.Client{BaseURL: baseURL, Name: name, HTTPClient: &http.Client{}}
+}
+
+// submitWithRetry submits, retrying typed admission rejections with
+// backoff — the polite client loop the backpressure design assumes.
+// It reports how many rejections it absorbed.
+func submitWithRetry(cl *server.Client, compact string, p server.Priority) (server.JobView, int, error) {
+	rejected := 0
+	backoff := 2 * time.Millisecond
+	for attempt := 0; attempt < 4000; attempt++ {
+		jv, err := cl.Submit(compact, p)
+		if err == nil {
+			return jv, rejected, nil
+		}
+		if errors.Is(err, server.ErrQueueFull) || errors.Is(err, server.ErrClientLimit) {
+			rejected++
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		return server.JobView{}, rejected, err
+	}
+	return server.JobView{}, rejected, fmt.Errorf("loadgen: submission for %s still rejected after retries", compact)
+}
+
+// Loadgen is the command core of `synrand loadgen`: hammer a server
+// with mixed-priority clients, assert every completed job's merged
+// table is byte-identical to the same scenario run locally through the
+// consensus-sim path, force and verify a typed queue-full rejection,
+// and run the canary lane with latency export. It returns an error —
+// after printing a summary — if any identity check failed.
+func Loadgen(cfg LoadgenConfig, out io.Writer) error {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 3
+	}
+	if cfg.Canary < 0 {
+		cfg.Canary = 0
+	} else if cfg.Canary == 0 {
+		cfg.Canary = 5
+	}
+
+	baseURL := cfg.Server
+	selfhost := baseURL == ""
+	var srvReg *metrics.Registry
+	if selfhost {
+		dataDir := cfg.DataDir
+		if dataDir == "" {
+			d, err := os.MkdirTemp("", "synrand-loadgen-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(d)
+			dataDir = d
+		}
+		srvReg = metrics.New(1)
+		// Caps tight enough that the rejection probe can fill the queue
+		// with a handful of jobs, loose enough that the polite retry loop
+		// keeps the main load flowing.
+		addr, shutdown, err := StartServer(ServeConfig{
+			Addr:        "localhost:0",
+			DataDir:     dataDir,
+			Workers:     cfg.Workers,
+			QueueLimit:  cfg.Clients * 2,
+			ClientLimit: 4,
+			Metrics:     srvReg,
+		})
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		baseURL = "http://" + addr
+		fmt.Fprintf(out, "loadgen: selfhost server at %s (data %s)\n", baseURL, dataDir)
+	}
+
+	// Reference outputs via the consensus-sim path, before any load.
+	menuRaw := loadgenMenu(cfg.Seed)
+	refScenarios := append(append([]scenario.Scenario(nil), menuRaw...), canaryScenario(cfg.Seed+7777))
+	expected, err := expectedOutputs(refScenarios, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	menu := make([]string, len(menuRaw))
+	for i, raw := range menuRaw {
+		s, _ := raw.Normalized()
+		menu[i], _ = scenario.Compact(s)
+	}
+	canaryNorm, _ := canaryScenario(cfg.Seed + 7777).Normalized()
+	canaryCompact, _ := scenario.Compact(canaryNorm)
+
+	var (
+		jobsOK, divergences, rejections, canaryFail atomic.Int64
+		failOnce                                    sync.Once
+		firstFail                                   error
+	)
+	recordFailure := func(err error) {
+		failOnce.Do(func() { firstFail = err })
+	}
+	verify := func(who string, compact string, jv server.JobView) {
+		want, ok := expected[compact]
+		if !ok {
+			divergences.Add(1)
+			recordFailure(fmt.Errorf("%s: job %s ran unknown scenario %s", who, jv.ID, compact))
+			return
+		}
+		if jv.State != string(server.StateDone) {
+			divergences.Add(1)
+			recordFailure(fmt.Errorf("%s: job %s state %s (error %q)", who, jv.ID, jv.State, jv.Error))
+			return
+		}
+		if jv.Output != string(want) {
+			divergences.Add(1)
+			recordFailure(fmt.Errorf("%s: job %s output diverged from the consensus-sim run\n--- server\n%s--- local\n%s",
+				who, jv.ID, jv.Output, want))
+			return
+		}
+		jobsOK.Add(1)
+	}
+
+	// Canary lane: interactive known-answer submissions while the bulk
+	// load runs; latency exported through internal/metrics.
+	canaryReg := metrics.New(1)
+	latency := canaryReg.Histogram("canary_latency_ms",
+		[]uint64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000})
+	canarySubmits := canaryReg.Counter("canary_submissions")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl := newLoadgenClient(baseURL, "canary")
+		for i := 0; i < cfg.Canary; i++ {
+			start := time.Now()
+			jv, rej, err := submitWithRetry(cl, canaryCompact, server.PriorityInteractive)
+			rejections.Add(int64(rej))
+			if err == nil {
+				jv, err = cl.Result(jv.ID)
+			}
+			if err != nil {
+				canaryFail.Add(1)
+				recordFailure(fmt.Errorf("canary %d: %w", i, err))
+				continue
+			}
+			latency.Observe(0, uint64(time.Since(start).Milliseconds()))
+			canarySubmits.Inc(0)
+			verify("canary", canaryCompact, jv)
+		}
+	}()
+
+	// Load clients: mixed priorities, menu assignment deterministic in
+	// (seed, client, job).
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := newLoadgenClient(baseURL, fmt.Sprintf("client-%02d", c))
+			for j := 0; j < cfg.Jobs; j++ {
+				pick := (int(cfg.Seed) + c*31 + j*7) % len(menu)
+				if pick < 0 {
+					pick += len(menu)
+				}
+				prio := server.PriorityBulk
+				if (c+j)%3 == 0 {
+					prio = server.PriorityInteractive
+				}
+				jv, rej, err := submitWithRetry(cl, menu[pick], prio)
+				rejections.Add(int64(rej))
+				if err != nil {
+					divergences.Add(1)
+					recordFailure(fmt.Errorf("client %d job %d: %w", c, j, err))
+					continue
+				}
+				jv, err = cl.Result(jv.ID)
+				if err != nil {
+					divergences.Add(1)
+					recordFailure(fmt.Errorf("client %d job %d result: %w", c, j, err))
+					continue
+				}
+				verify(fmt.Sprintf("client %d", c), menu[pick], jv)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Rejection probe: fill the queue from distinct burst clients (each
+	// below the per-client cap) with slow bulk jobs, then demand the
+	// typed queue-full rejection for the next submission. Selfhost only:
+	// the caps are known and the queue is ours to fill.
+	probed := false
+	var probeRejected atomic.Bool
+	if selfhost && !cfg.SkipRejectionProbe {
+		probed = true
+		// Probe jobs scale with the gate's slot count so no job can
+		// complete inside a submission round trip even if it hogged every
+		// slot; the overflow loop below additionally tolerates slow
+		// submissions on a saturated machine by refilling as it probes.
+		slots := trials.DefaultWorkers(cfg.Workers)
+		slow, _ := scenario.Scenario{Protocol: "synran", Adversary: "splitvote", Workload: "half",
+			N: 65, T: 8, Seed: cfg.Seed + 5555, Trials: 150*slots + 300}.Normalized()
+		slowCompact, _ := scenario.Compact(slow)
+		queueLimit := cfg.Clients * 2
+
+		// Reference bytes before the queue is saturated.
+		var probeBuf syncBuffer
+		if err := SimScenario(slow, SimOptions{Workers: cfg.Workers}, &probeBuf); err != nil {
+			recordFailure(fmt.Errorf("probe reference run: %w", err))
+		}
+		expected[slowCompact] = probeBuf.Bytes()
+
+		// Fill the queue concurrently from distinct burst clients (each
+		// below the per-client cap), then keep pushing overflow
+		// submissions — every admission means a slot freed underneath us,
+		// so eventually the queue is full and the rejection must be the
+		// typed ErrQueueFull, recovered via errors.Is across the wire.
+		var fillMu sync.Mutex
+		var fill []string
+		admit := func(id string) {
+			fillMu.Lock()
+			fill = append(fill, id)
+			fillMu.Unlock()
+		}
+		var fillWG sync.WaitGroup
+		for i := 0; i < queueLimit; i++ {
+			fillWG.Add(1)
+			go func(i int) {
+				defer fillWG.Done()
+				cl := newLoadgenClient(baseURL, fmt.Sprintf("burst-%02d", i))
+				jv, err := cl.Submit(slowCompact, server.PriorityBulk)
+				switch {
+				case err == nil:
+					admit(jv.ID)
+				case errors.Is(err, server.ErrQueueFull):
+					probeRejected.Store(true)
+					rejections.Add(1)
+				default:
+					recordFailure(fmt.Errorf("probe fill %d: %w", i, err))
+				}
+			}(i)
+		}
+		fillWG.Wait()
+		// Overflow in concurrent blasts: a full blast lands inside a few
+		// milliseconds, so the queue can only dodge the cap if it drains
+		// queueLimit+8 jobs within that window — impossible by
+		// construction. Blasting beats a sequential loop on a saturated
+		// one-core box, where each round trip is long enough for a job to
+		// drain underneath it. Extra rounds are pure paranoia.
+		for round := 0; !probeRejected.Load() && round < 4; round++ {
+			var overflowWG sync.WaitGroup
+			for attempt := 0; attempt < queueLimit+8; attempt++ {
+				overflowWG.Add(1)
+				go func(round, attempt int) {
+					defer overflowWG.Done()
+					cl := newLoadgenClient(baseURL, fmt.Sprintf("burst-of-%d-%02d", round, attempt))
+					jv, err := cl.Submit(slowCompact, server.PriorityBulk)
+					switch {
+					case err == nil:
+						admit(jv.ID)
+					case errors.Is(err, server.ErrQueueFull):
+						probeRejected.Store(true)
+						rejections.Add(1)
+					default:
+						recordFailure(fmt.Errorf("probe overflow: want ErrQueueFull, got %w", err))
+					}
+				}(round, attempt)
+			}
+			overflowWG.Wait()
+		}
+		if !probeRejected.Load() {
+			recordFailure(errors.New("probe: queue never rejected a submission with the typed error"))
+		}
+		// Drain the probe jobs so shutdown doesn't interrupt them, and
+		// hold them to the same identity bar.
+		verifier := newLoadgenClient(baseURL, "burst-verify")
+		for _, id := range fill {
+			jv, err := verifier.Result(id)
+			if err != nil {
+				recordFailure(fmt.Errorf("probe job %s: %w", id, err))
+				continue
+			}
+			verify("probe", slowCompact, jv)
+		}
+	}
+
+	fmt.Fprintf(out, "loadgen: %d clients x %d jobs + %d canary: %d ok, %d divergent, %d typed rejections absorbed\n",
+		cfg.Clients, cfg.Jobs, cfg.Canary, jobsOK.Load(), divergences.Load(), rejections.Load())
+	if probed {
+		fmt.Fprintf(out, "loadgen: queue-full probe: typed rejection observed = %v\n", probeRejected.Load())
+	}
+	fmt.Fprintln(out, "loadgen: canary metrics:")
+	if err := canaryReg.Report(true).WriteJSON(out); err != nil {
+		return err
+	}
+	if srvReg != nil {
+		fmt.Fprintln(out, "loadgen: server metrics:")
+		if err := srvReg.Report(true).WriteJSON(out); err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case firstFail != nil:
+		return fmt.Errorf("loadgen: FAIL: %w", firstFail)
+	case divergences.Load() > 0 || canaryFail.Load() > 0:
+		return errors.New("loadgen: FAIL: divergences detected")
+	case probed && !probeRejected.Load():
+		return errors.New("loadgen: FAIL: no typed queue-full rejection observed")
+	}
+	fmt.Fprintln(out, "loadgen: PASS")
+	return nil
+}
+
+// syncBuffer is a mutex-guarded bytes buffer: SimScenario's trial
+// merge writes from one goroutine, but the probe/reference paths share
+// buffers across helper goroutines in tests.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf...)
+}

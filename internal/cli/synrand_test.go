@@ -1,0 +1,313 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"synran/internal/scenario"
+	"synran/internal/server"
+)
+
+// soakScenario builds one of the soak's job mix: moderate batches so a
+// kill lands mid-queue but a full drain stays smoke-sized.
+func soakScenario(t *testing.T, seed uint64, trialCount int) (scenario.Scenario, string) {
+	t.Helper()
+	s, err := scenario.Scenario{Protocol: "synran", Adversary: "splitvote", Workload: "half",
+		N: 48, T: 47, Seed: seed, Trials: trialCount}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := scenario.Compact(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// localReference runs the scenario through SimScenario with zero
+// durability — the `consensus-sim -trials` path the server's outputs
+// must match byte for byte.
+func localReference(t *testing.T, s scenario.Scenario) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SimScenario(s, SimOptions{Workers: 4}, &buf); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestServerJobMatchesConsensusSim is the quick identity check: one
+// job through the resident server (real DurableWorker path: gate,
+// shard journal, stream) equals the same scenario run locally.
+func TestServerJobMatchesConsensusSim(t *testing.T) {
+	s, compact := soakScenario(t, 11, 64)
+	want := localReference(t, s)
+
+	addr, shutdown, err := StartServer(ServeConfig{Addr: "localhost:0", DataDir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	cl := &server.Client{BaseURL: "http://" + addr, Name: "identity"}
+	jv, err := cl.Submit(compact, server.PriorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	if err := cl.StreamShards(jv.ID, func(server.ShardUpdate) error { streamed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != s.Trials {
+		t.Fatalf("streamed %d shard updates, want %d", streamed, s.Trials)
+	}
+	res, err := cl.Result(jv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != "done" || res.Output != string(want) {
+		t.Fatalf("server job diverged from consensus-sim\nstate: %s\n--- server\n%s--- local\n%s",
+			res.State, res.Output, want)
+	}
+}
+
+// TestServerSoakRestartMidQueue is the in-process half of the server
+// soak (run under -race by the race target): concurrent clients submit
+// a mixed-priority queue, the server is stopped mid-queue and a new
+// incarnation opened on the same data dir, and every job — the ones
+// that finished before the stop and the ones resumed after — must
+// match the consensus-sim bytes for its scenario.
+func TestServerSoakRestartMidQueue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second restart soak; skipped in -short")
+	}
+	dataDir := t.TempDir()
+
+	type job struct {
+		compact string
+		want    []byte
+	}
+	// Three distinct scenarios, references computed up front.
+	var menu []job
+	for i, trialCount := range []int{900, 1200, 1500} {
+		s, compact := soakScenario(t, 100+uint64(i), trialCount)
+		menu = append(menu, job{compact, localReference(t, s)})
+	}
+
+	addr, shutdown, err := StartServer(ServeConfig{
+		Addr: "localhost:0", DataDir: dataDir, Workers: 4, QueueLimit: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL := "http://" + addr
+
+	// 6 concurrent clients, 2 jobs each, both priorities in the mix.
+	const clients, jobsPer = 6, 2
+	ids := make([][]string, clients)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &server.Client{BaseURL: baseURL, Name: fmt.Sprintf("soak-%d", c)}
+			for j := 0; j < jobsPer; j++ {
+				prio := server.PriorityBulk
+				if (c+j)%2 == 0 {
+					prio = server.PriorityInteractive
+				}
+				jv, err := cl.Submit(menu[(c+j)%len(menu)].compact, prio)
+				if err != nil {
+					errs <- fmt.Errorf("client %d submit %d: %w", c, j, err)
+					return
+				}
+				ids[c] = append(ids[c], jv.ID)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Stop mid-queue: wait until at least one shard checkpoint exists so
+	// the restart genuinely resumes, not recomputes-from-zero.
+	deadline := time.Now().Add(20 * time.Second)
+	for !journalHasRecords(filepath.Join(dataDir, "shards")) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("mid-queue shutdown: %v", err)
+	}
+
+	// Second incarnation on the same data dir resumes the queue.
+	addr2, shutdown2, err := StartServer(ServeConfig{
+		Addr: "localhost:0", DataDir: dataDir, Workers: 4, QueueLimit: 64,
+	})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer shutdown2()
+	cl := &server.Client{BaseURL: "http://" + addr2, Name: "soak-verify"}
+	for c := 0; c < clients; c++ {
+		for j, id := range ids[c] {
+			res, err := cl.Result(id)
+			if err != nil {
+				t.Fatalf("job %s after restart: %v", id, err)
+			}
+			want := menu[(c+j)%len(menu)].want
+			if res.State != "done" || res.Output != string(want) {
+				t.Fatalf("job %s after restart: state=%s, output diverged from consensus-sim\n--- server\n%s--- local\n%s",
+					id, res.State, res.Output, want)
+			}
+		}
+	}
+}
+
+// buildSynrand compiles the real server binary for the SIGKILL soak.
+func buildSynrand(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "synrand")
+	cmd := exec.Command("go", "build", "-o", bin, "synran/cmd/synrand")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build synrand: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServe launches `synrand serve` and returns the process and the
+// bound base URL (parsed from the serving line).
+func startServe(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "serve", "-addr", "localhost:0", "-data", dataDir, "-workers", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "serving on http://") {
+				lineCh <- line
+				break
+			}
+		}
+		close(lineCh)
+		// Keep draining so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case line, ok := <-lineCh:
+		if !ok {
+			cmd.Process.Kill()
+			t.Fatal("synrand serve exited before reporting its address")
+		}
+		rest := line[strings.Index(line, "http://"):]
+		return cmd, strings.Fields(rest)[0]
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("synrand serve never reported its address")
+	}
+	panic("unreachable")
+}
+
+// TestSynrandSIGKILLResume is the cmd-level half of the server soak:
+// the real synrand binary is SIGKILLed mid-queue — no handlers run,
+// only journal appends survive — and a restarted server on the same
+// data dir must finish every job with output byte-identical to the
+// consensus-sim run of the same scenario.
+func TestSynrandSIGKILLResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server binary; skipped in -short")
+	}
+	bin := buildSynrand(t)
+	dataDir := t.TempDir()
+
+	type job struct {
+		compact string
+		want    []byte
+	}
+	var menu []job
+	for i, trialCount := range []int{1200, 1600} {
+		s, compact := soakScenario(t, 200+uint64(i), trialCount)
+		menu = append(menu, job{compact, localReference(t, s)})
+	}
+
+	victim, baseURL := startServe(t, bin, dataDir)
+
+	cl := &server.Client{BaseURL: baseURL, Name: "sigkill-soak"}
+	var ids []string
+	for j := 0; j < 4; j++ {
+		prio := server.PriorityBulk
+		if j%2 == 0 {
+			prio = server.PriorityInteractive
+		}
+		jv, err := cl.Submit(menu[j%len(menu)].compact, prio)
+		if err != nil {
+			victim.Process.Kill()
+			t.Fatalf("submit %d: %v", j, err)
+		}
+		ids = append(ids, jv.ID)
+	}
+
+	// SIGKILL once shard checkpoints prove the kill lands mid-queue.
+	deadline := time.Now().Add(20 * time.Second)
+	for !journalHasRecords(filepath.Join(dataDir, "shards")) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	victim.Process.Kill()
+	victim.Wait()
+
+	successor, baseURL2 := startServe(t, bin, dataDir)
+	defer func() {
+		successor.Process.Kill()
+		successor.Wait()
+	}()
+	cl2 := &server.Client{BaseURL: baseURL2, Name: "sigkill-verify"}
+	for j, id := range ids {
+		res, err := cl2.Result(id)
+		if err != nil {
+			t.Fatalf("job %s after SIGKILL restart: %v", id, err)
+		}
+		want := menu[j%len(menu)].want
+		if res.State != "done" || res.Output != string(want) {
+			t.Fatalf("job %s after SIGKILL restart: state=%s, output diverged\n--- server\n%s--- local\n%s",
+				id, res.State, res.Output, want)
+		}
+	}
+}
+
+// TestLoadgenSelfhostQuick runs the loadgen core at reduced scale —
+// the same path CI's server-smoke job drives at full scale.
+func TestLoadgenSelfhostQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a server and reference runs; skipped in -short")
+	}
+	var out bytes.Buffer
+	err := Loadgen(LoadgenConfig{
+		Clients: 8, Jobs: 1, Canary: 2, Seed: 3, Workers: 4,
+		DataDir: t.TempDir(),
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "loadgen: PASS") {
+		t.Fatalf("loadgen output missing PASS:\n%s", out.String())
+	}
+}

@@ -502,14 +502,24 @@ func resealSegment(activePath, fingerprint string, recs []record) error {
 // Slug maps an arbitrary batch scope string to a filesystem-safe
 // directory name, so journals for different batches of one run nest
 // under one -checkpoint root.
+//
+// The mapping is injective: letters, digits, '-' and '.' pass through,
+// '_' escapes to "__", and every other rune becomes "_u" plus six hex
+// digits of its code point. Two distinct scopes therefore can never
+// slug to the same directory — the old lossy mapping sent both "a/b"
+// and "a_b" to "a_b", silently sharing one journal dir until the
+// fingerprint check failed at resume time with a message naming
+// neither scope.
 func Slug(scope string) string {
 	var b strings.Builder
 	for _, r := range scope {
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
 			b.WriteRune(r)
+		case r == '_':
+			b.WriteString("__")
 		default:
-			b.WriteByte('_')
+			fmt.Fprintf(&b, "_u%06x", r)
 		}
 	}
 	if b.Len() == 0 {

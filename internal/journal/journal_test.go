@@ -331,13 +331,44 @@ func TestWriteFileAtomic(t *testing.T) {
 func TestSlug(t *testing.T) {
 	cases := map[string]string{
 		"E17-n100000":       "E17-n100000",
-		"sim a/b:c":         "sim_a_b_c",
+		"sim a/b:c":         "sim_u000020a_u00002fb_u00003ac",
 		"":                  "batch",
-		"grid sync seed=42": "grid_sync_seed_42",
+		"grid sync seed=42": "grid_u000020sync_u000020seed_u00003d42",
+		"a_b":               "a__b",
 	}
 	for in, want := range cases {
 		if got := Slug(in); got != want {
 			t.Errorf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSlugInjective pins the collision fix: two different batch scopes
+// must never slug to the same -checkpoint subdirectory. The old lossy
+// mapping folded every unsafe rune to '_', so "a/b" and "a_b" (or a
+// scope that literally contained a slug escape) silently shared one
+// journal dir and only collided via the fingerprint error at resume
+// time. Each pair below collided under that mapping.
+func TestSlugInjective(t *testing.T) {
+	pairs := [][2]string{
+		{"a/b", "a_b"},
+		{"a b", "a_b"},
+		{"a/b", "a b"},
+		{"a_u00002fb", "a/b"}, // literal escape text vs the rune it encodes
+		{"x_", "x/"},
+		{"grid sync", "grid_sync"},
+	}
+	for _, p := range pairs {
+		sa, sb := Slug(p[0]), Slug(p[1])
+		if sa == sb {
+			t.Errorf("Slug(%q) == Slug(%q) == %q: scopes share a journal dir", p[0], p[1], sa)
+		}
+	}
+	// Every output must stay filesystem-safe regardless of input.
+	for _, in := range []string{"a/b", "ä–☃", "..", "seg-0001.jseg", "a\x00b"} {
+		s := Slug(in)
+		if strings.ContainsAny(s, "/\\:\x00 ") {
+			t.Errorf("Slug(%q) = %q contains unsafe characters", in, s)
 		}
 	}
 }

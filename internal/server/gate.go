@@ -1,0 +1,142 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Priority classes a submitted job into one of the gate's scheduling
+// lanes. Interactive beats bulk at every slot handoff, so a small
+// exploratory batch preempts a long sweep at shard granularity — sound
+// because every trial shard is a pure function of (seed, index) and can
+// wait without changing its answer.
+type Priority uint8
+
+const (
+	// PriorityBulk is the default lane: long sweeps, background jobs.
+	PriorityBulk Priority = iota
+	// PriorityInteractive jumps the bulk lane at every slot handoff:
+	// small jobs a human (or the canary) is waiting on.
+	PriorityInteractive
+
+	numPriorities
+)
+
+// String returns the canonical wire name ("bulk" / "interactive").
+func (p Priority) String() string {
+	switch p {
+	case PriorityBulk:
+		return "bulk"
+	case PriorityInteractive:
+		return "interactive"
+	}
+	return fmt.Sprintf("priority(%d)", uint8(p))
+}
+
+// ParsePriority inverts String; "" selects bulk.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "bulk":
+		return PriorityBulk, nil
+	case "interactive":
+		return PriorityInteractive, nil
+	}
+	return 0, fmt.Errorf("server: unknown priority %q (want bulk|interactive)", s)
+}
+
+// ErrGateClosed is returned by Gate.Acquire when the cancel channel
+// closes before a slot is granted — the server is shutting down and the
+// shard should be abandoned for the journal to resume later.
+var ErrGateClosed = errors.New("server: gate closed before a slot was granted")
+
+// Gate is the server's shard-granular priority scheduler: a counting
+// semaphore whose release handoff always favors the interactive lane
+// (FIFO within a lane). Every trial shard of every running job acquires
+// one slot for the duration of its execution, so the total concurrent
+// trial work across all jobs is bounded by the slot count, and a newly
+// submitted interactive job starts computing as soon as the next slot
+// frees — it never waits behind a bulk sweep's backlog.
+//
+// Bulk starvation under sustained interactive load is accepted by
+// design (the same trade cadence-style priority task queues make):
+// interactive traffic is assumed bursty, and the canary's latency
+// export is the tool for noticing when it is not.
+type Gate struct {
+	mu      sync.Mutex
+	free    int
+	waiters [numPriorities][]chan struct{} // closed on grant; FIFO per lane
+}
+
+// NewGate builds a gate with the given number of slots (minimum 1).
+func NewGate(slots int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Gate{free: slots}
+}
+
+// Acquire blocks until a slot is granted or cancel closes. On success
+// it returns the release function for the slot; on cancellation it
+// returns ErrGateClosed and no slot is leaked, even if the grant and
+// the cancellation race.
+func (g *Gate) Acquire(p Priority, cancel <-chan struct{}) (func(), error) {
+	g.mu.Lock()
+	if g.free > 0 {
+		g.free--
+		g.mu.Unlock()
+		return g.releaseOnce(), nil
+	}
+	ch := make(chan struct{})
+	g.waiters[p] = append(g.waiters[p], ch)
+	g.mu.Unlock()
+
+	select {
+	case <-ch:
+		return g.releaseOnce(), nil
+	case <-cancel:
+	}
+
+	// Cancelled: withdraw from the queue — unless the grant already
+	// happened, in which case the slot is ours and must be released.
+	g.mu.Lock()
+	for i, w := range g.waiters[p] {
+		if w == ch {
+			g.waiters[p] = append(g.waiters[p][:i:i], g.waiters[p][i+1:]...)
+			g.mu.Unlock()
+			return nil, ErrGateClosed
+		}
+	}
+	g.mu.Unlock()
+	// Not in the queue: the grant won the race. Give the slot back.
+	g.releaseOnce()()
+	return nil, ErrGateClosed
+}
+
+// releaseOnce builds the idempotent release function for one held slot.
+func (g *Gate) releaseOnce() func() {
+	var once sync.Once
+	return func() { once.Do(g.release) }
+}
+
+// release hands the slot to the highest-priority waiter, or banks it.
+func (g *Gate) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for p := int(numPriorities) - 1; p >= 0; p-- {
+		if q := g.waiters[p]; len(q) > 0 {
+			ch := q[0]
+			g.waiters[p] = q[1:]
+			close(ch) // handoff: the slot moves directly to the waiter
+			return
+		}
+	}
+	g.free++
+}
+
+// Waiting returns the queued acquisition count per lane (diagnostics).
+func (g *Gate) Waiting() (interactive, bulk int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.waiters[PriorityInteractive]), len(g.waiters[PriorityBulk])
+}

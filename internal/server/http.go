@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// API wire types. Scenario specs travel as strings (any of the three
+// scenario encodings); outputs travel as strings because the merged
+// table is text whose bytes are the identity contract.
+
+// SubmitRequest is the POST /api/v1/jobs body.
+type SubmitRequest struct {
+	// Scenario is the scenario spec: canonical text, JSON, or compact.
+	Scenario string `json:"scenario"`
+	// Priority is "interactive" or "bulk" (default bulk).
+	Priority string `json:"priority,omitempty"`
+	// Client identifies the submitter for per-client in-flight caps.
+	Client string `json:"client,omitempty"`
+}
+
+// JobView is the wire form of a job snapshot.
+type JobView struct {
+	ID         string `json:"id"`
+	Scenario   string `json:"scenario"` // compact canonical encoding
+	Priority   string `json:"priority"`
+	Client     string `json:"client,omitempty"`
+	State      string `json:"state"`
+	ShardsDone int    `json:"shards_done"`
+	Output     string `json:"output,omitempty"` // terminal states only
+	Error      string `json:"error,omitempty"`
+}
+
+// ErrorView is every non-2xx JSON body: a human message plus a stable
+// machine code ("queue_full", "client_limit", "stopped", "unknown_job",
+// "bad_request") so clients branch on code, not prose.
+type ErrorView struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func jobView(j *Job, shardsDone int) JobView {
+	return JobView{
+		ID:         j.ID,
+		Scenario:   j.Compact,
+		Priority:   j.Priority.String(),
+		Client:     j.Client,
+		State:      string(j.State),
+		ShardsDone: shardsDone,
+		Output:     string(j.Output),
+		Error:      j.Error,
+	}
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /api/v1/jobs               submit (SubmitRequest -> JobView)
+//	GET  /api/v1/jobs               list   ([]JobView)
+//	GET  /api/v1/jobs/{id}          status (JobView)
+//	GET  /api/v1/jobs/{id}/result   block until terminal (JobView)
+//	GET  /api/v1/jobs/{id}/shards   chunked JSON stream of ShardUpdate
+//	GET  /healthz                   liveness + queue depth
+//
+// Backpressure rejections surface as 429 with a typed ErrorView.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/shards", s.handleShards)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Serve listens on addr and serves the API until Shutdown on the
+// returned http.Server (or Stop on the Server plus a server close). It
+// returns the bound address for ":0" listeners.
+func (s *Server) Serve(addr string) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return ln.Addr().String(), hs, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps typed server errors to status codes and stable codes.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusBadRequest, "bad_request"
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		status, code = http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrClientLimit):
+		status, code = http.StatusTooManyRequests, "client_limit"
+	case errors.Is(err, ErrStopped):
+		status, code = http.StatusServiceUnavailable, "stopped"
+	case errors.Is(err, ErrUnknownJob):
+		status, code = http.StatusNotFound, "unknown_job"
+	}
+	writeJSON(w, status, ErrorView{Error: err.Error(), Code: code})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	j, err := s.Submit(req.Scenario, req.Priority, req.Client)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView(j, 0))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		_, shardsDone, _ := s.Status(j.ID)
+		out = append(out, jobView(j, shardsDone))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, shardsDone, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(j, shardsDone))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	done := make(chan struct{})
+	var j *Job
+	var err error
+	go func() {
+		j, err = s.Wait(id)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-r.Context().Done():
+		return
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	shardsDone := 0
+	if _, n, serr := s.Status(id); serr == nil {
+		shardsDone = n
+	}
+	writeJSON(w, http.StatusOK, jobView(j, shardsDone))
+}
+
+// handleShards streams the job's completed shards as one JSON object
+// per line over a chunked response, flushing as shards commit, until
+// the job reaches a terminal state (or is parked by shutdown). Resumed
+// shards arrive first in ascending index order, then fresh commits in
+// completion order — exactly the Durability.OnShard contract.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, _, err := s.Status(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	offset := 0
+	for {
+		updates, terminal, err := s.Shards(id, offset)
+		if err != nil {
+			return
+		}
+		for _, u := range updates {
+			if err := enc.Encode(u); err != nil {
+				return
+			}
+		}
+		offset += len(updates)
+		if flusher != nil && len(updates) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"queue_depth": s.QueueDepth(),
+		"workers":     s.workers,
+	})
+}

@@ -1,0 +1,417 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"synran/internal/metrics"
+	"synran/internal/scenario"
+	"synran/internal/trials"
+)
+
+// Typed admission failures — the backpressure surface. They compose
+// with errors.Is on both sides of the wire: the HTTP layer maps them to
+// 429 responses with a machine-readable code, and the client maps the
+// code back so callers handle rejection without string matching.
+var (
+	// ErrQueueFull rejects a submission when the bounded job queue
+	// (queued + running) is at capacity. The server degrades by refusing
+	// work instead of growing without bound.
+	ErrQueueFull = errors.New("server: job queue is full")
+	// ErrClientLimit rejects a submission when the client already has
+	// its cap of in-flight jobs.
+	ErrClientLimit = errors.New("server: client in-flight cap reached")
+	// ErrStopped rejects work after Stop.
+	ErrStopped = errors.New("server: stopped")
+	// ErrUnknownJob marks lookups of job IDs the store has never seen.
+	ErrUnknownJob = errors.New("server: unknown job")
+)
+
+// Runner executes one scenario with the supplied durability hooks and
+// worker hint, writing the merged result table to w. internal/cli
+// injects its SimScenario dispatch here, so a server job runs through
+// exactly the code path `consensus-sim -trials` uses — the byte-identity
+// guarantee is inherited, not re-implemented.
+type Runner func(s scenario.Scenario, d trials.Durability, workers int, w io.Writer) error
+
+// Options configures New.
+type Options struct {
+	// DataDir is the persistence root: the job event log under
+	// DataDir/jobs, per-job shard checkpoints under DataDir/shards/<id>.
+	DataDir string
+	// Workers is the shard slot count of the priority gate — the total
+	// concurrent trial executions across all jobs (0 = all cores).
+	Workers int
+	// QueueLimit bounds queued+running jobs; submissions beyond it get
+	// ErrQueueFull (0 = 64).
+	QueueLimit int
+	// ClientLimit bounds one client's in-flight jobs; submissions beyond
+	// it get ErrClientLimit (0 = 8).
+	ClientLimit int
+	// Runner executes jobs (required).
+	Runner Runner
+	// Metrics, when non-nil, receives the server-lifetime instruments
+	// (submission/completion/rejection counters, queue depth gauge).
+	Metrics *metrics.Registry
+}
+
+// ShardUpdate is one completed shard streamed to watching clients: the
+// trial index and the raw journal payload (the shard's JSON form).
+type ShardUpdate struct {
+	Index   int             `json:"index"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// jobRun is a job's runtime state: shard progress and the stream buffer.
+type jobRun struct {
+	mu     sync.Mutex
+	state  JobState
+	shards []ShardUpdate
+	done   chan struct{} // closed on terminal state or interrupt
+}
+
+func (jr *jobRun) addShard(i int, payload []byte) {
+	jr.mu.Lock()
+	jr.shards = append(jr.shards, ShardUpdate{Index: i, Payload: append([]byte(nil), payload...)})
+	jr.mu.Unlock()
+}
+
+// Server is the resident trial service. One Server owns the job store,
+// the priority gate, and the run loop; HTTP handling is a thin layer on
+// top (Handler/Serve in http.go).
+type Server struct {
+	opts    Options
+	workers int
+	store   *Store
+	gate    *Gate
+
+	interrupt chan struct{} // closed on Stop: shards abandon, jobs journal
+	wg        sync.WaitGroup
+
+	mu      sync.Mutex
+	stopped bool
+	active  int            // non-terminal jobs (the bounded queue)
+	inUse   map[string]int // per-client in-flight
+	runs    map[string]*jobRun
+
+	cSubmitted, cCompleted, cFailed, cResumed  *metrics.Counter
+	cRejectedQueue, cRejectedClient, cCanceled *metrics.Counter
+	gQueueDepth                                *metrics.Gauge
+}
+
+// New opens the store under opts.DataDir, re-enqueues every incomplete
+// job from the event log (their shards resume from the per-job
+// checkpoints), and returns a serving-ready server.
+func New(opts Options) (*Server, error) {
+	if opts.Runner == nil {
+		return nil, errors.New("server: Options.Runner is required")
+	}
+	if opts.DataDir == "" {
+		return nil, errors.New("server: Options.DataDir is required")
+	}
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = 64
+	}
+	if opts.ClientLimit <= 0 {
+		opts.ClientLimit = 8
+	}
+	st, err := OpenStore(jobLogDir(opts.DataDir))
+	if err != nil {
+		return nil, err
+	}
+	workers := trials.DefaultWorkers(opts.Workers)
+	s := &Server{
+		opts:      opts,
+		workers:   workers,
+		store:     st,
+		gate:      NewGate(workers),
+		interrupt: make(chan struct{}),
+		inUse:     map[string]int{},
+		runs:      map[string]*jobRun{},
+	}
+	if reg := opts.Metrics; reg != nil {
+		s.cSubmitted = reg.Counter("server_jobs_submitted")
+		s.cCompleted = reg.Counter("server_jobs_completed")
+		s.cFailed = reg.Counter("server_jobs_failed")
+		s.cResumed = reg.Counter("server_jobs_resumed")
+		s.cRejectedQueue = reg.Counter("server_rejected_queue_full")
+		s.cRejectedClient = reg.Counter("server_rejected_client_limit")
+		s.cCanceled = reg.Counter("server_jobs_interrupted")
+		s.gQueueDepth = reg.Gauge("server_queue_depth_hwm")
+	}
+	// Resume: every job the log shows submitted but not terminal goes
+	// back into the run loop. Admission caps do not apply — these jobs
+	// were admitted before the restart.
+	for _, j := range st.Pending() {
+		s.mu.Lock()
+		s.launchLocked(j)
+		s.mu.Unlock()
+		s.cResumed.Inc(0)
+	}
+	return s, nil
+}
+
+func jobLogDir(dataDir string) string { return dataDir + "/jobs" }
+
+// ParseScenario accepts the scenario encodings the API takes: the
+// canonical multi-line text form, the JSON form, or the compact
+// one-line form — returning the normalized scenario and its canonical
+// compact encoding (the job fingerprint).
+func ParseScenario(spec string) (scenario.Scenario, string, error) {
+	trimmed := strings.TrimSpace(spec)
+	s, err := scenario.Parse([]byte(spec))
+	if err != nil {
+		var cerr error
+		s, cerr = scenario.ParseCompact(trimmed)
+		if cerr != nil {
+			// Prefer whichever error came from the form the caller most
+			// plausibly meant: one line with commas reads as compact.
+			if !strings.Contains(trimmed, "\n") && strings.Contains(trimmed, ",") {
+				return scenario.Scenario{}, "", cerr
+			}
+			return scenario.Scenario{}, "", err
+		}
+	}
+	compact, err := scenario.Compact(s)
+	if err != nil {
+		return scenario.Scenario{}, "", err
+	}
+	return s, compact, nil
+}
+
+// Submit admits one job: parse and validate the scenario, enforce the
+// queue bound and the client cap, persist the submission, and launch
+// it. The returned job is a snapshot in StatePending.
+func (s *Server) Submit(spec, priority, client string) (*Job, error) {
+	sc, compact, err := ParseScenario(spec)
+	if err != nil {
+		return nil, err
+	}
+	prio, err := ParsePriority(priority)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	if s.active >= s.opts.QueueLimit {
+		s.cRejectedQueue.Inc(0)
+		return nil, fmt.Errorf("%w (%d jobs in flight, limit %d)", ErrQueueFull, s.active, s.opts.QueueLimit)
+	}
+	if s.inUse[client] >= s.opts.ClientLimit {
+		s.cRejectedClient.Inc(0)
+		return nil, fmt.Errorf("%w (client %q has %d in flight, limit %d)", ErrClientLimit, client, s.inUse[client], s.opts.ClientLimit)
+	}
+	j, err := s.store.Submit(sc, compact, prio, client)
+	if err != nil {
+		return nil, err
+	}
+	s.cSubmitted.Inc(0)
+	s.launchLocked(j)
+	return j, nil
+}
+
+// launchLocked registers runtime state for a pending job and starts its
+// run goroutine. Caller holds s.mu.
+func (s *Server) launchLocked(j *Job) {
+	jr := &jobRun{state: StatePending, done: make(chan struct{})}
+	s.runs[j.ID] = jr
+	s.active++
+	s.inUse[j.Client]++
+	s.gQueueDepth.Observe(0, uint64(s.active))
+	s.wg.Add(1)
+	go s.runJob(j, jr)
+}
+
+// runJob executes one job through the injected Runner with the gate,
+// the per-job shard checkpoint, and the interrupt channel threaded in
+// via trials.Durability — then persists the terminal state.
+func (s *Server) runJob(j *Job, jr *jobRun) {
+	defer s.wg.Done()
+	jr.mu.Lock()
+	jr.state = StateRunning
+	jr.mu.Unlock()
+
+	prio := j.Priority
+	d := trials.Durability{
+		Dir:       ShardDir(s.opts.DataDir, j.ID),
+		Resume:    true,
+		Interrupt: s.interrupt,
+		Gate: func() func() {
+			release, err := s.gate.Acquire(prio, s.interrupt)
+			if err != nil {
+				return nil
+			}
+			return release
+		},
+		OnShard: jr.addShard,
+	}
+
+	var buf bytes.Buffer
+	var runErr error
+	if j.Scenario.Trials <= 1 {
+		// Single-execution jobs bypass the trial pool; the whole run is
+		// one shard's worth of work and holds exactly one slot.
+		if release, err := s.gate.Acquire(prio, s.interrupt); err == nil {
+			runErr = s.opts.Runner(j.Scenario, trials.Durability{}, s.workers, &buf)
+			release()
+		} else {
+			runErr = trials.ErrInterrupted
+		}
+	} else {
+		runErr = s.opts.Runner(j.Scenario, d, s.workers, &buf)
+	}
+
+	if errors.Is(runErr, trials.ErrInterrupted) || errors.Is(runErr, ErrGateClosed) {
+		// Server shutdown mid-job: the shard journal holds the completed
+		// prefix and the job stays non-terminal in the store, so the next
+		// boot re-enqueues it and the resume path reuses every shard.
+		s.cCanceled.Inc(0)
+		jr.finish(StatePending)
+		return
+	}
+
+	var state JobState
+	var storeErr error
+	if runErr != nil {
+		state = StateFailed
+		storeErr = s.store.Fail(j.ID, runErr.Error(), buf.Bytes())
+		s.cFailed.Inc(0)
+	} else {
+		state = StateDone
+		storeErr = s.store.Complete(j.ID, buf.Bytes())
+		s.cCompleted.Inc(0)
+	}
+	if storeErr != nil && !s.isStopped() {
+		// Persistence failed but the computation is done; surface it as
+		// a failed job rather than losing the outcome silently.
+		state = StateFailed
+	}
+
+	s.mu.Lock()
+	s.active--
+	s.inUse[j.Client]--
+	s.mu.Unlock()
+	jr.finish(state)
+}
+
+func (jr *jobRun) finish(state JobState) {
+	jr.mu.Lock()
+	jr.state = state
+	jr.mu.Unlock()
+	close(jr.done)
+}
+
+func (s *Server) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+// Status returns a job snapshot merged from the store (persisted
+// lifecycle, terminal output) and the runtime (shard progress).
+func (s *Server) Status(id string) (*Job, int, error) {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	shardsDone := 0
+	s.mu.Lock()
+	jr := s.runs[id]
+	s.mu.Unlock()
+	if jr != nil {
+		jr.mu.Lock()
+		if !j.State.Terminal() {
+			j.State = jr.state
+		}
+		shardsDone = len(jr.shards)
+		jr.mu.Unlock()
+	}
+	return j, shardsDone, nil
+}
+
+// Jobs lists every known job (persisted view).
+func (s *Server) Jobs() []*Job { return s.store.List() }
+
+// Shards returns the job's streamed shard updates from offset on, plus
+// whether the job has reached a terminal state. A nil slice with
+// terminal=true means the stream is complete.
+func (s *Server) Shards(id string, offset int) ([]ShardUpdate, bool, error) {
+	s.mu.Lock()
+	jr := s.runs[id]
+	s.mu.Unlock()
+	if jr == nil {
+		j, ok := s.store.Get(id)
+		if !ok {
+			return nil, false, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+		}
+		// Completed before this server session (or single-execution job):
+		// no runtime stream; report terminal with no shard backlog.
+		return nil, j.State.Terminal(), nil
+	}
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	var out []ShardUpdate
+	if offset < len(jr.shards) {
+		out = append(out, jr.shards[offset:]...)
+	}
+	return out, jr.state.Terminal() || jr.state == StatePending && isClosed(jr.done), nil
+}
+
+func isClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the job reaches a terminal state (or the job was
+// parked by shutdown), returning the final snapshot.
+func (s *Server) Wait(id string) (*Job, error) {
+	s.mu.Lock()
+	jr := s.runs[id]
+	s.mu.Unlock()
+	if jr == nil {
+		j, ok := s.store.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+		}
+		return j, nil
+	}
+	<-jr.done
+	j, _, err := s.Status(id)
+	return j, err
+}
+
+// Stop shuts the server down: new submissions are refused, in-flight
+// shards finish or abandon their gate slots, every incomplete job's
+// journal is sealed, and the job store closes. Incomplete jobs resume
+// on the next New with the same DataDir.
+func (s *Server) Stop() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.interrupt)
+	s.wg.Wait()
+	return s.store.Close()
+}
+
+// QueueDepth returns the current non-terminal job count (diagnostics).
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}

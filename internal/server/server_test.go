@@ -1,0 +1,491 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"synran/internal/metrics"
+	"synran/internal/scenario"
+	"synran/internal/trials"
+)
+
+// --- Gate ---
+
+// acquireAsync starts an acquisition and reports the grant on a channel.
+func acquireAsync(g *Gate, p Priority, cancel <-chan struct{}) chan func() {
+	out := make(chan func(), 1)
+	go func() {
+		release, err := g.Acquire(p, cancel)
+		if err != nil {
+			out <- nil
+			return
+		}
+		out <- release
+	}()
+	return out
+}
+
+// waitQueued polls until the gate shows the expected waiter counts.
+func waitQueued(t *testing.T, g *Gate, interactive, bulk int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		i, b := g.Waiting()
+		if i == interactive && b == bulk {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate queue never reached (interactive=%d bulk=%d); have (%d, %d)",
+				interactive, bulk, i, b)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGateInteractiveBeatsBulk pins the scheduling contract: when both
+// lanes have waiters, every slot handoff goes to the interactive lane.
+func TestGateInteractiveBeatsBulk(t *testing.T) {
+	g := NewGate(1)
+	hold, err := g.Acquire(PriorityBulk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bulk := acquireAsync(g, PriorityBulk, nil)
+	waitQueued(t, g, 0, 1)
+	inter := acquireAsync(g, PriorityInteractive, nil)
+	waitQueued(t, g, 1, 1)
+
+	// The bulk waiter enqueued first, but the handoff favors interactive.
+	hold()
+	select {
+	case release := <-inter:
+		release()
+	case <-bulk:
+		t.Fatal("slot handed to the bulk lane while an interactive waiter was queued")
+	case <-time.After(5 * time.Second):
+		t.Fatal("no handoff")
+	}
+	// With the interactive lane drained, the bulk waiter gets the slot.
+	select {
+	case release := <-bulk:
+		release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("bulk waiter never granted after interactive lane drained")
+	}
+}
+
+// TestGateFIFOWithinLane: waiters in one lane are granted in order.
+func TestGateFIFOWithinLane(t *testing.T) {
+	g := NewGate(1)
+	hold, err := g.Acquire(PriorityBulk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := acquireAsync(g, PriorityBulk, nil)
+	waitQueued(t, g, 0, 1)
+	second := acquireAsync(g, PriorityBulk, nil)
+	waitQueued(t, g, 0, 2)
+
+	hold()
+	select {
+	case release := <-first:
+		release()
+	case <-second:
+		t.Fatal("second bulk waiter granted before the first")
+	case <-time.After(5 * time.Second):
+		t.Fatal("no handoff")
+	}
+	(<-second)()
+}
+
+// TestGateCancel: a cancelled waiter gets ErrGateClosed and the gate
+// loses no slots — including when the cancellation races the grant.
+func TestGateCancel(t *testing.T) {
+	g := NewGate(1)
+	hold, err := g.Acquire(PriorityBulk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(PriorityInteractive, cancel)
+		done <- err
+	}()
+	waitQueued(t, g, 1, 0)
+	close(cancel)
+	if err := <-done; !errors.Is(err, ErrGateClosed) {
+		t.Fatalf("cancelled acquire: got %v, want ErrGateClosed", err)
+	}
+	hold()
+	// The slot must be whole: an uncontended acquire succeeds instantly.
+	release, err := g.Acquire(PriorityBulk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+// TestGateCancelGrantRaceKeepsSlots hammers the grant/cancel race: N
+// acquirers against a closing cancel channel, then the full slot count
+// must still be acquirable. Run with -race this also checks the
+// withdraw path's bookkeeping.
+func TestGateCancelGrantRaceKeepsSlots(t *testing.T) {
+	const slots, rounds = 3, 200
+	g := NewGate(slots)
+	for r := 0; r < rounds; r++ {
+		cancel := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 2*slots; i++ {
+			wg.Add(1)
+			go func(p Priority) {
+				defer wg.Done()
+				release, err := g.Acquire(p, cancel)
+				if err == nil {
+					release()
+				}
+			}(Priority(i % int(numPriorities)))
+		}
+		close(cancel)
+		wg.Wait()
+	}
+	// All slots recoverable.
+	for i := 0; i < slots; i++ {
+		release, err := g.Acquire(PriorityBulk, nil)
+		if err != nil {
+			t.Fatalf("slot %d lost to a grant/cancel race: %v", i, err)
+		}
+		defer release()
+	}
+}
+
+// --- Store ---
+
+func testScenario(t *testing.T, trialCount int, seed uint64) (scenario.Scenario, string) {
+	t.Helper()
+	s, err := scenario.Scenario{N: 5, T: 1, Trials: trialCount, Seed: seed}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := scenario.Compact(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// TestStoreReplay: submissions and terminal transitions survive a
+// close/reopen; incomplete jobs come back as the pending set.
+func TestStoreReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, c := testScenario(t, 4, 7)
+	j1, err := st.Submit(s, c, PriorityBulk, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := st.Submit(s, c, PriorityInteractive, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.ID == j2.ID {
+		t.Fatalf("duplicate job IDs: %s", j1.ID)
+	}
+	if err := st.Complete(j1.ID, []byte("the table\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	g1, ok := st2.Get(j1.ID)
+	if !ok || g1.State != StateDone || string(g1.Output) != "the table\n" {
+		t.Fatalf("job 1 after replay: ok=%v state=%v output=%q", ok, g1.State, g1.Output)
+	}
+	g2, ok := st2.Get(j2.ID)
+	if !ok || g2.State != StatePending || g2.Priority != PriorityInteractive || g2.Client != "bob" {
+		t.Fatalf("job 2 after replay: ok=%v %+v", ok, g2)
+	}
+	if g2.Scenario != s {
+		t.Fatalf("scenario did not round-trip the event log: got %+v want %+v", g2.Scenario, s)
+	}
+	pending := st2.Pending()
+	if len(pending) != 1 || pending[0].ID != j2.ID {
+		t.Fatalf("pending set after replay: %+v", pending)
+	}
+	// New submissions on the reopened store must not collide with IDs
+	// already in the log.
+	j3, err := st2.Submit(s, c, PriorityBulk, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID == j1.ID || j3.ID == j2.ID {
+		t.Fatalf("post-replay submission reused ID %s", j3.ID)
+	}
+}
+
+// --- Server (scripted runner: no cli dependency) ---
+
+// scriptedRunner emulates the shard loop the real SimScenario runner
+// drives through DurableWorker: one gate slot per trial, a shard
+// payload per completion, deterministic output from the scenario alone.
+func scriptedRunner(perTrial time.Duration) Runner {
+	return func(s scenario.Scenario, d trials.Durability, workers int, w io.Writer) error {
+		n := s.Trials
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if d.Gate != nil {
+				release := d.Gate()
+				if release == nil {
+					return trials.ErrInterrupted
+				}
+				time.Sleep(perTrial)
+				release()
+			} else {
+				time.Sleep(perTrial)
+			}
+			if d.OnShard != nil {
+				d.OnShard(i, []byte(fmt.Sprintf(`{"trial":%d,"seed":%d}`, i, s.Seed+uint64(i))))
+			}
+		}
+		fmt.Fprintf(w, "seed=%d trials=%d ok\n", s.Seed, n)
+		return nil
+	}
+}
+
+// blockingRunner parks every job until release closes (or the batch is
+// interrupted), so tests control exactly when jobs finish.
+func blockingRunner(release <-chan struct{}) Runner {
+	return func(s scenario.Scenario, d trials.Durability, workers int, w io.Writer) error {
+		select {
+		case <-release:
+		case <-d.Interrupt:
+			return trials.ErrInterrupted
+		}
+		fmt.Fprintf(w, "seed=%d trials=%d ok\n", s.Seed, s.Trials)
+		return nil
+	}
+}
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.DataDir == "" {
+		opts.DataDir = t.TempDir()
+	}
+	if opts.Runner == nil {
+		opts.Runner = scriptedRunner(0)
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Stop() })
+	return s
+}
+
+// TestServerEndToEndHTTP drives the full wire path: submit over HTTP,
+// stream shards, block on the result, list, and typed 404s.
+func TestServerEndToEndHTTP(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL, Name: "e2e"}
+
+	_, compact := testScenario(t, 6, 41)
+	jv, err := cl.Submit(compact, PriorityInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.ID == "" || jv.Scenario != compact || jv.Priority != "interactive" {
+		t.Fatalf("submit view: %+v", jv)
+	}
+
+	var streamed []int
+	if err := cl.StreamShards(jv.ID, func(u ShardUpdate) error {
+		streamed = append(streamed, u.Index)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != 6 {
+		t.Fatalf("streamed %d shard updates, want 6: %v", len(streamed), streamed)
+	}
+
+	res, err := cl.Result(jv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != string(StateDone) || res.Output != "seed=41 trials=6 ok\n" {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.ShardsDone != 6 {
+		t.Fatalf("result shards_done = %d, want 6", res.ShardsDone)
+	}
+
+	jobs, err := cl.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != jv.ID {
+		t.Fatalf("job list: %+v", jobs)
+	}
+
+	if _, err := cl.Status("j999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job status: got %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestServerBackpressure pins the typed rejections across the wire:
+// a full queue answers 429/queue_full, a client at its in-flight cap
+// answers 429/client_limit, and errors.Is recovers the sentinels
+// client-side.
+func TestServerBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	srv := newTestServer(t, Options{
+		Runner:      blockingRunner(release),
+		QueueLimit:  2,
+		ClientLimit: 1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, compact := testScenario(t, 2, 1)
+	alice := &Client{BaseURL: ts.URL, Name: "alice"}
+	bob := &Client{BaseURL: ts.URL, Name: "bob"}
+	carol := &Client{BaseURL: ts.URL, Name: "carol"}
+
+	if _, err := alice.Submit(compact, PriorityBulk); err != nil {
+		t.Fatal(err)
+	}
+	// Alice is at her per-client cap; the queue still has room.
+	if _, err := alice.Submit(compact, PriorityBulk); !errors.Is(err, ErrClientLimit) {
+		t.Fatalf("second alice submit: got %v, want ErrClientLimit", err)
+	}
+	if _, err := bob.Submit(compact, PriorityInteractive); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full now rejects even a fresh client.
+	if _, err := carol.Submit(compact, PriorityBulk); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-queue submit: got %v, want ErrQueueFull", err)
+	}
+
+	// Draining the queue re-admits.
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.QueueDepth() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := carol.Submit(compact, PriorityBulk); err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+}
+
+// TestServerRestartResume: jobs interrupted by Stop stay non-terminal,
+// and a new server on the same data dir re-enqueues and finishes them.
+func TestServerRestartResume(t *testing.T) {
+	dataDir := t.TempDir()
+	never := make(chan struct{}) // first incarnation blocks forever
+	reg := metrics.New(1)
+	srv, err := New(Options{
+		DataDir: dataDir,
+		Runner:  blockingRunner(never),
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, compact := testScenario(t, 3, 9)
+	j1, err := srv.Submit(compact, "bulk", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := srv.Submit(compact, "interactive", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("server_jobs_interrupted").Value(); got != 2 {
+		t.Fatalf("interrupted counter = %d, want 2", got)
+	}
+
+	// Second incarnation completes instantly; both jobs must resume.
+	reg2 := metrics.New(1)
+	srv2, err := New(Options{DataDir: dataDir, Runner: scriptedRunner(0), Metrics: reg2})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Stop()
+	if got := reg2.Counter("server_jobs_resumed").Value(); got != 2 {
+		t.Fatalf("resumed counter = %d, want 2", got)
+	}
+	for _, id := range []string{j1.ID, j2.ID} {
+		j, err := srv2.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != StateDone || string(j.Output) != "seed=9 trials=3 ok\n" {
+			t.Fatalf("resumed job %s: state=%v output=%q", id, j.State, j.Output)
+		}
+	}
+}
+
+// TestServerRejectsBadScenario: parse failures are 400-class errors and
+// never enter the queue.
+func TestServerRejectsBadScenario(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL, Name: "x"}
+	if _, err := cl.Submit("protocol=notaproto,n=5,t=1", PriorityBulk); err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+	if srv.QueueDepth() != 0 {
+		t.Fatalf("bad scenario consumed a queue slot: depth %d", srv.QueueDepth())
+	}
+}
+
+// TestParseScenarioForms: the API takes all three scenario encodings.
+func TestParseScenarioForms(t *testing.T) {
+	s, compact := testScenario(t, 8, 7)
+	text, err := scenario.Format(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{compact, text} {
+		got, gotCompact, err := ParseScenario(spec)
+		if err != nil {
+			t.Fatalf("ParseScenario(%q): %v", spec, err)
+		}
+		if got != s || gotCompact != compact {
+			t.Fatalf("ParseScenario(%q) = %+v (%q), want %+v (%q)", spec, got, gotCompact, s, compact)
+		}
+	}
+	if _, _, err := ParseScenario("n=5,t=17,trials=2"); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	if _, _, err := ParseScenario(strings.Repeat("garbage ", 3)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package server is the resident experiment service: a long-lived trial
+// server that accepts scenario jobs over an HTTP/JSON API, schedules
+// their shards through a priority gate, journals every job and every
+// completed shard so a killed server resumes instead of recomputing,
+// and applies explicit backpressure (bounded queue, per-client in-flight
+// caps, typed rejections) so heavy concurrent experiment traffic is the
+// normal case rather than a batch-run afterthought.
+//
+// Layering: the store below is an event log on internal/journal (the
+// same crash-safe segment format the trial shards checkpoint through),
+// the scheduler is a priority semaphore threaded into
+// trials.DurableWorker via Durability.Gate, and the run path is
+// injected (Options.Runner) so this package stays importable from
+// internal/cli without a cycle — the server runs jobs through exactly
+// the code path `consensus-sim -trials` uses, which is what makes the
+// byte-identity guarantee checkable.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"synran/internal/journal"
+	"synran/internal/scenario"
+)
+
+// storeFingerprint identifies the job-store event schema; bump on
+// incompatible event changes so an old data dir fails loudly.
+const storeFingerprint = "synrand-jobstore-v1"
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	// StatePending is admitted but not yet computing (freshly submitted,
+	// or recovered from the journal after a restart).
+	StatePending JobState = "pending"
+	// StateRunning has shards in flight.
+	StateRunning JobState = "running"
+	// StateDone completed; Output holds the merged table, byte-identical
+	// to the same scenario run via `consensus-sim -trials`.
+	StateDone JobState = "done"
+	// StateFailed terminated with an error (bad run, safety violation,
+	// expectation failure); Output holds whatever was printed.
+	StateFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Job is one submitted experiment: a scenario plus its scheduling class
+// and accounting. The store owns persistence; runtime fields (shard
+// progress, streaming) live on the server's jobRun wrapper.
+type Job struct {
+	// ID is the stable job identifier ("j000042"), derived from the
+	// submit event's journal sequence so it survives restarts.
+	ID string
+	// Scenario is the parsed, normalized scenario.
+	Scenario scenario.Scenario
+	// Compact is the canonical one-line scenario encoding — the job's
+	// fingerprint for the shard journal and the form stored on disk.
+	Compact string
+	// Priority is the scheduling lane.
+	Priority Priority
+	// Client is the submitting client's self-reported identity, the key
+	// for per-client in-flight caps.
+	Client string
+	// State is the persisted lifecycle position.
+	State JobState
+	// Output is the merged result table (terminal states only).
+	Output []byte
+	// Error is the failure message (StateFailed only).
+	Error string
+}
+
+// jobEvent is one record of the store's append-only event log.
+type jobEvent struct {
+	Type     string `json:"type"` // submit | done | fail
+	ID       string `json:"id"`
+	Scenario string `json:"scenario,omitempty"`
+	Priority string `json:"priority,omitempty"`
+	Client   string `json:"client,omitempty"`
+	Output   string `json:"output,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Store is the persistent job table: an event log layered on
+// internal/journal. Submissions and terminal transitions append events;
+// Open replays the log into the job table, and jobs that were submitted
+// but never reached a terminal event are the restart's resume set.
+// Appends are single unbuffered writes, so a SIGKILL loses at most the
+// event in flight — a lost "done" event merely re-runs a job whose
+// shards are already journaled, reproducing the identical output.
+type Store struct {
+	mu   sync.Mutex
+	jl   *journal.Journal
+	jobs map[string]*Job
+	seq  int // next event index
+}
+
+// OpenStore opens (or creates) the job store under dir and replays its
+// event log. Resume is implicit: a server restart is the expected path.
+func OpenStore(dir string) (*Store, error) {
+	jl, err := journal.Open(journal.Options{
+		Dir:         dir,
+		Fingerprint: storeFingerprint,
+		Resume:      true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: open job store: %w", err)
+	}
+	st := &Store{jl: jl, jobs: map[string]*Job{}, seq: 1}
+	shards := jl.Shards()
+	seqs := make([]int, 0, len(shards))
+	for i := range shards {
+		seqs = append(seqs, i)
+	}
+	sort.Ints(seqs)
+	for _, i := range seqs {
+		b, _ := jl.Shard(i)
+		var ev jobEvent
+		if err := json.Unmarshal(b, &ev); err != nil {
+			jl.Close()
+			return nil, fmt.Errorf("server: job store event %d: %w", i, err)
+		}
+		if err := st.apply(ev); err != nil {
+			jl.Close()
+			return nil, fmt.Errorf("server: job store event %d: %w", i, err)
+		}
+		if i >= st.seq {
+			st.seq = i + 1
+		}
+	}
+	return st, nil
+}
+
+// apply folds one event into the job table (replay and live paths).
+func (st *Store) apply(ev jobEvent) error {
+	switch ev.Type {
+	case "submit":
+		s, err := scenario.ParseCompact(ev.Scenario)
+		if err != nil {
+			return fmt.Errorf("job %s scenario: %w", ev.ID, err)
+		}
+		p, err := ParsePriority(ev.Priority)
+		if err != nil {
+			return fmt.Errorf("job %s: %w", ev.ID, err)
+		}
+		st.jobs[ev.ID] = &Job{
+			ID: ev.ID, Scenario: s, Compact: ev.Scenario,
+			Priority: p, Client: ev.Client, State: StatePending,
+		}
+	case "done", "fail":
+		j, ok := st.jobs[ev.ID]
+		if !ok {
+			return fmt.Errorf("terminal event for unknown job %s", ev.ID)
+		}
+		j.Output = []byte(ev.Output)
+		if ev.Type == "done" {
+			j.State = StateDone
+		} else {
+			j.State = StateFailed
+			j.Error = ev.Error
+		}
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+	return nil
+}
+
+// append persists one event and folds it into the table.
+func (st *Store) append(ev jobEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if err := st.jl.Append(st.seq, b); err != nil {
+		return err
+	}
+	st.seq++
+	return st.apply(ev)
+}
+
+// Submit persists a new job and returns it in StatePending.
+func (st *Store) Submit(s scenario.Scenario, compact string, p Priority, client string) (*Job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	id := fmt.Sprintf("j%06d", st.seq)
+	ev := jobEvent{Type: "submit", ID: id, Scenario: compact, Priority: p.String(), Client: client}
+	if err := st.append(ev); err != nil {
+		return nil, err
+	}
+	// apply re-parses the compact form; keep the caller's parsed value
+	// (identical by the codec round-trip contract, cheaper to trust).
+	j := st.jobs[id]
+	j.Scenario = s
+	return j.clone(), nil
+}
+
+// Complete marks a job done with its merged output table.
+func (st *Store) Complete(id string, output []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.append(jobEvent{Type: "done", ID: id, Output: string(output)})
+}
+
+// Fail marks a job failed, keeping whatever output it printed.
+func (st *Store) Fail(id string, errMsg string, output []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.append(jobEvent{Type: "fail", ID: id, Error: errMsg, Output: string(output)})
+}
+
+// Get returns a copy of the job, if known.
+func (st *Store) Get(id string) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.clone(), true
+}
+
+// List returns copies of every job, in ID order.
+func (st *Store) List() []*Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		out = append(out, j.clone())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Pending returns copies of the non-terminal jobs in ID order — the
+// resume set a restarting server re-enqueues.
+func (st *Store) Pending() []*Job {
+	var out []*Job
+	for _, j := range st.List() {
+		if !j.State.Terminal() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Checkpoint seals the active event-log segment (fsync + rename).
+func (st *Store) Checkpoint() error { return st.jl.Checkpoint() }
+
+// Close seals and closes the event log.
+func (st *Store) Close() error { return st.jl.Close() }
+
+func (j *Job) clone() *Job {
+	c := *j
+	c.Output = append([]byte(nil), j.Output...)
+	return &c
+}
+
+// ShardDir is the per-job shard-checkpoint root under the server data
+// dir: trials.DurableWorker journals each job's completed shards here,
+// keyed by the job's fingerprint-derived scope, so a restarted server
+// resumes every incomplete job from its last completed shard.
+func ShardDir(dataDir, jobID string) string {
+	return filepath.Join(dataDir, "shards", jobID)
+}

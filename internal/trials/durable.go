@@ -110,11 +110,26 @@ type Durability struct {
 	// running count of appends this session — the soak harness's kill
 	// checkpoints are seeded off it. Called outside the journal lock.
 	AppendHook func(appends int)
+	// Gate, when non-nil, is acquired around every shard attempt
+	// (primary and hedge): it is called before the trial function runs
+	// and must return a release function, or nil to abandon the attempt
+	// (the batch is being interrupted). The experiment server threads a
+	// priority semaphore through here, so shards of many concurrent
+	// batches schedule against one bounded slot pool — interactive
+	// batches preempt bulk ones at shard granularity, which is sound
+	// because every shard is a pure function of (seed, index).
+	Gate func() (release func())
+	// OnShard, when non-nil, observes every shard payload that becomes
+	// available this session, in JSON form: resumed shards first (in
+	// ascending index order), then fresh ones as they commit. The server
+	// streams these to result-watching clients.
+	OnShard func(index int, payload []byte)
 }
 
 // Enabled reports whether any durability feature is on.
 func (d Durability) Enabled() bool {
-	return d.Dir != "" || d.Retry.Budget > 0 || d.Hedge || d.Interrupt != nil
+	return d.Dir != "" || d.Retry.Budget > 0 || d.Hedge || d.Interrupt != nil ||
+		d.Gate != nil || d.OnShard != nil
 }
 
 // ShardFailure is one shard that failed permanently.
@@ -166,6 +181,42 @@ type DurableReport struct {
 	Failures []ShardFailure
 	// Interrupted is set when the batch stopped on Durability.Interrupt.
 	Interrupted bool
+}
+
+// hedgeRaceHook, when non-nil, runs between pickHedgeSlot's scan and
+// its claim CAS. Tests use it to force the lost-race interleaving
+// (another worker claims the scanned candidate first) deterministically.
+var hedgeRaceHook func(candidate int)
+
+// pickHedgeSlot claims a duplicate of the longest-running shard — the
+// eligible running shard with the smallest claim stamp — and returns its
+// index, or -1 when no running shard is eligible. Losing the
+// CompareAndSwap race on the best candidate (another idle worker hedged
+// it between the scan and the CAS) is not "nothing to do": the loser
+// re-scans — the taken shard now fails the hedges filter — and claims
+// the next eligible straggler instead of giving up with work still in
+// flight.
+func pickHedgeSlot(state, hedges []atomic.Int32, stamp []atomic.Int64) int {
+	for {
+		best, bestStamp := -1, int64(1<<62)
+		for i := range state {
+			if state[i].Load() != shardRunning || hedges[i].Load() != 0 {
+				continue
+			}
+			if s := stamp[i].Load(); s > 0 && s < bestStamp {
+				best, bestStamp = i, s
+			}
+		}
+		if best < 0 {
+			return -1
+		}
+		if h := hedgeRaceHook; h != nil {
+			h(best)
+		}
+		if hedges[best].CompareAndSwap(0, 1) {
+			return best
+		}
+	}
 }
 
 // shard states for the durable scheduler.
@@ -235,7 +286,15 @@ func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n in
 	committed := make([]atomic.Bool, n) // outcome decided: value committed or failure recorded
 
 	if jl != nil {
-		for i, b := range jl.Shards() {
+		// Ascending index order, so OnShard observers see a deterministic
+		// resumed prefix regardless of the shard map's iteration order.
+		resumed := make([]int, 0, len(jl.Shards()))
+		for i := range jl.Shards() {
+			resumed = append(resumed, i)
+		}
+		sort.Ints(resumed)
+		for _, i := range resumed {
+			b, _ := jl.Shard(i)
 			if i >= n {
 				jl.Close()
 				return nil, rep, fmt.Errorf("trials: journal %s holds shard %d but this batch has only %d trials (wrong journal for this run?)", jl.Dir(), i, n)
@@ -249,6 +308,9 @@ func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n in
 			state[i].Store(shardSettled)
 			committed[i].Store(true)
 			rep.Resumed++
+			if d.OnShard != nil {
+				d.OnShard(i, b)
+			}
 		}
 		cResumed.Add(0, uint64(rep.Resumed))
 	}
@@ -311,7 +373,7 @@ func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n in
 		}
 		out[i] = v
 		state[i].Store(shardSettled)
-		if jl != nil {
+		if jl != nil || d.OnShard != nil {
 			b, err := json.Marshal(v)
 			if err != nil {
 				fatal(fmt.Errorf("trials: shard %d: encode for journal: %w", i, err))
@@ -327,28 +389,53 @@ func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n in
 					return true
 				}
 			}
-			if err := jl.Append(i, b); err != nil {
-				fatal(err)
-				return true
+			if jl != nil {
+				if err := jl.Append(i, b); err != nil {
+					fatal(err)
+					return true
+				}
+				cJournaled.Inc(worker)
+				if d.AppendHook != nil {
+					d.AppendHook(int(journaled.Add(1)))
+				} else {
+					journaled.Add(1)
+				}
 			}
-			cJournaled.Inc(worker)
-			if d.AppendHook != nil {
-				d.AppendHook(int(journaled.Add(1)))
-			} else {
-				journaled.Add(1)
+			if d.OnShard != nil {
+				d.OnShard(i, b)
 			}
 		}
 		return true
+	}
+
+	// attempt runs one gated execution of shard i: the scheduling slot —
+	// when a Gate is configured — is held only for the trial function
+	// itself, never across retry backoff sleeps. A nil release means the
+	// gate refused the slot (the batch is being torn down); the ok=false
+	// return feeds the caller's cancellation path.
+	attempt := func(worker, i int) (v T, err error, ok bool) {
+		if d.Gate != nil {
+			release := d.Gate()
+			if release == nil {
+				return v, nil, false
+			}
+			defer release()
+		}
+		v, err = safeCall(fn, worker, i)
+		return v, err, true
 	}
 
 	// runPrimary owns trial i's attempt loop: bounded retries with
 	// exponential backoff, each retry charged to the shared budget.
 	runPrimary := func(worker, i int) {
 		maxAttempts := d.Retry.maxAttempts()
-		attempt := 0
+		attempts := 0
 		for {
-			attempt++
-			v, err := safeCall(fn, worker, i)
+			attempts++
+			v, err, ok := attempt(worker, i)
+			if !ok {
+				return
+			}
 			cRun.Inc(worker)
 			if err == nil {
 				commit(worker, i, v)
@@ -360,13 +447,13 @@ func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n in
 				// failure is moot.
 				return
 			}
-			terminal := attempt >= maxAttempts
+			terminal := attempts >= maxAttempts
 			if !terminal && budget.Add(-1) < 0 {
 				budget.Add(1)
 				terminal = true
-				err = fmt.Errorf("trial %d: %w after %d attempt(s) (batch budget spent): %w", i, ErrRetryBudget, attempt, err)
+				err = fmt.Errorf("trial %d: %w after %d attempt(s) (batch budget spent): %w", i, ErrRetryBudget, attempts, err)
 			} else if terminal {
-				err = fmt.Errorf("trial %d: %w after %d attempt(s): %w", i, ErrRetryBudget, attempt, err)
+				err = fmt.Errorf("trial %d: %w after %d attempt(s): %w", i, ErrRetryBudget, attempts, err)
 			}
 			if terminal {
 				// The committed CAS is the single authority for a shard's
@@ -375,14 +462,14 @@ func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n in
 				if committed[i].CompareAndSwap(false, true) {
 					state[i].Store(shardSettled)
 					mu.Lock()
-					failures = append(failures, ShardFailure{Trial: i, Attempts: attempt, Err: err})
+					failures = append(failures, ShardFailure{Trial: i, Attempts: attempts, Err: err})
 					mu.Unlock()
 				}
 				return
 			}
 			retries.Add(1)
 			cRetried.Inc(worker)
-			wait := retryWait(d.Retry.backoff(), attempt)
+			wait := retryWait(d.Retry.backoff(), attempts)
 			if d.Interrupt != nil {
 				select {
 				case <-time.After(wait):
@@ -402,19 +489,7 @@ func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n in
 
 	// pickHedge claims a duplicate of the longest-running shard, or -1.
 	pickHedge := func() int {
-		best, bestStamp := -1, int64(1<<62)
-		for i := 0; i < n; i++ {
-			if state[i].Load() != shardRunning || hedges[i].Load() != 0 {
-				continue
-			}
-			if s := stamp[i].Load(); s > 0 && s < bestStamp {
-				best, bestStamp = i, s
-			}
-		}
-		if best >= 0 && hedges[best].CompareAndSwap(0, 1) {
-			return best
-		}
-		return -1
+		return pickHedgeSlot(state, hedges, stamp)
 	}
 
 	for g := 0; g < w; g++ {
@@ -444,7 +519,11 @@ func DurableWorker[T any](d Durability, scope, fingerprint string, workers, n in
 				cHedges.Inc(worker)
 				// One attempt, no retries: the duplicate exists to beat a
 				// straggler, and the primary still owns failure reporting.
-				if v, err := safeCall(fn, worker, hi); err == nil {
+				v, err, ok := attempt(worker, hi)
+				if !ok {
+					return
+				}
+				if err == nil {
 					if commit(worker, hi, v) {
 						hedgeWins.Add(1)
 					} else {

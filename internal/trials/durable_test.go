@@ -414,3 +414,196 @@ func TestRetryWaitClampsAtShift(t *testing.T) {
 		}
 	}
 }
+
+// TestPickHedgeRetriesAfterLostRace forces the scan-then-CAS race
+// deterministically: between pickHedgeSlot's scan (which selects the
+// longest-running shard 0) and its claim CAS, a simulated rival worker
+// hedges that same shard. The regression: the loser used to return -1 —
+// the idle worker gave up — even though shard 1 was still running and
+// eligible. It must instead retry against the remaining candidates.
+func TestPickHedgeRetriesAfterLostRace(t *testing.T) {
+	state := make([]atomic.Int32, 3)
+	hedges := make([]atomic.Int32, 3)
+	stamp := make([]atomic.Int64, 3)
+	// Shards 0 and 1 are running (0 is the straggler: smaller stamp);
+	// shard 2 is already settled.
+	state[0].Store(shardRunning)
+	state[1].Store(shardRunning)
+	state[2].Store(shardSettled)
+	stamp[0].Store(1)
+	stamp[1].Store(2)
+
+	raced := 0
+	hedgeRaceHook = func(candidate int) {
+		if raced == 0 {
+			if candidate != 0 {
+				t.Fatalf("first scan picked shard %d, want the straggler 0", candidate)
+			}
+			// The rival claims the candidate between scan and CAS.
+			hedges[candidate].Store(1)
+		}
+		raced++
+	}
+	defer func() { hedgeRaceHook = nil }()
+
+	if got := pickHedgeSlot(state, hedges, stamp); got != 1 {
+		t.Fatalf("pickHedgeSlot after a lost race = %d, want the remaining candidate 1", got)
+	}
+	if raced != 2 {
+		t.Fatalf("pickHedgeSlot scanned %d time(s), want 2 (initial + retry)", raced)
+	}
+	// With every running shard hedged, the scan must come up empty.
+	if got := pickHedgeSlot(state, hedges, stamp); got != -1 {
+		t.Fatalf("pickHedgeSlot with no candidates = %d, want -1", got)
+	}
+}
+
+// TestDurableGateBoundsConcurrency runs a batch through a Gate that
+// admits one shard at a time and counts concurrent trial executions:
+// the observed high watermark must be 1 even with 8 pool workers, and
+// the results must stay byte-identical to the ungated run.
+func TestDurableGateBoundsConcurrency(t *testing.T) {
+	const n = 40
+	want, err := RunWorker(8, n, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		slots   = make(chan struct{}, 1)
+		inCalls atomic.Int32
+		peak    atomic.Int32
+	)
+	d := Durability{
+		Gate: func() func() {
+			slots <- struct{}{}
+			return func() { <-slots }
+		},
+	}
+	got, rep, err := DurableWorker(d, durableScope, durableFP, 8, n, nil, func(worker, i int) (durableOutcome, error) {
+		cur := inCalls.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inCalls.Add(-1)
+		return durableFn(7)(worker, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("gated batch diverged from the clean run")
+	}
+	if rep.Trials != n {
+		t.Fatalf("report trials = %d, want %d", rep.Trials, n)
+	}
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("peak concurrent trial executions = %d, want 1 (single-slot gate)", p)
+	}
+}
+
+// TestDurableGateRefusalAbandonsShard pins the teardown contract: a
+// Gate returning a nil release abandons the attempt without running the
+// trial function, and the batch reports the interruption.
+func TestDurableGateRefusalAbandonsShard(t *testing.T) {
+	const n = 10
+	intr := make(chan struct{})
+	close(intr)
+	var calls atomic.Int32
+	d := Durability{
+		Interrupt: intr,
+		Gate:      func() func() { return nil },
+	}
+	_, rep, err := DurableWorker(d, durableScope, durableFP, 4, n, nil, func(worker, i int) (durableOutcome, error) {
+		calls.Add(1)
+		return durableFn(7)(worker, i)
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !rep.Interrupted {
+		t.Fatalf("report not marked interrupted: %+v", rep)
+	}
+	if c := calls.Load(); c != 0 {
+		t.Fatalf("trial function ran %d time(s) behind a refusing gate", c)
+	}
+}
+
+// TestDurableOnShardStreamsEveryShard checks the OnShard observer: a
+// fresh run reports every shard exactly once with its journal payload,
+// and a resumed run replays the journaled prefix in ascending index
+// order before any fresh commits.
+func TestDurableOnShardStreamsEveryShard(t *testing.T) {
+	const n = 24
+	dir := t.TempDir()
+
+	var mu sync.Mutex
+	seen := map[int]string{}
+	record := func(i int, payload []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := seen[i]; ok {
+			t.Errorf("shard %d streamed twice (%q then %q)", i, prev, payload)
+		}
+		seen[i] = string(payload)
+	}
+
+	// Interrupt part-way so the resume below has a journaled prefix.
+	intr := make(chan struct{})
+	var once sync.Once
+	var appends atomic.Int32
+	d := Durability{
+		Dir:       dir,
+		Interrupt: intr,
+		OnShard:   record,
+		AppendHook: func(int) {
+			if appends.Add(1) >= n/2 {
+				once.Do(func() { close(intr) })
+			}
+		},
+	}
+	_, _, err := DurableWorker(d, durableScope, durableFP, 4, n, nil, durableFn(7))
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+
+	mu.Lock()
+	firstPass := len(seen)
+	mu.Unlock()
+	if firstPass == 0 {
+		t.Fatal("no shards streamed before the interrupt")
+	}
+
+	seen = map[int]string{}
+	var order []int
+	resumedStream := func(i int, payload []byte) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+		record(i, payload)
+	}
+	d2 := Durability{Dir: dir, Resume: true, OnShard: resumedStream}
+	out, rep, err := DurableWorker(d2, durableScope, durableFP, 4, n, nil, durableFn(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed == 0 {
+		t.Fatal("resume loaded nothing despite the journaled prefix")
+	}
+	if len(seen) != n {
+		t.Fatalf("streamed %d distinct shards, want %d", len(seen), n)
+	}
+	// The resumed prefix must arrive first, in ascending index order.
+	for k := 1; k < rep.Resumed; k++ {
+		if order[k-1] >= order[k] {
+			t.Fatalf("resumed shards streamed out of order: %v", order[:rep.Resumed])
+		}
+	}
+	for i, v := range out {
+		if v.Trial != i || v.Value != trialValue(7, i) {
+			t.Fatalf("shard %d resumed to %+v", i, v)
+		}
+	}
+}

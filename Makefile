@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-check chaos soak server-smoke conformance scenarios experiments experiments-quick metrics metrics-golden examples clean
+.PHONY: all build test test-short race cover bench bench-json bench-check chaos soak server-smoke conformance scenarios experiments experiments-quick adversary-smoke metrics metrics-golden examples clean
 
 all: build test
 
@@ -105,6 +105,13 @@ experiments:
 
 experiments-quick:
 	$(GO) run ./cmd/synran-bench -quick
+
+# The adversary-family smoke: the omission/late experiments at quick
+# size plus the clone-aliasing guard over every family the facade
+# builds. Fast enough to run before any adversary or engine change.
+adversary-smoke:
+	$(GO) run ./cmd/synran-bench -quick -only E18,E19
+	$(GO) test -count=1 -run TestCloneDoesNotAliasOriginal ./internal/adversary
 
 # The metrics determinism suite: shard-layout invariance, the CLI-level
 # workers-1-vs-8 byte comparison, the netsim counters-vs-Faults

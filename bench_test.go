@@ -63,6 +63,8 @@ func BenchmarkE13SharedCoin(b *testing.B)     { benchExperiment(b, "E13") }
 func BenchmarkE14Byzantine(b *testing.B)      { benchExperiment(b, "E14") }
 func BenchmarkE15Asynchrony(b *testing.B)     { benchExperiment(b, "E15") }
 func BenchmarkE16Chaos(b *testing.B)          { benchExperiment(b, "E16") }
+func BenchmarkE18Omission(b *testing.B)       { benchExperiment(b, "E18") }
+func BenchmarkE19LateAdversary(b *testing.B)  { benchExperiment(b, "E19") }
 
 // BenchmarkTrialsSerialVsParallel measures the wall-clock win of the
 // deterministic trial pool on real experiment tables: the same quick

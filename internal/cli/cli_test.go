@@ -82,6 +82,22 @@ func TestConsensusSimBadInputs(t *testing.T) {
 	if err := ConsensusSim(opts, io.Discard); err == nil {
 		t.Fatal("bad adversary accepted")
 	}
+	// Near-miss spellings of the omission/late families must be rejected
+	// with an error that names every valid spelling, so the fix is
+	// copy-pasteable from the message.
+	for _, near := range []string{"omission", "late", "lateε"} {
+		opts = defaultSimOpts()
+		opts.Adversary = near
+		err := ConsensusSim(opts, io.Discard)
+		if err == nil {
+			t.Fatalf("near-miss adversary %q accepted", near)
+		}
+		for _, want := range []string{"omission-split", "omission-random", "late-split", "late-random"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("adversary %q: error %q does not name valid spelling %q", near, err, want)
+			}
+		}
+	}
 }
 
 func TestConsensusSimReportsValidityViolation(t *testing.T) {

@@ -54,6 +54,10 @@ type Case struct {
 	Engine string
 	// MaxRounds overrides the engines' safety valve (0 = default).
 	MaxRounds int
+	// FaultBudget bounds the omission demotions an Omitter adversary may
+	// perform, on every lane (sim.Config.FaultBudget and
+	// netsim.Options.FaultBudget get the same value).
+	FaultBudget int
 	// SnapRound is the round after which the fork lanes snapshot the
 	// base execution; 0 picks half the sequential lane's halt round.
 	SnapRound int
@@ -73,6 +77,10 @@ func (c Case) Name() string {
 		c.Protocol, c.Adversary, c.Workload, c.N, c.T, c.Seed)
 	if c.Engine != "" {
 		name += "/engine=" + c.Engine
+	}
+	if c.FaultBudget > 0 {
+		// Appended only when set so pre-omission fingerprints are stable.
+		name += fmt.Sprintf("/budget=%d", c.FaultBudget)
 	}
 	return name
 }
@@ -123,6 +131,11 @@ func (c *Case) normalize() {
 	// (synran.LockStepOnly is the single source of truth for the list).
 	if synran.LockStepOnly(c.Adversary) {
 		c.SkipNetsim = true
+	}
+	// An omission adversary with no budget can do nothing; mirror the
+	// scenario layer's default of the full demotion allowance.
+	if scenario.IsOmission(c.Adversary) && c.FaultBudget == 0 {
+		c.FaultBudget = c.T
 	}
 	// Ben-Or's resilience condition is t < n/2 against an adaptive
 	// crasher; the shared grid budget t=(n-1)/2 sits exactly on the
@@ -307,7 +320,7 @@ func (c Case) build() ([]sim.Process, sim.Adversary, []int, error) {
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	adv, err := synran.NewAdversary(c.Adversary, c.N, c.T, c.Seed)
+	adv, err := synran.NewAdversaryBudget(c.Adversary, c.N, c.T, c.FaultBudget, c.Seed)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -323,7 +336,8 @@ func (c Case) build() ([]sim.Process, sim.Adversary, []int, error) {
 func (c Case) config(obs sim.Observer, eng *metrics.Engine) sim.Config {
 	return sim.Config{
 		N: c.N, T: c.T, MaxRounds: c.MaxRounds, Engine: c.Engine,
-		Observer: obs, Metrics: eng, MetricsShard: 0,
+		FaultBudget: c.FaultBudget,
+		Observer:    obs, Metrics: eng, MetricsShard: 0,
 	}
 }
 
@@ -391,7 +405,7 @@ func (c Case) runNetsim(oracles []Oracle) (*lane, []string, error) {
 	eng := metrics.NewEngine(metrics.New(1))
 	cfg := c.config(checkedObserver(log, checkers), eng)
 	cfg.Engine = "" // the live runner has no columnar backend
-	res, err := netsim.Run(cfg, procs, inputs, adv, c.Seed)
+	res, err := netsim.RunChaos(cfg, procs, inputs, adv, c.Seed, netsim.Options{FaultBudget: c.FaultBudget})
 	l, err := finishLane("netsim", log, res, err, eng)
 	if err != nil {
 		return nil, nil, err
@@ -454,6 +468,15 @@ func driveTo(exec *sim.Execution, adv sim.Adversary, log *eventLog, snap, maxRou
 		}
 		log.OnRound(v.Round, v)
 		plans := adv.Plan(v)
+		if om, ok := adv.(sim.Omitter); ok {
+			// The Omitter extension must drive the prefix exactly as Run
+			// does, or the fork lanes' demotion ledgers diverge from the
+			// sequential lane on every omission round.
+			if err := exec.FinishRoundOmitted(plans, om.Omit(v)); err != nil {
+				return err
+			}
+			continue
+		}
 		if forger, ok := adv.(sim.Forger); ok {
 			if err := exec.FinishRoundForged(plans, forger.Forge(v)); err != nil {
 				return err
@@ -755,7 +778,25 @@ func Cases(cfg SweepConfig) []Case {
 			}
 		}
 	}
+	// The omission and late families run as targeted cases rather than a
+	// full product: each pairs the adversary with the protocol built for
+	// it plus the paper's protocol, on both engine cores and the netsim
+	// lane (Omitter demotions and stale-view planning are exactly the
+	// machinery the fork/reset lanes can get wrong).
+	for _, tc := range []Case{
+		{Protocol: synran.ProtocolOmitFlood, Adversary: synran.AdversaryOmissionSplit, Workload: "half", N: 9, T: 3, FaultBudget: 3},
+		{Protocol: synran.ProtocolOmitFlood, Adversary: synran.AdversaryOmissionRandom, Workload: "half", N: 9, T: 3, FaultBudget: 3},
+		{Protocol: synran.ProtocolSynRan, Adversary: synran.AdversaryOmissionSplit, Workload: "half", N: 9, T: 3, FaultBudget: 3},
+		{Protocol: synran.ProtocolSynRan, Adversary: synran.AdversaryLateSplit, Workload: "half", N: 9, T: 4},
+		{Protocol: synran.ProtocolLateBeacon, Adversary: synran.AdversaryLateSplit, Workload: "half", N: 10, T: 3},
+		{Protocol: synran.ProtocolLateBeacon, Adversary: synran.AdversaryNone, Workload: "half", N: 10, T: 3},
+	} {
+		add(tc)
+	}
 	if !cfg.Quick {
+		add(Case{Protocol: synran.ProtocolOmitFlood, Adversary: synran.AdversaryOmissionSplit, Workload: "random", N: 9, T: 3, FaultBudget: 2})
+		add(Case{Protocol: synran.ProtocolSynRan, Adversary: synran.AdversaryOmissionRandom, Workload: "random", N: 9, T: 3, FaultBudget: 3})
+		add(Case{Protocol: synran.ProtocolSynRan, Adversary: synran.AdversaryLateRandom, Workload: "random", N: 9, T: 4})
 		// The look-ahead adversary exercises the clone/arena machinery
 		// hardest (its Plan snapshots the live execution every round).
 		add(Case{

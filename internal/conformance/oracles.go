@@ -226,8 +226,10 @@ func (ch *haltChecker) Finish(_ Case, _ *sim.Result, _ *metrics.Report) []string
 	return ch.violations
 }
 
-// crashBudgetOracle checks fault accounting: at most T crash events,
-// distinct victims, and a Result.Crashes that matches the event count.
+// crashBudgetOracle checks fault accounting: at most T + FaultBudget
+// crash events (OnCrash fires for adversary crashes AND omission
+// demotions — the engines' two separate ledgers), distinct victims, and
+// a Result whose Crashes + Faults.Demoted matches the event count.
 type crashBudgetOracle struct{}
 
 func (crashBudgetOracle) Name() string        { return "crash-budget" }
@@ -258,11 +260,20 @@ func (ch *crashChecker) OnCrash(r, victim, delivered int) {
 
 func (ch *crashChecker) Finish(c Case, res *sim.Result, _ *metrics.Report) []string {
 	out := ch.violations
-	if ch.crashes > c.T {
-		out = append(out, fmt.Sprintf("adversary crashed %d processes, budget t=%d", ch.crashes, c.T))
+	if ch.crashes > c.T+c.FaultBudget {
+		out = append(out, fmt.Sprintf("adversary failed %d processes, budget t=%d + faultbudget=%d", ch.crashes, c.T, c.FaultBudget))
 	}
-	if res != nil && res.Crashes != ch.crashes {
-		out = append(out, fmt.Sprintf("Result.Crashes=%d but %d crash events observed", res.Crashes, ch.crashes))
+	if res != nil {
+		if res.Crashes > c.T {
+			out = append(out, fmt.Sprintf("Result.Crashes=%d exceeds the crash budget t=%d", res.Crashes, c.T))
+		}
+		if res.Faults.Demoted > c.FaultBudget {
+			out = append(out, fmt.Sprintf("Result.Faults.Demoted=%d exceeds faultbudget=%d", res.Faults.Demoted, c.FaultBudget))
+		}
+		if res.Crashes+res.Faults.Demoted != ch.crashes {
+			out = append(out, fmt.Sprintf("Result.Crashes=%d + Faults.Demoted=%d but %d crash events observed",
+				res.Crashes, res.Faults.Demoted, ch.crashes))
+		}
 	}
 	return out
 }
@@ -331,12 +342,18 @@ func (ch *metricsChecker) Finish(_ Case, res *sim.Result, rep *metrics.Report) [
 	check(metrics.NameRounds, ch.rounds)
 	check(metrics.NameDecisions, ch.decides)
 	check(metrics.NameHalts, ch.halts)
-	check(metrics.NameCrashesAdversary, ch.crashes)
 	if res != nil {
+		// OnCrash fires for adversary crashes and omission demotions
+		// alike; the instruments keep the two ledgers separate.
+		check(metrics.NameCrashesAdversary, ch.crashes-res.Faults.Demoted)
+		check(metrics.NameDemotions, res.Faults.Demoted)
 		check(metrics.NameMessages, res.Messages)
-		if res.Crashes != ch.crashes {
-			out = append(out, fmt.Sprintf("Result.Crashes=%d vs %d crash events", res.Crashes, ch.crashes))
+		if res.Crashes+res.Faults.Demoted != ch.crashes {
+			out = append(out, fmt.Sprintf("Result.Crashes=%d + Faults.Demoted=%d vs %d crash events",
+				res.Crashes, res.Faults.Demoted, ch.crashes))
 		}
+	} else {
+		check(metrics.NameCrashesAdversary, ch.crashes)
 	}
 	return out
 }

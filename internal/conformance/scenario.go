@@ -31,6 +31,7 @@ func FromScenario(s scenario.Scenario) (Case, error) {
 	c := Case{
 		Protocol: s.Protocol, Adversary: s.Adversary, Workload: s.Workload,
 		N: s.N, T: s.T, Seed: s.Seed, Engine: s.Engine, MaxRounds: s.MaxRounds,
+		FaultBudget: s.FaultBudget,
 	}
 	c.normalize()
 	return c, nil
@@ -56,6 +57,11 @@ func (c Case) Scenario() scenario.Scenario {
 	s := scenario.Scenario{
 		Protocol: c.Protocol, Adversary: c.Adversary, Workload: c.Workload,
 		N: c.N, T: c.T, Seed: c.Seed, Engine: c.Engine, MaxRounds: c.MaxRounds,
+	}
+	if scenario.IsOmission(c.Adversary) {
+		// FaultBudget only round-trips for omission cases: the scenario
+		// layer rejects a bare budget on lock-step scenarios otherwise.
+		s.FaultBudget = c.FaultBudget
 	}
 	s.Normalize()
 	return s
@@ -223,6 +229,11 @@ func MinimizeScenario(s scenario.Scenario, fails FailFunc) scenario.Scenario {
 		if s.Adversary != neutralAdv {
 			c := s
 			c.Adversary = neutralAdv
+			if !c.Live && c.Chaos == "" {
+				// A bare fault budget is only valid with an omission
+				// adversary; drop it alongside the adversary.
+				c.FaultBudget = 0
+			}
 			changed = try(c) || changed
 		}
 		if s.Workload != "half" {
@@ -244,6 +255,7 @@ func MinimizeScenario(s scenario.Scenario, fails FailFunc) scenario.Scenario {
 			c := s
 			c.N = n
 			c.T = clampT(c, n)
+			clampBudget(&c)
 			if try(c) {
 				changed = true
 				break
@@ -252,6 +264,7 @@ func MinimizeScenario(s scenario.Scenario, fails FailFunc) scenario.Scenario {
 		for t := 0; t < s.T; t++ {
 			c := s
 			c.T = t
+			clampBudget(&c)
 			if try(c) {
 				changed = true
 				break
@@ -266,12 +279,23 @@ func MinimizeScenario(s scenario.Scenario, fails FailFunc) scenario.Scenario {
 	return s
 }
 
+// clampBudget keeps an omission scenario's fault budget <= t when
+// minimization shrinks t under it.
+func clampBudget(s *scenario.Scenario) {
+	if scenario.IsOmission(s.Adversary) && s.FaultBudget > s.T {
+		s.FaultBudget = s.T
+	}
+}
+
 // clampT keeps the crash budget inside the resilience condition when
 // minimization shrinks n under it.
 func clampT(s scenario.Scenario, n int) int {
 	max := n
-	if s.IsAsync() {
+	switch {
+	case s.IsAsync():
 		max = (n - 1) / 2
+	case s.Protocol == synran.ProtocolLateBeacon:
+		max = (n - 1) / 3
 	}
 	if s.T > max {
 		return max

@@ -26,8 +26,8 @@ func runExp(t *testing.T, ex Experiment) *Result {
 
 func TestAllExperimentsListed(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(all))
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, ex := range all {
@@ -59,6 +59,10 @@ func TestE13(t *testing.T) { runExp(t, All()[12]) }
 func TestE14(t *testing.T) { runExp(t, All()[13]) }
 
 func TestE15(t *testing.T) { runExp(t, All()[14]) }
+
+func TestE18(t *testing.T) { runExp(t, All()[17]) }
+
+func TestE19(t *testing.T) { runExp(t, All()[18]) }
 
 func TestE16(t *testing.T) { runExp(t, All()[15]) }
 

@@ -159,6 +159,59 @@ func TestPanicAbsorbedByFaultBudget(t *testing.T) {
 	}
 }
 
+func TestFaultBudgetBoundary(t *testing.T) {
+	// Pins the exact budget semantics the Options.FaultBudget doc
+	// promises: a budget of k absorbs exactly k crash-equivalent faults
+	// and the (k+1)-th aborts, so FaultBudget: 0 rejects the very first
+	// fault. Each panicky process costs exactly one fault (it is killed
+	// on its first panic), making the fault count fully deterministic.
+	const n = 9
+	inputs := halfInputs(n)
+	mkProcs := func(panickers int) []sim.Process {
+		procs, err := floodset.NewProcs(n, 3, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < panickers; i++ {
+			procs[i] = &panicky{at: 1}
+		}
+		return procs
+	}
+
+	// Budget 0: the first fault is rejected, never absorbed.
+	res, err := RunChaos(sim.Config{N: n, T: 3}, mkProcs(1), inputs, adversary.None{}, 2,
+		Options{FaultBudget: 0})
+	if !errors.Is(err, ErrFaultBudget) {
+		t.Fatalf("budget 0: err = %v, want ErrFaultBudget on the first fault", err)
+	}
+	if res == nil || !res.Partial || res.Faults.CrashEquivalent() != 0 {
+		t.Fatalf("budget 0: result %+v, want partial with zero absorbed faults", res)
+	}
+
+	// Budget exactly k = 2 with exactly 2 faults: all absorbed, clean run.
+	res, err = RunChaos(sim.Config{N: n, T: 3}, mkProcs(2), inputs, adversary.None{}, 2,
+		Options{FaultBudget: 2})
+	if err != nil {
+		t.Fatalf("budget 2, 2 faults: err = %v, want clean completion", err)
+	}
+	if res.Partial || res.Faults.Panics != 2 {
+		t.Fatalf("budget 2, 2 faults: partial=%v faults=%+v, want 2 absorbed panics", res.Partial, res.Faults)
+	}
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("budget 2, 2 faults: agreement=%v validity=%v", res.Agreement, res.Validity)
+	}
+
+	// Budget k = 2 with 3 faults: the (k+1)-th aborts after k absorbed.
+	res, err = RunChaos(sim.Config{N: n, T: 3}, mkProcs(3), inputs, adversary.None{}, 2,
+		Options{FaultBudget: 2})
+	if !errors.Is(err, ErrFaultBudget) {
+		t.Fatalf("budget 2, 3 faults: err = %v, want ErrFaultBudget", err)
+	}
+	if res == nil || !res.Partial || res.Faults.CrashEquivalent() != 2 {
+		t.Fatalf("budget 2, 3 faults: result %+v, want partial with exactly 2 absorbed", res)
+	}
+}
+
 func TestHangDemotedAfterDeadlineMisses(t *testing.T) {
 	// An injected hang blocks past every deadline window; the runner must
 	// demote the process to a crash fault and move on.

@@ -73,11 +73,18 @@ type Options struct {
 	// or delayed message before the omission demotes the sender.
 	// Defaults to 2.
 	Retransmits int
-	// FaultBudget is the number of crash-equivalent chaos faults
-	// (demotions + panics) the runner may absorb, distinct from the
-	// adversary's T. Exhausting it ends the run with ErrFaultBudget and
-	// a partial Result. The ≤ t resilience condition of the protocols is
-	// the caller's to respect: adversary crashes + FaultBudget ≤ T.
+	// FaultBudget is the number of crash-equivalent faults (demotions +
+	// panics) the runner may absorb, distinct from the adversary's T.
+	// The boundary is exact: a budget of k absorbs exactly k faults, and
+	// only a (k+1)-th chaos fault ends the run with ErrFaultBudget and a
+	// partial Result — so FaultBudget: 0 aborts on the very first chaos
+	// fault, never after it (TestFaultBudgetBoundary pins both edges).
+	// Adversarial omission demotions (sim.Omitter) draw from the same
+	// ledger but are skipped deterministically once it is spent rather
+	// than aborting: they are scheduled faults, not substrate surprises,
+	// and every lane must degrade them identically. The ≤ t resilience
+	// condition of the protocols is the caller's to respect: adversary
+	// crashes + FaultBudget ≤ T.
 	FaultBudget int
 }
 
@@ -457,8 +464,15 @@ func (r *runner) run() (*sim.Result, error) {
 		if obs := r.cfg.Observer; obs != nil {
 			obs.OnRound(round, view)
 		}
+		// Plan and Omit are both consulted on the pre-crash view, matching
+		// the sequential engine's evaluation order exactly.
+		plans := r.adv.Plan(view)
+		var omissions []sim.CrashPlan
+		if om, ok := r.adv.(sim.Omitter); ok {
+			omissions = om.Omit(view)
+		}
 		deliver := make([]*sim.BitSet, r.n)
-		for _, plan := range r.adv.Plan(view) {
+		for _, plan := range plans {
 			v := plan.Victim
 			if v < 0 || v >= r.n || !r.alive[v] || r.advCrashed >= r.cfg.T {
 				continue
@@ -467,6 +481,39 @@ func (r *runner) run() (*sim.Result, error) {
 			r.advCrashed++
 			if m != nil {
 				m.CrashesAdversary.Inc(shard)
+			}
+			if plan.Deliver != nil {
+				deliver[v] = plan.Deliver.Clone()
+			} else {
+				deliver[v] = sim.NewBitSet(r.n)
+			}
+			if obs := r.cfg.Observer; obs != nil {
+				d := 0
+				if r.sending[v] {
+					d = deliver[v].Count()
+				}
+				obs.OnCrash(round, v, d)
+			}
+		}
+		// Adversarial omission demotions, after the crashes: the victim's
+		// outgoing links are silenced with CrashPlan partial-delivery
+		// semantics, charged to the fault budget as a demotion. Unlike
+		// substrate faults these never abort the run — plans past the
+		// budget are skipped deterministically, exactly as on the
+		// lock-step engines (sim.FinishRoundOmitted), so all lanes agree.
+		// The victim keeps its sending flag: its in-flight round message
+		// still reaches the receivers its Deliver mask names.
+		omitSpent := r.faults.CrashEquivalent()
+		for _, plan := range omissions {
+			v := plan.Victim
+			if v < 0 || v >= r.n || !r.alive[v] || omitSpent >= r.opts.FaultBudget {
+				continue
+			}
+			r.alive[v] = false
+			r.faults.Demoted++
+			omitSpent++
+			if m != nil {
+				m.Demotions.Inc(shard)
 			}
 			if plan.Deliver != nil {
 				deliver[v] = plan.Deliver.Clone()

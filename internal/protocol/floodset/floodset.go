@@ -58,6 +58,33 @@ func NewProcs(n, t int, inputs []int) ([]sim.Process, error) {
 	return procs, nil
 }
 
+// NewProcsTolerant builds a process vector that additionally rides out
+// up to extra adaptive-omission demotions: a send-omission-faulty
+// process is indistinguishable from a crash to every receiver, so the
+// classic "more rounds than faults" argument applies to the combined
+// ledger and flooding for t+extra+1 rounds restores the guaranteed
+// crash-free round. This is the omission-tolerant baseline ("omitflood"
+// in the façade, run with extra = t for 2t+1 rounds): slower than
+// FloodSet by exactly the fault budget, but correct against
+// omission-split and omission-random at budget <= extra.
+func NewProcsTolerant(n, t, extra int, inputs []int) ([]sim.Process, error) {
+	if extra < 0 {
+		return nil, fmt.Errorf("floodset: extra = %d, want >= 0", extra)
+	}
+	if len(inputs) != n {
+		return nil, fmt.Errorf("floodset: %d inputs for n=%d", len(inputs), n)
+	}
+	procs := make([]sim.Process, n)
+	for i := range procs {
+		p, err := NewProc(i, inputs[i], t+extra+1)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = p
+	}
+	return procs, nil
+}
+
 // Round implements sim.Process.
 func (p *Proc) Round(_ int, inbox []sim.Recv) (int64, bool) {
 	if p.done {

@@ -1,0 +1,230 @@
+// Package latebeacon implements a beacon-election consensus protocol
+// built to exploit the ε-delayed ("late") adversary of Robinson,
+// Scheideler and Setzer (arXiv 1805.00774). It alternates two-round
+// phases: an odd VOTE round where every process broadcasts its current
+// bit, and an even BEACON round where every process announces the
+// majority candidate it observed and, with probability ~3/sqrt(n),
+// elects itself a coin beacon carrying a public coin bit. Undecided
+// processes adopt the lowest-id elected beacon's coin, so one
+// surviving beacon ends the protocol a phase later.
+//
+// Against the full-information ADAPTIVE adversary this is a poor
+// design: the election and coin bits ride in the beacon payload, so
+// the adversary sees exactly which processes to crash mid-broadcast
+// and can split the coin (which is why the paper's Theta(t/sqrt(n log n))
+// bound applies to it like any other protocol). Against a LATE
+// adversary the election is invisible until the beacons are already
+// delivered — by the time the ε-rounds-stale view identifies the
+// beacon, its coin is common knowledge — so the protocol decides in
+// O(1) phases in expectation. Experiment E19 measures that gap.
+//
+// Resilience: t < n/3 crashes (the support thresholds below need
+// n - 2t >= t + 1). Safety holds against ANY crash adversary; only
+// the round count depends on who is attacking.
+package latebeacon
+
+import (
+	"fmt"
+	"math"
+
+	"synran/internal/rng"
+	"synran/internal/sim"
+	"synran/internal/wire"
+)
+
+// Proc is one latebeacon process. It implements sim.Process.
+type Proc struct {
+	id  int
+	n   int
+	t   int
+	rng *rng.Stream
+
+	b          int   // current choice for the consensus value
+	lastBeacon int64 // the beacon this process broadcast last even round
+	pElect     float64
+	decision   int
+	hasDecided bool
+	haltAt     int // round at which to stop participating (0 = not set)
+	done       bool
+}
+
+var _ sim.Process = (*Proc)(nil)
+var _ sim.Reseeder = (*Proc)(nil)
+
+// NewProc builds one latebeacon process. The rng stream must be private
+// to this process.
+func NewProc(id, n, t, input int, stream *rng.Stream) (*Proc, error) {
+	if input != 0 && input != 1 {
+		return nil, fmt.Errorf("latebeacon: input %d for process %d, want 0 or 1", input, id)
+	}
+	if n <= 0 || id < 0 || id >= n {
+		return nil, fmt.Errorf("latebeacon: process id %d out of range for n=%d", id, n)
+	}
+	if 3*t >= n {
+		return nil, fmt.Errorf("latebeacon: t=%d too large for n=%d (needs 3t < n)", t, n)
+	}
+	p := math.Min(1, 3/math.Sqrt(float64(n)))
+	return &Proc{id: id, n: n, t: t, rng: stream, b: input, pElect: p}, nil
+}
+
+// NewProcs builds the full process vector, splitting one rng stream per
+// process from seed.
+func NewProcs(n, t int, inputs []int, seed uint64) ([]sim.Process, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("latebeacon: %d inputs for n=%d", len(inputs), n)
+	}
+	root := rng.New(seed)
+	procs := make([]sim.Process, n)
+	for i := range procs {
+		p, err := NewProc(i, n, t, inputs[i], root.Split(uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = p
+	}
+	return procs, nil
+}
+
+// Round implements sim.Process. Odd rounds broadcast the vote, even
+// rounds the beacon; round r's inbox carries round r-1's broadcasts.
+func (p *Proc) Round(r int, inbox []sim.Recv) (int64, bool) {
+	if p.done || (p.haltAt > 0 && r >= p.haltAt) {
+		p.done = true
+		return 0, false
+	}
+	if r%2 == 0 {
+		return p.beaconRound(inbox), true
+	}
+	if r > 1 {
+		p.resolve(r, inbox)
+	}
+	return wire.Plain(p.b), true
+}
+
+// beaconRound consumes the vote inbox and emits this process's beacon:
+// the candidate set it can justify, plus an election coin with
+// probability pElect. The rng draw for the election happens every
+// beacon round, elected or not, so the stream advances identically on
+// every engine lane.
+func (p *Proc) beaconRound(inbox []sim.Recv) int64 {
+	ones, zeros := 0, 0
+	if p.b == 1 {
+		ones++
+	} else {
+		zeros++
+	}
+	for _, m := range inbox {
+		if m.Payload&1 == 1 {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	cand := wire.MaskBoth
+	switch {
+	case 2*ones > ones+zeros:
+		cand = wire.MaskOne
+	case 2*zeros > ones+zeros:
+		cand = wire.MaskZero
+	}
+	elected := p.rng.Float64() < p.pElect
+	coin := 0
+	if elected {
+		coin = p.rng.Bit()
+	}
+	p.lastBeacon = wire.Beacon(cand, elected, coin)
+	return p.lastBeacon
+}
+
+// resolve consumes the beacon inbox at the start of an odd round and
+// updates b, possibly deciding. Support thresholds (t < n/3):
+//
+//   - support(v) >= n-t: decide v. Support counts distinct senders, so
+//     conflicting decisions need 2(n-t) <= n singleton senders —
+//     impossible for t < n/2. Every other live process misses at most
+//     t of the decider's n-t witnesses, sees support(v) >= n-2t >= t+1
+//     and support(1-v) <= t, and adopts v below: the next phase is
+//     unanimous and everyone decides.
+//   - support(v) >= t+1 and support(1-v) <= t: adopt v. If anyone
+//     decided v this round, 1-v's singleton senders number <= t, so no
+//     process can adopt against a decision.
+//   - otherwise: adopt the lowest-id elected beacon's coin, falling
+//     back to the private fair coin when no beacon survived.
+func (p *Proc) resolve(r int, inbox []sim.Recv) {
+	support := [2]int{}
+	beaconFrom, beaconCoin := -1, 0
+	count := func(from int, payload int64) {
+		switch wire.BeaconCand(payload) {
+		case wire.MaskOne:
+			support[1]++
+		case wire.MaskZero:
+			support[0]++
+		}
+		if wire.BeaconElected(payload) && (beaconFrom < 0 || from < beaconFrom) {
+			beaconFrom, beaconCoin = from, wire.BeaconCoin(payload)
+		}
+	}
+	// The process's own previous-round beacon counts too ("including
+	// b_i"), and it must be the beacon actually sent — replaying cand
+	// or the election would desync both the counts and the rng stream —
+	// so beaconRound keeps a copy.
+	count(p.id, p.lastBeacon)
+	for _, m := range inbox {
+		count(m.From, m.Payload)
+	}
+	for v := 0; v <= 1; v++ {
+		if support[v] >= p.n-p.t {
+			p.b = v
+			if !p.hasDecided {
+				p.decision, p.hasDecided = v, true
+				p.haltAt = r + 2
+			}
+			return
+		}
+	}
+	for v := 0; v <= 1; v++ {
+		if support[v] >= p.t+1 && support[1-v] <= p.t {
+			p.b = v
+			return
+		}
+	}
+	if beaconFrom >= 0 {
+		p.b = beaconCoin
+		return
+	}
+	p.b = p.rng.Bit()
+}
+
+// Decided implements sim.Process.
+func (p *Proc) Decided() (int, bool) { return p.decision, p.hasDecided }
+
+// Stopped implements sim.Process.
+func (p *Proc) Stopped() bool { return p.done }
+
+// Reseed implements sim.Reseeder.
+func (p *Proc) Reseed(seed uint64) { p.rng.Reseed(seed) }
+
+// Clone implements sim.Process.
+func (p *Proc) Clone() sim.Process {
+	c := *p
+	c.rng = p.rng.Clone()
+	return &c
+}
+
+// CopyFrom implements sim.ProcessCopier: overwrite this process with a
+// deep copy of src, reusing the receiver's rng storage.
+func (p *Proc) CopyFrom(src sim.Process) bool {
+	s, ok := src.(*Proc)
+	if !ok {
+		return false
+	}
+	stream := p.rng
+	*p = *s
+	if stream == nil {
+		stream = s.rng.Clone()
+	} else {
+		stream.CopyFrom(s.rng)
+	}
+	p.rng = stream
+	return true
+}

@@ -1,0 +1,79 @@
+package latebeacon_test
+
+import (
+	"testing"
+
+	"synran/internal/adversary"
+	"synran/internal/protocol/latebeacon"
+	"synran/internal/sim"
+)
+
+// run executes one adversary-free instance and returns the result.
+func run(t *testing.T, n, tt int, inputs []int) *sim.Result {
+	t.Helper()
+	procs, err := latebeacon.NewProcs(n, tt, inputs, 42)
+	if err != nil {
+		t.Fatalf("NewProcs: %v", err)
+	}
+	exec, err := sim.NewExecution(sim.Config{N: n, T: tt}, procs, inputs, 42)
+	if err != nil {
+		t.Fatalf("NewExecution: %v", err)
+	}
+	res, err := exec.Run(adversary.None{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestUnanimousValidity pins the fault-free fast path: a unanimous
+// input decides that value in the first resolve round (round 3: vote,
+// beacon, resolve with support n >= n-t) and halts two rounds later.
+func TestUnanimousValidity(t *testing.T) {
+	for _, b := range []int{0, 1} {
+		inputs := make([]int, 10)
+		for i := range inputs {
+			inputs[i] = b
+		}
+		res := run(t, 10, 3, inputs)
+		if !res.Agreement || !res.Validity {
+			t.Fatalf("input %d: agreement=%v validity=%v", b, res.Agreement, res.Validity)
+		}
+		for i, d := range res.Decisions {
+			if !res.Decided[i] || d != b {
+				t.Fatalf("input %d: process %d decided=%v value=%d", b, i, res.Decided[i], d)
+			}
+		}
+		if res.DecideRounds != 3 || res.HaltRounds != 5 {
+			t.Fatalf("input %d: decide=%d halt=%d, want 3/5", b, res.DecideRounds, res.HaltRounds)
+		}
+	}
+}
+
+// TestSplitInputsTerminate pins the mixed-input path: the beacon coin
+// breaks the tie and every process halts on the same value.
+func TestSplitInputsTerminate(t *testing.T) {
+	inputs := []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	res := run(t, 10, 3, inputs)
+	if !res.Agreement || !res.Validity {
+		t.Fatalf("agreement=%v validity=%v", res.Agreement, res.Validity)
+	}
+	for i := range res.Decided {
+		if !res.Decided[i] {
+			t.Fatalf("process %d never decided", i)
+		}
+	}
+}
+
+// TestConstructorRejections pins the resilience condition and input
+// validation.
+func TestConstructorRejections(t *testing.T) {
+	if _, err := latebeacon.NewProcs(9, 3, make([]int, 9), 1); err == nil {
+		t.Fatal("3t = n accepted; latebeacon needs 3t < n")
+	}
+	bad := make([]int, 10)
+	bad[4] = 2
+	if _, err := latebeacon.NewProcs(10, 3, bad, 1); err == nil {
+		t.Fatal("non-binary input accepted")
+	}
+}

@@ -32,6 +32,7 @@ func (s *Scenario) Spec(trial int, m *metrics.Engine, shard int) (synran.Spec, e
 		MaxRounds:     s.MaxRounds,
 		Engine:        s.Engine,
 		Live:          s.Live,
+		FaultBudget:   s.FaultBudget,
 		RoundDeadline: s.Deadline,
 		Retransmits:   s.Retransmits,
 		Metrics:       m, MetricsShard: shard,
@@ -44,7 +45,6 @@ func (s *Scenario) Spec(trial int, m *metrics.Engine, shard int) (synran.Spec, e
 		// "none" parses to the zero config: the hardened runner with an
 		// armed zero-fault injector, preserving -chaos none semantics.
 		spec.Chaos = &cfg
-		spec.FaultBudget = s.FaultBudget
 	}
 	return spec, nil
 }

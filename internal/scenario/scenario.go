@@ -124,10 +124,14 @@ type Scenario struct {
 func (s *Scenario) IsAsync() bool { return s.Protocol == ProtocolAsyncBenOr }
 
 // DefaultT is the crash-budget default for a protocol at size n:
-// (n-1)/2, except phaseking's (n-1)/4 (it needs n > 4t).
+// (n-1)/2, except phaseking's (n-1)/4 (it needs n > 4t) and
+// latebeacon's (n-1)/3 (it needs 3t < n).
 func DefaultT(protocol string, n int) int {
-	if protocol == synran.ProtocolPhaseKing {
+	switch protocol {
+	case synran.ProtocolPhaseKing:
 		return (n - 1) / 4
+	case synran.ProtocolLateBeacon:
+		return (n - 1) / 3
 	}
 	return (n - 1) / 2
 }
@@ -154,6 +158,11 @@ func (s *Scenario) Normalize() {
 	}
 	if s.T < 0 {
 		s.T = DefaultT(s.Protocol, s.N)
+	}
+	if IsOmission(s.Adversary) && s.FaultBudget == 0 {
+		// An omission adversary with no budget does nothing; default to
+		// the full demotion allowance, mirroring the t-crash default.
+		s.FaultBudget = s.T
 	}
 	if s.Trials <= 0 {
 		s.Trials = 1
@@ -200,6 +209,9 @@ func (s *Scenario) Validate() error {
 	if err := synran.ValidAdversary(s.Adversary); err != nil {
 		return errf("%v", err)
 	}
+	if s.Protocol == synran.ProtocolLateBeacon && 3*s.T >= s.N {
+		return errf("latebeacon needs 3t < n, got n = %d, t = %d", s.N, s.T)
+	}
 	if s.Coin != "" {
 		return errf("coin = %q applies only to protocol %q", s.Coin, ProtocolAsyncBenOr)
 	}
@@ -231,14 +243,25 @@ func (s *Scenario) Validate() error {
 			return errf("engine %q is lock-step only (drop live/chaos or the engine override)", s.Engine)
 		}
 	} else {
-		if s.FaultBudget != 0 {
-			return errf("faultbudget = %d needs a chaos schedule", s.FaultBudget)
+		if s.FaultBudget != 0 && !IsOmission(s.Adversary) {
+			return errf("faultbudget = %d needs a chaos schedule or an omission adversary", s.FaultBudget)
 		}
 		if s.Deadline != 0 || s.Retransmits != 0 {
 			return errf("deadline/retransmits apply only to live/chaos scenarios")
 		}
 	}
+	if IsOmission(s.Adversary) && s.FaultBudget > s.T {
+		return errf("faultbudget = %d exceeds t = %d (omission demotions count toward the resilience condition)", s.FaultBudget, s.T)
+	}
 	return s.validateCommon()
+}
+
+// IsOmission reports whether the adversary name is one of the
+// adaptive-omission families, whose demotions FaultBudget bounds on
+// every engine (no chaos schedule required).
+func IsOmission(adversaryName string) bool {
+	return adversaryName == synran.AdversaryOmissionSplit ||
+		adversaryName == synran.AdversaryOmissionRandom
 }
 
 // validateAsync checks the async-benor-only field combinations.

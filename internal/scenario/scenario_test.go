@@ -169,9 +169,17 @@ func TestParseRejections(t *testing.T) {
 		{"zero n", "n = 0\n", "scenario: n = 0, want > 0"},
 		{"t over n", "n = 5\nt = 7\n", "scenario: t = 7 out of [0, 5]"},
 		{"bad protocol", "n = 5\nprotocol = paxos\n",
-			`scenario: synran: unknown protocol "paxos" (want synran|benor|floodset|leadercoin|earlystop|phaseking) (or "async-benor")`},
+			`scenario: synran: unknown protocol "paxos" (want synran|benor|floodset|leadercoin|earlystop|phaseking|omitflood|latebeacon) (or "async-benor")`},
 		{"bad adversary", "n = 5\nadversary = byzantine\n",
-			`scenario: synran: unknown adversary "byzantine" (want none|random|splitvote|masscrash|push0|push1|lowerbound|waves|leaderkiller|equivocator|stepwise)`},
+			`scenario: synran: unknown adversary "byzantine" (want none|random|splitvote|masscrash|push0|push1|lowerbound|waves|leaderkiller|equivocator|stepwise|omission-split|omission-random|late-split|late-random)`},
+		{"near-miss omission", "n = 5\nadversary = omission\n",
+			`scenario: synran: unknown adversary "omission" (want none|random|splitvote|masscrash|push0|push1|lowerbound|waves|leaderkiller|equivocator|stepwise|omission-split|omission-random|late-split|late-random)`},
+		{"near-miss late", "n = 5\nadversary = late\n",
+			`scenario: synran: unknown adversary "late" (want none|random|splitvote|masscrash|push0|push1|lowerbound|waves|leaderkiller|equivocator|stepwise|omission-split|omission-random|late-split|late-random)`},
+		{"near-miss late-epsilon", "n = 5\nadversary = lateε\n",
+			`scenario: synran: unknown adversary "lateε" (want none|random|splitvote|masscrash|push0|push1|lowerbound|waves|leaderkiller|equivocator|stepwise|omission-split|omission-random|late-split|late-random)`},
+		{"omission budget over t", "n = 9\nt = 3\nadversary = omission-split\nfaultbudget = 4\n",
+			"scenario: faultbudget = 4 exceeds t = 3 (omission demotions count toward the resilience condition)"},
 		{"sync coin", "n = 5\ncoin = parity\n",
 			`scenario: coin = "parity" applies only to protocol "async-benor"`},
 		{"bad workload", "n = 5\nworkload = storm\n",
@@ -193,7 +201,7 @@ func TestParseRejections(t *testing.T) {
 		{"soa live", "n = 5\nengine = soa\nlive = true\n",
 			`scenario: engine "soa" is lock-step only (drop live/chaos or the engine override)`},
 		{"budget without chaos", "n = 5\nfaultbudget = 2\n",
-			"scenario: faultbudget = 2 needs a chaos schedule"},
+			"scenario: faultbudget = 2 needs a chaos schedule or an omission adversary"},
 		{"deadline without live", "n = 5\ndeadline = 1s\n",
 			"scenario: deadline/retransmits apply only to live/chaos scenarios"},
 		{"negative maxrounds", "n = 5\nmaxrounds = -1\n",

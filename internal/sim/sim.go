@@ -250,6 +250,13 @@ type Config struct {
 	// Observer: look-ahead rollouts must not recount hypothetical futures.
 	Metrics      *metrics.Engine
 	MetricsShard int
+	// FaultBudget bounds the omission demotions an Omitter adversary may
+	// charge (see FinishRoundOmitted): a budget of k absorbs exactly k
+	// demotions, and further omission plans are skipped deterministically.
+	// It is the lock-step mirror of netsim.Options.FaultBudget, kept
+	// distinct from the crash budget T exactly as the netsim runner keeps
+	// chaos faults distinct from adversary crashes.
+	FaultBudget int
 }
 
 // DefaultMaxRounds returns the round cap used when Config.MaxRounds is
@@ -264,15 +271,15 @@ var (
 	ErrMaxRounds = errors.New("sim: execution exceeded MaxRounds before termination")
 )
 
-// Faults accounts for the substrate faults a chaos-hardened runner
-// absorbed during an execution (all zero on the sequential engine and on
-// fault-free live runs). Dropped / Duplicated / Delayed count injected
-// message faults the synchronizer masked or converted; Stalled counts
-// injected process stalls; Panics counts process panics isolated by the
-// runner; Demoted counts processes converted to crash faults after
-// missing their round deadlines or suffering unrecoverable omissions.
-// Panics + Demoted are the crash-equivalent faults charged against the
-// runner's fault budget (distinct from the adversary's T).
+// Faults accounts for the non-crash faults an execution absorbed.
+// Dropped / Duplicated / Delayed count injected message faults the
+// chaos-hardened runner masked or converted; Stalled counts injected
+// process stalls; Panics counts process panics isolated by the runner;
+// Demoted counts processes converted to crash faults — by the hardened
+// runner after missed round deadlines or unrecoverable omissions, or by
+// an adaptive-omission adversary (sim.Omitter) on any engine. Panics +
+// Demoted are the crash-equivalent faults charged against the fault
+// budget (distinct from the adversary's T).
 type Faults struct {
 	Dropped    int
 	Duplicated int
@@ -316,8 +323,9 @@ type Result struct {
 	Agreement bool
 	// Validity: if all inputs were v, every decision is v.
 	Validity bool
-	// Faults accounts for substrate faults absorbed by a chaos-hardened
-	// runner (zero for the sequential engine).
+	// Faults accounts for non-crash faults absorbed during the run:
+	// chaos faults on the hardened runner, omission demotions from an
+	// Omitter adversary on any engine.
 	Faults Faults
 	// FaultNotes carries structured annotations for isolated failures
 	// (one line per recovered panic / demotion), newest last.
@@ -359,6 +367,7 @@ type Execution struct {
 	corrupt     []bool
 	decidedSeen []bool
 	crashed     int
+	faults      Faults
 	forged      map[int]*Forgery
 
 	round      int // last completed round
@@ -456,6 +465,7 @@ func (e *Execution) Reset(cfg Config, procs []Process, inputs []int, advSeed uin
 		e.decidedSeen[i] = false
 	}
 	e.crashed = 0
+	e.faults = Faults{}
 	e.forged = nil
 	e.round = 0
 	e.phaseAOpen = false
@@ -657,6 +667,7 @@ func (e *Execution) CloneInto(dst *Execution) *Execution {
 	dst.corrupt = append(dst.corrupt[:0], e.corrupt...)
 	dst.decidedSeen = append(dst.decidedSeen[:0], e.decidedSeen...)
 	dst.crashed = e.crashed
+	dst.faults = e.faults
 	dst.round = e.round
 	dst.phaseAOpen = e.phaseAOpen
 	dst.payloads = append(dst.payloads[:0], e.payloads...)
@@ -822,11 +833,24 @@ func (e *Execution) view(r int) *View {
 // bookkeeping. Invalid plans (dead or repeated victims, out-of-range
 // indices, plans beyond the budget) are skipped deterministically.
 func (e *Execution) FinishRound(plans []CrashPlan) error {
+	return e.FinishRoundOmitted(plans, nil)
+}
+
+// FinishRoundOmitted is FinishRound plus adaptive-omission demotions:
+// each omission plan silences one victim's outgoing links from this
+// round on (Deliver selects which receivers still get its round
+// message, exactly as in a CrashPlan), after which the victim is
+// send-omission faulty — crash-equivalent, charged against
+// Config.FaultBudget as a demotion rather than against the adversary's
+// crash budget T. Omission plans past the budget (or naming dead or
+// repeated victims) are skipped deterministically, mirroring the crash
+// rules, so every engine and runner stays byte-identical.
+func (e *Execution) FinishRoundOmitted(plans, omissions []CrashPlan) error {
 	if !e.phaseAOpen {
 		return errors.New("sim: FinishRound called without an open round")
 	}
 	if e.tallyMode {
-		return e.finishRoundTally(plans)
+		return e.finishRoundTally(plans, omissions)
 	}
 	r := e.round + 1
 	// The corrupt count cannot change during crash application (only
@@ -853,6 +877,34 @@ func (e *Execution) FinishRound(plans []CrashPlan) error {
 		}
 		if m := e.cfg.Metrics; m != nil {
 			m.CrashesAdversary.Inc(e.cfg.MetricsShard)
+		}
+	}
+	// Omission demotions after crashes: the same victim-application
+	// rules against the fault budget. The ordering (all crash events,
+	// then all omission events) is part of the cross-lane event-log
+	// contract the conformance harness diffs.
+	spent := e.faults.CrashEquivalent()
+	for _, plan := range omissions {
+		v := plan.Victim
+		if v < 0 || v >= e.cfg.N || !e.alive[v] || e.corrupt[v] {
+			continue
+		}
+		if spent >= e.cfg.FaultBudget {
+			break
+		}
+		e.alive[v] = false
+		e.faults.Demoted++
+		spent++
+		e.deliver[v] = e.deliverSlot(v, plan.Deliver)
+		if obs := e.cfg.Observer; obs != nil {
+			delivered := 0
+			if e.sending[v] {
+				delivered = e.deliver[v].Count()
+			}
+			obs.OnCrash(r, v, delivered)
+		}
+		if m := e.cfg.Metrics; m != nil {
+			m.Demotions.Inc(e.cfg.MetricsShard)
 		}
 	}
 
@@ -993,6 +1045,7 @@ func (e *Execution) Result() *Result {
 		HaltRounds:   e.haltRound,
 		Crashes:      e.crashed,
 		Messages:     e.messages,
+		Faults:       e.faults,
 		Decisions:    make([]int, n),
 		Decided:      make([]bool, n),
 		Inputs:       append([]int(nil), e.inputs...),

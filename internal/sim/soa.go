@@ -250,78 +250,92 @@ func (e *Execution) groupSlot(gi int, mask *BitSet) *BitSet {
 	return s
 }
 
-// finishRoundTally is the columnar Phase B: apply the crash plans under
-// exactly the object path's validity rules, then compute every eligible
-// receiver's next-round tally as (full-broadcast totals) − (own
-// broadcast) + (per-mask group contributions), instead of appending
-// n² inbox entries.
-func (e *Execution) finishRoundTally(plans []CrashPlan) error {
+// finishRoundTally is the columnar Phase B: apply the crash plans (and
+// any omission demotions) under exactly the object path's validity
+// rules, then compute every eligible receiver's next-round tally as
+// (full-broadcast totals) − (own broadcast) + (per-mask group
+// contributions), instead of appending n² inbox entries.
+func (e *Execution) finishRoundTally(plans, omissions []CrashPlan) error {
 	r := e.round + 1
 	n := e.cfg.N
 	obs := e.cfg.Observer
 	met := e.cfg.Metrics
 
-	// Crash application: same order, same skip/budget rules as the
+	// Victim application: same order, same skip/budget rules as the
 	// object path. Victims whose final message still reaches someone are
 	// grouped by the adversary's original mask pointer; each distinct
 	// mask is copied into engine scratch ONCE per group, so a mass-crash
 	// plan sharing one mask costs O(n/64) total, not O(victims·n/64).
 	// Victims delivering to no one (not sending, or a nil mask) keep a
 	// nil deliver entry — there is no per-receiver Phase B to feed here.
+	// The same grouping serves crashes (against the T budget) and
+	// omission demotions (against the fault budget); the groups
+	// accumulate across both passes.
 	groups := e.victimGroups[:0]
-	budgetUsed := e.crashed + e.CorruptCount()
-	for _, plan := range plans {
-		v := plan.Victim
-		if v < 0 || v >= n || !e.alive[v] || e.corrupt[v] {
-			continue
-		}
-		if budgetUsed >= e.cfg.T {
-			break
-		}
-		e.alive[v] = false
-		e.crashed++
-		budgetUsed++
-		e.deliver[v] = nil
-		delivered := 0
-		if e.sending[v] && plan.Deliver != nil {
-			gi := -1
-			for g := range groups {
-				if groups[g].orig == plan.Deliver {
-					gi = g
-					break
+	apply := func(victims []CrashPlan, budget int, spent int, crash bool) {
+		for _, plan := range victims {
+			v := plan.Victim
+			if v < 0 || v >= n || !e.alive[v] || e.corrupt[v] {
+				continue
+			}
+			if spent >= budget {
+				break
+			}
+			e.alive[v] = false
+			if crash {
+				e.crashed++
+			} else {
+				e.faults.Demoted++
+			}
+			spent++
+			e.deliver[v] = nil
+			delivered := 0
+			if e.sending[v] && plan.Deliver != nil {
+				gi := -1
+				for g := range groups {
+					if groups[g].orig == plan.Deliver {
+						gi = g
+						break
+					}
+				}
+				if gi < 0 {
+					cp := e.groupSlot(len(groups), plan.Deliver)
+					groups = append(groups, soaGroup{
+						orig: plan.Deliver, mask: cp, delivered: cp.Count(),
+					})
+					gi = len(groups) - 1
+				}
+				g := &groups[gi]
+				delivered = g.delivered
+				e.deliver[v] = g.mask
+				c := e.classify(e.payloads[v])
+				g.cnt++
+				if c.one {
+					g.ones++
+				} else {
+					g.zeros++
+				}
+				if c.mz {
+					g.mz++
+				}
+				if c.mo {
+					g.mo++
 				}
 			}
-			if gi < 0 {
-				cp := e.groupSlot(len(groups), plan.Deliver)
-				groups = append(groups, soaGroup{
-					orig: plan.Deliver, mask: cp, delivered: cp.Count(),
-				})
-				gi = len(groups) - 1
+			if obs != nil {
+				obs.OnCrash(r, v, delivered)
 			}
-			g := &groups[gi]
-			delivered = g.delivered
-			e.deliver[v] = g.mask
-			c := e.classify(e.payloads[v])
-			g.cnt++
-			if c.one {
-				g.ones++
-			} else {
-				g.zeros++
+			if met != nil {
+				if crash {
+					met.CrashesAdversary.Inc(e.cfg.MetricsShard)
+				} else {
+					met.Demotions.Inc(e.cfg.MetricsShard)
+				}
 			}
-			if c.mz {
-				g.mz++
-			}
-			if c.mo {
-				g.mo++
-			}
-		}
-		if obs != nil {
-			obs.OnCrash(r, v, delivered)
-		}
-		if met != nil {
-			met.CrashesAdversary.Inc(e.cfg.MetricsShard)
 		}
 	}
+	apply(plans, e.cfg.T, e.crashed+e.CorruptCount(), true)
+	apply(omissions, e.cfg.FaultBudget, e.faults.CrashEquivalent(), false)
 	e.victimGroups = groups
 
 	// Eligible receivers — alive && !halted && !corrupt after this
@@ -468,6 +482,12 @@ func (e *Execution) Drive(adv Adversary) error {
 			obs.OnRound(v.Round, v)
 		}
 		plans := adv.Plan(v)
+		if om, ok := adv.(Omitter); ok {
+			if err := e.FinishRoundOmitted(plans, om.Omit(v)); err != nil {
+				return err
+			}
+			continue
+		}
 		if forger, ok := adv.(Forger); ok {
 			if err := e.FinishRoundForged(plans, forger.Forge(v)); err != nil {
 				return err

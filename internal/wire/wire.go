@@ -26,6 +26,17 @@ const (
 	MaskOne int64 = 1 << 1
 	// MaskBoth is the mixed value set {0, 1}.
 	MaskBoth = MaskZero | MaskOne
+
+	// BeaconCoinBit carries a beacon's proposed coin value.
+	BeaconCoinBit int64 = 1 << 3
+	// BeaconElectedBit marks the sender as a self-elected beacon whose
+	// coin bit is meaningful.
+	BeaconElectedBit int64 = 1 << 4
+	// BeaconTag marks fast-consensus beacon messages (protocol/latebeacon):
+	// a candidate value-set mask in bits 0–1 plus an optional elected
+	// coin proposal. Bit 2 (FloodTag) stays clear so IsFlood and IsBeacon
+	// never both hold.
+	BeaconTag int64 = 1 << 5
 )
 
 // Plain encodes a probabilistic-stage bit message.
@@ -58,11 +69,61 @@ func ValueMask(b int) int64 {
 // Bit extracts the bit of a plain payload.
 func Bit(p int64) int { return int(p & 1) }
 
+// Beacon encodes a fast-consensus beacon message: the sender's candidate
+// value set (MaskZero, MaskOne, or MaskBoth for "no candidate"), whether
+// the sender elected itself beacon this phase, and — only when elected —
+// its proposed coin bit. An empty candidate mask is a protocol bug, not
+// a message, and panics (same contract as Flood).
+func Beacon(candMask int64, elected bool, coin int) int64 {
+	if candMask&MaskBoth == 0 {
+		panic(fmt.Sprintf("wire: Beacon with empty candidate mask %#x", candMask))
+	}
+	p := BeaconTag | (candMask & MaskBoth)
+	if elected {
+		p |= BeaconElectedBit
+		if coin&1 == 1 {
+			p |= BeaconCoinBit
+		}
+	}
+	return p
+}
+
+// IsBeacon reports whether a payload is a fast-consensus beacon message.
+func IsBeacon(p int64) bool { return p&BeaconTag != 0 }
+
+// BeaconCand extracts the candidate value-set mask from a beacon payload.
+func BeaconCand(p int64) int64 { return p & MaskBoth }
+
+// BeaconElected reports whether the beacon's sender elected itself.
+func BeaconElected(p int64) bool { return p&BeaconElectedBit != 0 }
+
+// BeaconCoin extracts an elected beacon's proposed coin bit.
+func BeaconCoin(p int64) int {
+	if p&BeaconCoinBit != 0 {
+		return 1
+	}
+	return 0
+}
+
 // CheckPayload validates a payload as seen on the wire: a plain message
-// must be a bare bit, and a flood message must carry a non-empty value
-// set and no stray bits. It is the conformance harness's
-// well-formedness oracle, applied to every broadcast of every round.
+// must be a bare bit, a flood message must carry a non-empty value set
+// and no stray bits, and a beacon message must carry a non-empty
+// candidate mask with a coin bit only when elected. It is the
+// conformance harness's well-formedness oracle, applied to every
+// broadcast of every round.
 func CheckPayload(p int64) error {
+	if IsBeacon(p) {
+		if p&^(BeaconTag|MaskBoth|BeaconCoinBit|BeaconElectedBit) != 0 {
+			return fmt.Errorf("wire: beacon payload %#x has bits outside tag|mask|coin|elected", p)
+		}
+		if BeaconCand(p) == 0 {
+			return fmt.Errorf("wire: beacon payload %#x has an empty candidate mask", p)
+		}
+		if p&BeaconCoinBit != 0 && p&BeaconElectedBit == 0 {
+			return fmt.Errorf("wire: beacon payload %#x has a coin bit without the elected flag", p)
+		}
+		return nil
+	}
 	if !IsFlood(p) {
 		if p != 0 && p != 1 {
 			return fmt.Errorf("wire: plain payload %#x is not a bare bit", p)

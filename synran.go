@@ -35,6 +35,7 @@ import (
 	"synran/internal/protocol/benor"
 	"synran/internal/protocol/earlystop"
 	"synran/internal/protocol/floodset"
+	"synran/internal/protocol/latebeacon"
 	"synran/internal/protocol/phaseking"
 	"synran/internal/sim"
 	"synran/internal/trials"
@@ -70,6 +71,13 @@ const (
 	// (Berman–Garay–Perry, n > 4t, 2(t+1) rounds) — pair it with
 	// AdversaryEquivocator.
 	ProtocolPhaseKing = "phaseking"
+	// ProtocolOmitFlood is FloodSet extended to ride out adaptive-
+	// omission demotions: it floods for 2t+1 rounds, absorbing up to t
+	// crashes plus t omissions (pair it with the omission adversaries).
+	ProtocolOmitFlood = "omitflood"
+	// ProtocolLateBeacon is the beacon-election protocol built to beat
+	// the ε-delayed adversary (needs 3t < n; experiment E19).
+	ProtocolLateBeacon = "latebeacon"
 )
 
 // Adversary names accepted by Spec.Adversary.
@@ -101,6 +109,18 @@ const (
 	// AdversaryStepwise is the faithful Section 3.4 message-by-message
 	// lower-bound strategy (even more look-ahead than lowerbound).
 	AdversaryStepwise = "stepwise"
+	// AdversaryOmissionSplit silences one majority-value sender per
+	// round with a view-splitting delivery mask; demotions are charged
+	// against Spec.FaultBudget, never against T.
+	AdversaryOmissionSplit = "omission-split"
+	// AdversaryOmissionRandom silences random processes with random
+	// delivery masks under the same fault-budget ledger.
+	AdversaryOmissionRandom = "omission-random"
+	// AdversaryLateSplit is SplitVote fed a 2-rounds-stale view (the
+	// ε-delayed adversary of arXiv 1805.00774; experiment E19).
+	AdversaryLateSplit = "late-split"
+	// AdversaryLateRandom is Random fed a 2-rounds-stale view.
+	AdversaryLateRandom = "late-random"
 )
 
 // Spec configures one consensus execution.
@@ -129,9 +149,12 @@ type Spec struct {
 	// deterministic fault schedule (implies Live). The fault trace is
 	// reproducible from (Seed, Chaos) alone; see internal/chaos.
 	Chaos *ChaosConfig
-	// FaultBudget bounds the crash-equivalent chaos faults (demotions +
-	// panics) the hardened runner may absorb; keep adversary crashes +
-	// FaultBudget ≤ T to stay inside the protocols' resilience condition.
+	// FaultBudget bounds the crash-equivalent faults charged OUTSIDE the
+	// adversary's crash budget T: chaos demotions and panics on the
+	// hardened runner, and adaptive-omission demotions (the omission-*
+	// adversaries) on every engine. Keep adversary crashes + FaultBudget
+	// ≤ T to stay inside the protocols' resilience condition — except
+	// omitflood, which is built to absorb T crashes plus T demotions.
 	FaultBudget int
 	// RoundDeadline overrides the hardened runner's per-round wall-clock
 	// budget (0 = the netsim default; only meaningful with Live/Chaos).
@@ -179,14 +202,15 @@ func Run(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	adv, err := NewAdversary(orDefault(spec.Adversary, AdversaryNone), spec.N, spec.T, spec.Seed)
+	adv, err := NewAdversaryBudget(orDefault(spec.Adversary, AdversaryNone), spec.N, spec.T, spec.FaultBudget, spec.Seed)
 	if err != nil {
 		return nil, err
 	}
 	cfg := sim.Config{
 		N: spec.N, T: spec.T, MaxRounds: spec.MaxRounds, Engine: spec.Engine,
-		Observer: spec.Observer,
-		Metrics:  spec.Metrics, MetricsShard: spec.MetricsShard,
+		FaultBudget: spec.FaultBudget,
+		Observer:    spec.Observer,
+		Metrics:     spec.Metrics, MetricsShard: spec.MetricsShard,
 	}
 	if spec.Live || spec.Chaos != nil {
 		if LockStepOnly(spec.Adversary) {
@@ -198,6 +222,7 @@ func Run(spec Spec) (*Result, error) {
 		opts := netsim.Options{
 			RoundDeadline: spec.RoundDeadline,
 			Retransmits:   spec.Retransmits,
+			FaultBudget:   spec.FaultBudget,
 		}
 		if spec.Chaos != nil {
 			inj, err := chaos.New(spec.Seed, *spec.Chaos)
@@ -205,7 +230,6 @@ func Run(spec Spec) (*Result, error) {
 				return nil, err
 			}
 			opts.Injector = inj
-			opts.FaultBudget = spec.FaultBudget
 		}
 		return netsim.RunChaos(cfg, procs, spec.Inputs, adv, spec.Seed, opts)
 	}
@@ -220,14 +244,16 @@ func Run(spec Spec) (*Result, error) {
 // documentation order.
 func Protocols() []string {
 	return []string{ProtocolSynRan, ProtocolBenOr, ProtocolFloodSet,
-		ProtocolLeaderCoin, ProtocolEarlyStop, ProtocolPhaseKing}
+		ProtocolLeaderCoin, ProtocolEarlyStop, ProtocolPhaseKing,
+		ProtocolOmitFlood, ProtocolLateBeacon}
 }
 
 // Adversaries returns every Spec.Adversary name NewAdversary accepts.
 func Adversaries() []string {
 	return []string{AdversaryNone, AdversaryRandom, AdversarySplitVote,
 		AdversaryMassCrash, AdversaryPush0, AdversaryPush1, AdversaryLowerBound,
-		AdversaryWaves, AdversaryLeaderKiller, AdversaryEquivocator, AdversaryStepwise}
+		AdversaryWaves, AdversaryLeaderKiller, AdversaryEquivocator, AdversaryStepwise,
+		AdversaryOmissionSplit, AdversaryOmissionRandom, AdversaryLateSplit, AdversaryLateRandom}
 }
 
 // ValidProtocol returns nil iff name is a Spec.Protocol value ("" is
@@ -282,16 +308,29 @@ func NewProtocol(name string, n, t int, inputs []int, seed uint64) ([]sim.Proces
 		return earlystop.NewProcs(n, t, inputs)
 	case ProtocolPhaseKing:
 		return phaseking.NewProcs(n, t, inputs)
+	case ProtocolOmitFlood:
+		return floodset.NewProcsTolerant(n, t, t, inputs)
+	case ProtocolLateBeacon:
+		return latebeacon.NewProcs(n, t, inputs, seed)
 	default:
-		return nil, fmt.Errorf("synran: unknown protocol %q (want %s|%s|%s|%s|%s)",
-			name, ProtocolSynRan, ProtocolBenOr, ProtocolFloodSet, ProtocolLeaderCoin, ProtocolEarlyStop)
+		return nil, fmt.Errorf("synran: unknown protocol %q (want %s)",
+			name, strings.Join(Protocols(), "|"))
 	}
 }
 
 // NewAdversary builds an adversary by name. The crash budget t is only
 // used by the non-adaptive waves adversary (its schedule is committed up
-// front).
+// front); the omission families get a fault budget of t (use
+// NewAdversaryBudget to set it explicitly).
 func NewAdversary(name string, n, t int, seed uint64) (sim.Adversary, error) {
+	return NewAdversaryBudget(name, n, t, t, seed)
+}
+
+// NewAdversaryBudget builds an adversary by name with an explicit fault
+// budget for the omission families (how many demotions they allow
+// themselves; keep it equal to the engine's FaultBudget so plans are
+// applied rather than skipped). Other families ignore budget.
+func NewAdversaryBudget(name string, n, t, budget int, seed uint64) (sim.Adversary, error) {
 	switch name {
 	case AdversaryNone:
 		return adversary.None{}, nil
@@ -315,8 +354,17 @@ func NewAdversary(name string, n, t int, seed uint64) (sim.Adversary, error) {
 		return adversary.NewCombo(adversary.LeaderKiller{}, &adversary.SplitVote{}), nil
 	case AdversaryEquivocator:
 		return &adversary.Equivocator{Corruptions: t}, nil
+	case AdversaryOmissionSplit:
+		return &adversary.Omission{Mode: "split", Budget: budget}, nil
+	case AdversaryOmissionRandom:
+		return &adversary.Omission{Mode: "random", Budget: budget}, nil
+	case AdversaryLateSplit:
+		return &adversary.Late{Inner: &adversary.SplitVote{}, Tag: "split"}, nil
+	case AdversaryLateRandom:
+		return &adversary.Late{Inner: &adversary.Random{PerRound: 0.7, MaxPerRound: 2}, Tag: "random"}, nil
 	default:
-		return nil, fmt.Errorf("synran: unknown adversary %q", name)
+		return nil, fmt.Errorf("synran: unknown adversary %q (want %s)",
+			name, strings.Join(Adversaries(), "|"))
 	}
 }
 
